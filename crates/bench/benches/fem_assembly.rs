@@ -1,0 +1,48 @@
+//! Criterion: global stiffness assembly (the paper's Figure 7 assembly
+//! curve, measured on the host) and element-level kernels.
+
+use brainshift_bench::problem_with_equations;
+use brainshift_fem::{assemble_stiffness, stiffness_btdb, stiffness_isotropic, Material, MaterialTable, TetShape};
+use brainshift_imaging::Vec3;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_element_stiffness(c: &mut Criterion) {
+    let shape = TetShape::new([
+        Vec3::new(0.1, 0.0, 0.2),
+        Vec3::new(2.2, 0.1, 0.0),
+        Vec3::new(0.0, 2.4, 0.1),
+        Vec3::new(0.3, 0.2, 2.1),
+    ])
+    .unwrap();
+    let mat = Material::brain();
+    let d = mat.elasticity_matrix();
+    let mut g = c.benchmark_group("element_stiffness");
+    g.bench_function("closed_form", |b| {
+        b.iter(|| std::hint::black_box(stiffness_isotropic(&shape, &mat)));
+    });
+    g.bench_function("btdb_generic", |b| {
+        b.iter(|| std::hint::black_box(stiffness_btdb(&shape, &d)));
+    });
+    g.finish();
+}
+
+fn bench_global_assembly(c: &mut Criterion) {
+    let mut g = c.benchmark_group("global_assembly");
+    g.sample_size(10);
+    for eqs in [9_000usize, 30_000] {
+        let p = problem_with_equations(eqs);
+        let materials = MaterialTable::homogeneous();
+        g.throughput(Throughput::Elements(p.mesh.num_tets() as u64));
+        g.bench_function(BenchmarkId::new("tets", p.mesh.num_tets()), |b| {
+            b.iter(|| std::hint::black_box(assemble_stiffness(&p.mesh, &materials)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_element_stiffness, bench_global_assembly
+}
+criterion_main!(benches);

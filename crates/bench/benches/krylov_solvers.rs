@@ -1,0 +1,64 @@
+//! Criterion: the Krylov solve under each preconditioner — the host-side
+//! counterpart of the paper's solve curves and the preconditioner
+//! ablation.
+
+use brainshift_bench::problem_with_equations;
+use brainshift_fem::{apply_dirichlet, assemble_stiffness, MaterialTable};
+use brainshift_sparse::{
+    conjugate_gradient, gmres, BlockJacobiPrecond, BlockSolve, IdentityPrecond, JacobiPrecond,
+    SolverOptions,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_solvers(c: &mut Criterion) {
+    let p = problem_with_equations(9_000);
+    let k = assemble_stiffness(&p.mesh, &MaterialTable::homogeneous());
+    let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &p.bcs);
+    let a = &red.matrix;
+    let opts = SolverOptions { tolerance: 1e-5, max_iterations: 3000, ..Default::default() };
+
+    let mut g = c.benchmark_group("krylov_9k");
+    g.sample_size(10);
+    g.bench_function("gmres_none", |b| {
+        b.iter(|| {
+            let mut x = vec![0.0; a.nrows()];
+            let s = gmres(a, &IdentityPrecond, &red.rhs, &mut x, &opts);
+            assert!(s.converged());
+        });
+    });
+    g.bench_function("gmres_jacobi", |b| {
+        let pc = JacobiPrecond::new(a);
+        b.iter(|| {
+            let mut x = vec![0.0; a.nrows()];
+            let s = gmres(a, &pc, &red.rhs, &mut x, &opts);
+            assert!(s.converged());
+        });
+    });
+    g.bench_function("gmres_block_jacobi_ilu0_x8", |b| {
+        let pc = BlockJacobiPrecond::new(a, 8, BlockSolve::Ilu0);
+        b.iter(|| {
+            let mut x = vec![0.0; a.nrows()];
+            let s = gmres(a, &pc, &red.rhs, &mut x, &opts);
+            assert!(s.converged());
+        });
+    });
+    g.bench_function("cg_jacobi", |b| {
+        let pc = JacobiPrecond::new(a);
+        b.iter(|| {
+            let mut x = vec![0.0; a.nrows()];
+            let s = conjugate_gradient(a, &pc, &red.rhs, &mut x, &opts);
+            assert!(s.converged());
+        });
+    });
+    g.bench_function("precond_setup_block_jacobi_ilu0_x8", |b| {
+        b.iter(|| std::hint::black_box(BlockJacobiPrecond::new(a, 8, BlockSolve::Ilu0)));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_solvers
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion: the sparse kernels under the solver (SpMV serial/parallel,
+//! BLAS-1, triplet compression) at FEM-realistic sizes and sparsity.
+
+use brainshift_bench::problem_with_equations;
+use brainshift_fem::{assemble_stiffness, MaterialTable};
+use brainshift_sparse::dense::{axpy, dot};
+use brainshift_sparse::TripletBuilder;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_spmv(c: &mut Criterion) {
+    let p = problem_with_equations(30_000);
+    let k = assemble_stiffness(&p.mesh, &MaterialTable::homogeneous());
+    let n = k.nrows();
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+    let mut y = vec![0.0; n];
+    let mut g = c.benchmark_group("spmv");
+    g.throughput(Throughput::Elements(k.nnz() as u64));
+    g.bench_function(BenchmarkId::new("serial", k.nnz()), |b| {
+        b.iter(|| k.spmv(&x, &mut y));
+    });
+    g.bench_function(BenchmarkId::new("parallel", k.nnz()), |b| {
+        b.iter(|| k.spmv_parallel(&x, &mut y));
+    });
+    g.finish();
+}
+
+fn bench_blas1(c: &mut Criterion) {
+    let n = 250_000;
+    let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.001).sin()).collect();
+    let b2: Vec<f64> = (0..n).map(|i| (i as f64 * 0.002).cos()).collect();
+    let mut y = b2.clone();
+    let mut g = c.benchmark_group("blas1");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("dot", |bch| {
+        bch.iter(|| std::hint::black_box(dot(&a, &b2)));
+    });
+    g.bench_function("axpy", |bch| {
+        bch.iter(|| axpy(1.0001, &a, &mut y));
+    });
+    g.finish();
+}
+
+fn bench_triplet_build(c: &mut Criterion) {
+    // COO→CSR compression at assembly-realistic duplication.
+    let n = 20_000;
+    let mut entries = Vec::new();
+    for i in 0..n {
+        for j in 0..12 {
+            entries.push((i, (i + j * 7) % n, 1.0f64));
+        }
+    }
+    c.bench_function("triplet_build_240k", |b| {
+        b.iter(|| {
+            let mut tb = TripletBuilder::with_capacity(n, n, entries.len());
+            for &(i, j, v) in &entries {
+                tb.add(i, j, v);
+            }
+            std::hint::black_box(tb.build())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_spmv, bench_blas1, bench_triplet_build
+}
+criterion_main!(benches);

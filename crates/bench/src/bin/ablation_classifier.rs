@@ -1,0 +1,75 @@
+//! Ablation: k-NN (the paper's choice) vs Gaussian maximum likelihood for
+//! intraoperative tissue classification.
+//!
+//! Both classifiers train on the identical prototype-voxel model and
+//! classify the same multichannel feature stack; we score them against
+//! the phantom's ground-truth segmentation per tissue class, plus timing.
+
+use brainshift_core::case::{generate_elastic_case, ElasticCaseOptions};
+use brainshift_imaging::phantom::{BrainShiftConfig, PhantomConfig};
+use brainshift_imaging::volume::{Dims, Spacing};
+use brainshift_imaging::labels;
+use brainshift_segment::classify::{build_feature_stack, classify_volume};
+use brainshift_segment::{dice, GaussianClassifier, KdTree, PrototypeModel, SegmentConfig};
+use std::time::Instant;
+
+fn main() {
+    println!("## Ablation — k-NN vs Gaussian ML classification\n");
+    let cfg = PhantomConfig {
+        dims: Dims::new(64, 64, 48),
+        spacing: Spacing::iso(2.5),
+        ..Default::default()
+    };
+    let shift = BrainShiftConfig { peak_shift_mm: 8.0, resect_tumor: false, ..Default::default() };
+    let case = generate_elastic_case(&cfg, &shift, &ElasticCaseOptions::default());
+    let seg_cfg = SegmentConfig::default();
+    let mut classes = case.preop.labels.labels();
+    classes.retain(|&c| c != labels::RESECTION);
+    let fs = build_feature_stack(&case.intraop.intensity, &case.preop.labels, &classes, &seg_cfg);
+    let model = PrototypeModel::sample(&case.preop.labels, &classes, seg_cfg.per_class, seg_cfg.seed);
+    let protos = model.extract(&fs);
+    println!(
+        "training: {} prototypes over {} classes, {} feature channels\n",
+        protos.len(),
+        model.classes().len(),
+        fs.num_channels()
+    );
+
+    let gt = &case.intraop.labels;
+    let score = |seg: &brainshift_imaging::Volume<u8>| -> (f64, Vec<(u8, f64)>) {
+        let agree = gt.data().iter().zip(seg.data()).filter(|(a, b)| a == b).count() as f64
+            / gt.data().len() as f64;
+        let per_class: Vec<(u8, f64)> = [labels::BRAIN, labels::VENTRICLE, labels::CSF, labels::TUMOR]
+            .iter()
+            .map(|&l| (l, dice(&gt.map(|&x| x == l), &seg.map(|&x| x == l))))
+            .collect();
+        (agree, per_class)
+    };
+
+    // k-NN.
+    let t0 = Instant::now();
+    let tree = KdTree::build(protos.clone());
+    let seg_knn = classify_volume(&fs, &tree, seg_cfg.k);
+    let t_knn = t0.elapsed().as_secs_f64();
+    // Gaussian ML.
+    let t0 = Instant::now();
+    let gauss = GaussianClassifier::fit(&protos);
+    let seg_gauss = gauss.classify_volume(&fs);
+    let t_gauss = t0.elapsed().as_secs_f64();
+
+    println!("{:<12} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}", "classifier", "agreement", "brain", "ventricle", "csf", "tumor", "time(s)");
+    for (name, seg, t) in [("k-NN (paper)", &seg_knn, t_knn), ("gaussian-ml", &seg_gauss, t_gauss)] {
+        let (agree, per_class) = score(seg);
+        print!("{:<12} {:>10.3}", name, agree);
+        for (_, d) in &per_class {
+            print!(" {:>9.3}", d);
+        }
+        println!(" {:>9.2}", t);
+    }
+    println!("\n(mixed result: k-NN wins on the large textured classes (brain, CSF)");
+    println!(" whose feature distributions are multi-modal; the Gaussian model does");
+    println!(" better on small compact classes (ventricle, tumor) where k-NN's");
+    println!(" majority vote is swamped by neighboring-class prototypes. The paper's");
+    println!(" k-NN choice buys distribution-free robustness for interactively chosen");
+    println!(" prototypes — not uniform superiority.)");
+}

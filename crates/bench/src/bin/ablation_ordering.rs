@@ -1,0 +1,77 @@
+//! Ablation: node ordering (reverse Cuthill–McKee) and solver quality.
+//!
+//! The paper's discussion ties scaling to mesh regularity; ordering is the
+//! algebraic face of the same coin — RCM concentrates the stiffness matrix
+//! near the diagonal, which strengthens ILU(0) blocks and improves memory
+//! locality. This study measures bandwidth and iteration counts with the
+//! mesher's native ordering vs RCM.
+
+use brainshift_bench::problem_with_equations;
+use brainshift_fem::{apply_dirichlet, assemble_stiffness, MaterialTable};
+use brainshift_sparse::ordering::{permute_vec, unpermute_vec};
+use brainshift_sparse::{
+    bandwidth, gmres, permute_symmetric, reverse_cuthill_mckee, BlockJacobiPrecond, BlockSolve,
+    SolverOptions,
+};
+use std::time::Instant;
+
+fn main() {
+    println!("## Ablation — native vs RCM node ordering\n");
+    let p = problem_with_equations(30_000);
+    let k = assemble_stiffness(&p.mesh, &MaterialTable::homogeneous());
+    let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &p.bcs);
+    let a = red.matrix;
+    let rhs = red.rhs;
+    println!("system: {} equations, {} nnz\n", a.nrows(), a.nnz());
+
+    let opts = SolverOptions { tolerance: 1e-8, max_iterations: 5000, ..Default::default() };
+    println!(
+        "{:<10} {:>10} {:>8} {:>12} {:>14}",
+        "ordering", "bandwidth", "iters", "host solve", "x agreement"
+    );
+
+    // Native ordering.
+    let t0 = Instant::now();
+    let pc = BlockJacobiPrecond::new(&a, 8, BlockSolve::Ilu0);
+    let mut x_native = vec![0.0; a.nrows()];
+    let s = gmres(&a, &pc, &rhs, &mut x_native, &opts);
+    assert!(s.converged());
+    println!(
+        "{:<10} {:>10} {:>8} {:>10.2} s {:>14}",
+        "native",
+        bandwidth(&a),
+        s.iterations,
+        t0.elapsed().as_secs_f64(),
+        "reference"
+    );
+
+    // RCM.
+    let perm = reverse_cuthill_mckee(&a);
+    let ap = permute_symmetric(&a, &perm);
+    let rhs_p = permute_vec(&rhs, &perm);
+    let t0 = Instant::now();
+    let pc = BlockJacobiPrecond::new(&ap, 8, BlockSolve::Ilu0);
+    let mut xp = vec![0.0; ap.nrows()];
+    let s = gmres(&ap, &pc, &rhs_p, &mut xp, &opts);
+    assert!(s.converged());
+    let elapsed = t0.elapsed().as_secs_f64();
+    let x_rcm = unpermute_vec(&xp, &perm);
+    let diff: f64 = x_rcm
+        .iter()
+        .zip(&x_native)
+        .map(|(a1, b1)| (a1 - b1).powi(2))
+        .sum::<f64>()
+        .sqrt()
+        / x_native.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
+    println!(
+        "{:<10} {:>10} {:>8} {:>10.2} s {:>11.2e} rel",
+        "rcm",
+        bandwidth(&ap),
+        s.iterations,
+        elapsed,
+        diff
+    );
+    println!("\n(RCM shrinks the bandwidth; whether iterations improve depends on");
+    println!(" how far the mesher's discovery order already is from banded — the");
+    println!(" solution itself is ordering-invariant, as the agreement shows.)");
+}

@@ -1,0 +1,69 @@
+//! Ablation: rigid (the paper) vs affine registration under scanner
+//! geometry error.
+//!
+//! The paper's MI alignment is rigid — correct when both scans come from
+//! the same calibrated scanner. A gradient-scale miscalibration adds
+//! anisotropic scale that rigid cannot absorb and that would otherwise be
+//! (wrongly) handed to the biomechanical stage. This study measures both
+//! models against a scan with 5% z-scale error plus a small rotation.
+
+use brainshift_imaging::interp::resample_with;
+use brainshift_imaging::phantom::{generate_preop, PhantomConfig};
+use brainshift_imaging::similarity::ncc;
+use brainshift_imaging::volume::{Dims, Spacing};
+use brainshift_imaging::Vec3;
+use brainshift_register::{
+    register_affine, register_rigid, AffineRegConfig, AffineTransform, RigidRegConfig,
+};
+use std::time::Instant;
+
+fn main() {
+    println!("## Ablation — rigid vs affine registration under scale error\n");
+    let scan = generate_preop(&PhantomConfig {
+        dims: Dims::new(48, 48, 36),
+        spacing: Spacing::iso(3.3),
+        ..Default::default()
+    });
+    let d = scan.intensity.dims();
+    let c = Vec3::new(d.nx as f64 / 2.0, d.ny as f64 / 2.0, d.nz as f64 / 2.0);
+    // True distortion: 5% z-scale + 2° rotation + 1.5-voxel shift.
+    let truth = AffineTransform::from_params(
+        &[0.0, 0.0, 0.035, 0.0, 0.0, 0.05, 0.0, 0.0, 0.0, 1.5, -1.0, 0.5],
+        c,
+    );
+    let moving = resample_with(&scan.intensity, &scan.intensity, 0.0, |p| truth.apply(p));
+    let before = ncc(&scan.intensity, &moving);
+    println!("misalignment: 5% z-scale, 2 deg rotation, subvoxel shift (ncc {before:.3})\n");
+    println!("{:<8} {:>8} {:>12} {:>12}", "model", "ncc", "evaluations", "host time");
+
+    let t0 = Instant::now();
+    let rigid = register_rigid(&scan.intensity, &moving, &RigidRegConfig::default());
+    let aligned_r = resample_with(&moving, &scan.intensity, 0.0, |p| rigid.transform.apply(p));
+    println!(
+        "{:<8} {:>8.3} {:>12} {:>10.2} s",
+        "rigid",
+        ncc(&scan.intensity, &aligned_r),
+        rigid.evaluations,
+        t0.elapsed().as_secs_f64()
+    );
+
+    let t0 = Instant::now();
+    let affine = register_affine(&scan.intensity, &moving, &AffineRegConfig::default());
+    let aligned_a = resample_with(&moving, &scan.intensity, 0.0, |p| affine.transform.apply(p));
+    println!(
+        "{:<8} {:>8.3} {:>12} {:>10.2} s",
+        "affine",
+        ncc(&scan.intensity, &aligned_a),
+        affine.evaluations,
+        t0.elapsed().as_secs_f64()
+    );
+    println!(
+        "\nrecovered volume factor {:.4} (truth {:.4})",
+        affine.transform.volume_factor(),
+        1.0 / truth.volume_factor()
+    );
+    println!("\n(the rigid model leaves the scale error as residual mismatch that the");
+    println!(" nonrigid stage would wrongly attribute to brain deformation; the");
+    println!(" 12-DOF model absorbs it, at roughly an order of magnitude more metric");
+    println!(" evaluations — run once per surgery, that cost is immaterial.)");
+}

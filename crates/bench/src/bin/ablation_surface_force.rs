@@ -1,0 +1,64 @@
+//! Ablation: active-surface force formulation.
+//!
+//! The paper derives its forces from image gradients with gray-level
+//! priors; a distance potential over the segmented target is the more
+//! robust modern choice. Both are implemented — this study compares them
+//! head-to-head on the same case, and also sweeps the membrane tension
+//! (the internal-force weight the paper's formulation leaves implicit).
+
+use brainshift_core::case::{generate_elastic_case, ElasticCaseOptions};
+use brainshift_core::metrics::field_error;
+use brainshift_core::pipeline::{run_pipeline, PipelineConfig, SurfaceForceKind};
+use brainshift_imaging::phantom::{BrainShiftConfig, PhantomConfig};
+use brainshift_imaging::volume::{Dims, Spacing};
+use brainshift_surface::ActiveSurfaceConfig;
+
+fn main() {
+    println!("## Ablation — active-surface force formulation and tension\n");
+    let cfg = PhantomConfig {
+        dims: Dims::new(64, 64, 48),
+        spacing: Spacing::iso(2.5),
+        ..Default::default()
+    };
+    let shift = BrainShiftConfig { peak_shift_mm: 8.0, resect_tumor: false, ..Default::default() };
+    let case = generate_elastic_case(&cfg, &shift, &ElasticCaseOptions::default());
+
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}",
+        "configuration", "mean err", "rel err", "peak rec", "surf res"
+    );
+    let run = |name: &str, pcfg: PipelineConfig| {
+        let res = run_pipeline(&case.preop.intensity, &case.preop.labels, &case.intraop.intensity, &pcfg);
+        let fe = field_error(&res.forward_field, &case.gt_forward, 2.0);
+        println!(
+            "{:<22} {:>7.2} mm {:>10.2} {:>7.2} mm {:>7.2} mm",
+            name,
+            fe.mean_error_mm,
+            fe.relative_error,
+            res.forward_field.max_magnitude(),
+            res.surface_residual
+        );
+    };
+
+    run(
+        "distance potential",
+        PipelineConfig { skip_rigid: true, surface_force: SurfaceForceKind::DistancePotential, ..Default::default() },
+    );
+    run(
+        "image gradient (paper)",
+        PipelineConfig { skip_rigid: true, surface_force: SurfaceForceKind::ImageGradient, ..Default::default() },
+    );
+    for tension in [0.02f64, 0.1, 0.4] {
+        run(
+            &format!("distance, tension {tension}"),
+            PipelineConfig {
+                skip_rigid: true,
+                active_surface: ActiveSurfaceConfig { tension, ..Default::default() },
+                ..Default::default()
+            },
+        );
+    }
+    println!("\n(the gradient formulation needs no segmentation of the target scan");
+    println!(" but is noisier; higher tension smooths the surface at the cost of");
+    println!(" undershooting the sunken cap — the trade-off behind our defaults.)");
+}

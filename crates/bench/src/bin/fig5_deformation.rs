@@ -1,0 +1,94 @@
+//! Figure 5: the 3-D visualization of the simulated deformation.
+//!
+//! The paper's Figure 5 color-codes "the magnitude of the deformation at
+//! every point on the surface of the deformed volume" with arrows showing
+//! initial→final positions. Our textual reproduction prints the
+//! surface-displacement distribution (the color map's histogram), its
+//! spatial pattern by latitude band relative to the craniotomy, and the
+//! dominant direction — the data behind the picture.
+
+use brainshift_core::case::{generate_elastic_case, ElasticCaseOptions};
+use brainshift_core::pipeline::{run_pipeline, PipelineConfig};
+use brainshift_imaging::phantom::{BrainShiftConfig, PhantomConfig};
+use brainshift_imaging::volume::{Dims, Spacing};
+use brainshift_imaging::Vec3;
+
+fn main() {
+    println!("## Figure 5 — surface deformation magnitude and direction\n");
+    let cfg = PhantomConfig {
+        dims: Dims::new(64, 64, 48),
+        spacing: Spacing::iso(2.5),
+        ..Default::default()
+    };
+    let shift = BrainShiftConfig { peak_shift_mm: 8.0, resect_tumor: true, ..Default::default() };
+    let case = generate_elastic_case(&cfg, &shift, &ElasticCaseOptions::default());
+    let res = run_pipeline(
+        &case.preop.intensity,
+        &case.preop.labels,
+        &case.intraop.intensity,
+        &PipelineConfig { skip_rigid: true, ..Default::default() },
+    );
+
+    // Surface-vertex displacements = FEM displacement at boundary nodes.
+    let disp: Vec<(Vec3, Vec3)> = res
+        .brain_surface
+        .mesh_node
+        .iter()
+        .map(|&n| (res.mesh.nodes[n], res.fem.displacements[n]))
+        .collect();
+
+    // Histogram of magnitudes (the paper's color scale).
+    let max_mag = disp.iter().map(|(_, d)| d.norm()).fold(0.0, f64::max);
+    println!("surface vertices: {}", disp.len());
+    println!("max |u| on surface: {max_mag:.2} mm (prescribed peak {:.1} mm)\n", shift.peak_shift_mm);
+    println!("magnitude histogram (the Fig 5 color coding):");
+    let bins = 8usize;
+    let bin_w = (max_mag / bins as f64).max(1e-9);
+    let mut counts = vec![0usize; bins];
+    for (_, d) in &disp {
+        let b = ((d.norm() / bin_w) as usize).min(bins - 1);
+        counts[b] += 1;
+    }
+    let total = disp.len().max(1);
+    for (b, &c) in counts.iter().enumerate() {
+        let bar = "#".repeat((c * 60 / total).max(usize::from(c > 0)));
+        println!("  {:>5.1}-{:>5.1} mm  {:>6} {}", b as f64 * bin_w, (b + 1) as f64 * bin_w, c, bar);
+    }
+
+    // Magnitude by angle from the craniotomy axis (spatial pattern).
+    let center = case.model.brain.center;
+    let axis = shift.craniotomy_dir.normalized();
+    println!("\nmean |u| by angle from the craniotomy axis:");
+    let n_bands = 6;
+    let mut sums = vec![0.0f64; n_bands];
+    let mut ns = vec![0usize; n_bands];
+    for (p, d) in &disp {
+        let cosang = (*p - center).normalized().dot(axis).clamp(-1.0, 1.0);
+        let ang = cosang.acos().to_degrees();
+        let band = ((ang / 180.0 * n_bands as f64) as usize).min(n_bands - 1);
+        sums[band] += d.norm();
+        ns[band] += 1;
+    }
+    for b in 0..n_bands {
+        let mean = if ns[b] > 0 { sums[b] / ns[b] as f64 } else { 0.0 };
+        println!("  {:>3}-{:>3} deg: mean |u| {:>5.2} mm  ({} vertices)", b * 180 / n_bands, (b + 1) * 180 / n_bands, mean, ns[b]);
+    }
+    println!("\n(the deformation concentrates under the craniotomy and decays with");
+    println!(" angular distance — the pattern of the paper's color-coded Figure 5.)");
+
+    // Dominant direction among strongly displaced vertices (the arrows).
+    let mut mean_dir = Vec3::ZERO;
+    let mut n_strong = 0;
+    for (_, d) in &disp {
+        if d.norm() > 0.5 * max_mag {
+            mean_dir += d.normalized();
+            n_strong += 1;
+        }
+    }
+    if n_strong > 0 {
+        mean_dir = (mean_dir / n_strong as f64).normalized();
+        println!("\nmean direction of the strongest displacements (the blue arrows):");
+        println!("  ({:+.2}, {:+.2}, {:+.2}); craniotomy axis ({:+.2}, {:+.2}, {:+.2})", mean_dir.x, mean_dir.y, mean_dir.z, -axis.x, -axis.y, -axis.z);
+        println!("  alignment with inward axis: {:.2}", mean_dir.dot(-axis));
+    }
+}

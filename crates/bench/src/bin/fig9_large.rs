@@ -1,0 +1,35 @@
+//! Figure 9: the 253 308-equation system (the finer mesh an improved
+//! heterogeneous model would need) on the Ultra HPC 6000 — demonstrating
+//! that a system 2.5× larger still solves in a clinically compatible time.
+
+use brainshift_bench::{plot_log_series, print_timing_header, print_timing_row, problem_with_equations};
+use brainshift_cluster::MachineModel;
+use brainshift_fem::{assemble_stiffness, simulate_assemble_solve, MaterialTable, SimOptions};
+
+fn main() {
+    let p = problem_with_equations(253_308);
+    let materials = MaterialTable::homogeneous();
+    let k = assemble_stiffness(&p.mesh, &materials);
+    print_timing_header(
+        "Figure 9 — 253k equations on Ultra HPC 6000",
+        p.mesh.num_equations(),
+        MachineModel::ultra_hpc_6000().name,
+    );
+    let mut asm_series = Vec::new();
+    let mut solve_series = Vec::new();
+    for cpus in 1..=20 {
+        let (t, _) = simulate_assemble_solve(
+            &p.mesh,
+            &materials,
+            &p.bcs,
+            MachineModel::ultra_hpc_6000(),
+            cpus,
+            &SimOptions::default(),
+            Some(&k),
+        );
+        print_timing_row(&t);
+        asm_series.push((cpus, t.assemble_s));
+        solve_series.push((cpus, t.solve_s));
+    }
+    plot_log_series(&[("assemble", asm_series), ("solve", solve_series)], 60);
+}

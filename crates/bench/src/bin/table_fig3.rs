@@ -1,0 +1,20 @@
+//! Figure 3 (table): hardware specifications of the benchmark machines.
+//!
+//! The paper's Figure 3 tabulates the Deep Flow workstation; we print all
+//! three machine models with the parameters our simulated cluster uses.
+
+use brainshift_cluster::MachineModel;
+
+fn main() {
+    println!("## Figure 3 — machine models used by the simulated cluster\n");
+    for m in [
+        MachineModel::deep_flow(),
+        MachineModel::ultra_hpc_6000(),
+        MachineModel::ultra_80_pair(),
+    ] {
+        println!("{}\n", m.spec_table());
+    }
+    println!("(Paper's original Deep Flow node: Compaq Alpha 21164A ev56 533MHz,");
+    println!(" Microway Screamer LX, 768MB SDRAM, Seagate Medalist 2.1GB IDE,");
+    println!(" DE500 10/100 Ethernet, RedHat Linux 6.1.)");
+}

@@ -1,0 +1,217 @@
+//! Quantitative registration-accuracy metrics.
+//!
+//! The paper judged accuracy visually ("the closeness of the match ...
+//! can be judged by the very small intensity differences at the boundary")
+//! and noted "a small misregistration of the lateral ventricles" under the
+//! homogeneous model. With a synthetic ground truth we can turn both of
+//! those observations into numbers (Figure 4(d) as a statistic, the
+//! ventricle comment as a Dice score).
+
+use brainshift_imaging::{labels, DisplacementField, Volume};
+
+/// Accuracy of a recovered deformation against a ground-truth field,
+/// restricted to voxels where the ground truth is significant.
+#[derive(Debug, Clone)]
+pub struct FieldErrorReport {
+    /// Voxels compared.
+    pub voxels: usize,
+    /// Mean ‖recovered − truth‖ (mm).
+    pub mean_error_mm: f64,
+    /// RMS error (mm).
+    pub rms_error_mm: f64,
+    /// Max error (mm).
+    pub max_error_mm: f64,
+    /// Mean ground-truth magnitude (mm) for context.
+    pub mean_truth_mm: f64,
+    /// mean_error / mean_truth: < 1 means the simulation recovered more
+    /// deformation than it missed.
+    pub relative_error: f64,
+}
+
+/// Compare a recovered forward field with the ground truth over voxels
+/// where `‖truth‖ > threshold_mm`.
+pub fn field_error(
+    recovered: &DisplacementField,
+    truth: &DisplacementField,
+    threshold_mm: f64,
+) -> FieldErrorReport {
+    assert_eq!(recovered.dims(), truth.dims());
+    let mut n = 0usize;
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    let mut max = 0.0f64;
+    let mut truth_sum = 0.0;
+    for (r, t) in recovered.data().iter().zip(truth.data()) {
+        if t.norm() > threshold_mm {
+            let e = (*r - *t).norm();
+            n += 1;
+            sum += e;
+            sum_sq += e * e;
+            max = max.max(e);
+            truth_sum += t.norm();
+        }
+    }
+    let n_f = n.max(1) as f64;
+    let mean = sum / n_f;
+    let mean_truth = truth_sum / n_f;
+    FieldErrorReport {
+        voxels: n,
+        mean_error_mm: mean,
+        rms_error_mm: (sum_sq / n_f).sqrt(),
+        max_error_mm: max,
+        mean_truth_mm: mean_truth,
+        relative_error: if mean_truth > 0.0 { mean / mean_truth } else { 0.0 },
+    }
+}
+
+/// The quantitative Figure 4(d): intensity residual statistics between
+/// the warped reference and the actual intraoperative scan, inside a
+/// region mask.
+#[derive(Debug, Clone)]
+pub struct ResidualReport {
+    /// Voxels inside the mask.
+    pub voxels: usize,
+    /// Mean absolute intensity difference.
+    pub mean_abs: f64,
+    /// Root-mean-square intensity difference.
+    pub rms: f64,
+    /// 95th percentile of |difference|.
+    pub p95: f64,
+}
+
+/// Intensity residual inside `mask`.
+pub fn intensity_residual(a: &Volume<f32>, b: &Volume<f32>, mask: &Volume<bool>) -> ResidualReport {
+    assert_eq!(a.dims(), b.dims());
+    assert_eq!(a.dims(), mask.dims());
+    let mut diffs: Vec<f64> = Vec::new();
+    for ((&x, &y), &m) in a.data().iter().zip(b.data()).zip(mask.data()) {
+        if m {
+            diffs.push((x as f64 - y as f64).abs());
+        }
+    }
+    if diffs.is_empty() {
+        return ResidualReport { voxels: 0, mean_abs: 0.0, rms: 0.0, p95: 0.0 };
+    }
+    let n = diffs.len() as f64;
+    let mean_abs = diffs.iter().sum::<f64>() / n;
+    let rms = (diffs.iter().map(|d| d * d).sum::<f64>() / n).sqrt();
+    diffs.sort_by(|p, q| p.partial_cmp(q).unwrap());
+    let p95 = diffs[((diffs.len() - 1) as f64 * 0.95) as usize];
+    ResidualReport { voxels: diffs.len(), mean_abs, rms, p95 }
+}
+
+/// Dice overlap of one label between a warped reference segmentation and
+/// the intraoperative truth — used for the paper's ventricle-
+/// misregistration observation.
+pub fn label_dice(a: &Volume<u8>, b: &Volume<u8>, label: u8) -> f64 {
+    brainshift_segment::dice(&a.map(|&l| l == label), &b.map(|&l| l == label))
+}
+
+/// Summary of per-structure overlap before and after nonrigid correction.
+#[derive(Debug, Clone)]
+pub struct StructureOverlap {
+    /// The tissue label evaluated.
+    pub label: u8,
+    /// Human-readable name of the label.
+    pub name: &'static str,
+    /// Dice overlap after rigid alignment only.
+    pub dice_rigid_only: f64,
+    /// Dice overlap after the biomechanical simulation.
+    pub dice_after_simulation: f64,
+}
+
+/// Evaluate per-structure Dice before (rigid only) and after simulation.
+pub fn structure_overlaps(
+    reference_seg: &Volume<u8>,
+    warped_seg: &Volume<u8>,
+    intraop_truth: &Volume<u8>,
+    structures: &[u8],
+) -> Vec<StructureOverlap> {
+    structures
+        .iter()
+        .map(|&l| StructureOverlap {
+            label: l,
+            name: labels::label_name(l),
+            dice_rigid_only: label_dice(reference_seg, intraop_truth, l),
+            dice_after_simulation: label_dice(warped_seg, intraop_truth, l),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brainshift_imaging::volume::{Dims, Spacing};
+    use brainshift_imaging::Vec3;
+
+    #[test]
+    fn field_error_zero_for_identical() {
+        let f = DisplacementField::from_fn(Dims::new(6, 6, 6), Spacing::iso(1.0), |_, _, _| {
+            Vec3::new(2.0, 0.0, 0.0)
+        });
+        let r = field_error(&f, &f, 1.0);
+        assert_eq!(r.voxels, 216);
+        assert_eq!(r.mean_error_mm, 0.0);
+        assert_eq!(r.relative_error, 0.0 / 2.0);
+        assert!((r.mean_truth_mm - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn field_error_counts_only_significant_truth() {
+        let truth = DisplacementField::from_fn(Dims::new(4, 4, 4), Spacing::iso(1.0), |x, _, _| {
+            if x < 2 {
+                Vec3::new(5.0, 0.0, 0.0)
+            } else {
+                Vec3::ZERO
+            }
+        });
+        let rec = DisplacementField::zeros(Dims::new(4, 4, 4), Spacing::iso(1.0));
+        let r = field_error(&rec, &truth, 1.0);
+        assert_eq!(r.voxels, 32);
+        assert!((r.mean_error_mm - 5.0).abs() < 1e-12);
+        assert!((r.relative_error - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_statistics() {
+        let d = Dims::new(4, 4, 4);
+        let a = Volume::from_fn(d, Spacing::iso(1.0), |_, _, _| 10.0f32);
+        let b = Volume::from_fn(d, Spacing::iso(1.0), |x, _, _| if x == 0 { 10.0 } else { 14.0 });
+        let mask = Volume::filled(d, Spacing::iso(1.0), true);
+        let r = intensity_residual(&a, &b, &mask);
+        assert_eq!(r.voxels, 64);
+        assert!((r.mean_abs - 3.0).abs() < 1e-9);
+        assert_eq!(r.p95, 4.0);
+    }
+
+    #[test]
+    fn residual_empty_mask() {
+        let d = Dims::new(2, 2, 2);
+        let a: Volume<f32> = Volume::zeros(d, Spacing::iso(1.0));
+        let mask = Volume::filled(d, Spacing::iso(1.0), false);
+        let r = intensity_residual(&a, &a, &mask);
+        assert_eq!(r.voxels, 0);
+    }
+
+    #[test]
+    fn dice_per_label() {
+        let d = Dims::new(4, 4, 4);
+        let a = Volume::from_fn(d, Spacing::iso(1.0), |x, _, _| if x < 2 { 5u8 } else { 0 });
+        let b = Volume::from_fn(d, Spacing::iso(1.0), |x, _, _| if x < 2 { 5u8 } else { 0 });
+        assert_eq!(label_dice(&a, &b, 5), 1.0);
+        let c = Volume::from_fn(d, Spacing::iso(1.0), |x, _, _| if x >= 2 { 5u8 } else { 0 });
+        assert_eq!(label_dice(&a, &c, 5), 0.0);
+    }
+
+    #[test]
+    fn structure_overlap_report() {
+        let d = Dims::new(4, 4, 4);
+        let truth = Volume::from_fn(d, Spacing::iso(1.0), |x, _, _| if x < 2 { labels::VENTRICLE } else { 0 });
+        let rigid = Volume::from_fn(d, Spacing::iso(1.0), |x, _, _| if (1..3).contains(&x) { labels::VENTRICLE } else { 0 });
+        let warped = truth.clone();
+        let r = structure_overlaps(&rigid, &warped, &truth, &[labels::VENTRICLE]);
+        assert_eq!(r.len(), 1);
+        assert!(r[0].dice_after_simulation > r[0].dice_rigid_only);
+        assert_eq!(r[0].name, "ventricle");
+    }
+}

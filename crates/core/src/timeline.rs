@@ -1,0 +1,134 @@
+//! Stage timing for the intraoperative timeline (the paper's Figure 6).
+//!
+//! Each pipeline stage — rigid registration, tissue classification,
+//! surface displacement, biomechanical simulation, visualization resample
+//! — is timed so the Fig 6 reproduction can print when each action runs
+//! relative to "surgical progress".
+
+use std::time::Instant;
+
+/// One completed stage.
+#[derive(Debug, Clone)]
+pub struct StageRecord {
+    /// Stage name as shown in the rendered timeline.
+    pub name: &'static str,
+    /// Wall-clock seconds measured on the host.
+    pub seconds: f64,
+    /// Whether the stage happens before surgery (preoperative) or during.
+    pub intraoperative: bool,
+}
+
+/// Ordered record of pipeline stages.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    stages: Vec<StageRecord>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Time a closure as a named stage.
+    pub fn stage<T>(&mut self, name: &'static str, intraoperative: bool, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.stages.push(StageRecord {
+            name,
+            seconds: t0.elapsed().as_secs_f64(),
+            intraoperative,
+        });
+        out
+    }
+
+    /// Manually record a stage duration (e.g. modeled rather than
+    /// measured).
+    pub fn record(&mut self, name: &'static str, seconds: f64, intraoperative: bool) {
+        self.stages.push(StageRecord { name, seconds, intraoperative });
+    }
+
+    /// All recorded stages, in order.
+    pub fn stages(&self) -> &[StageRecord] {
+        &self.stages
+    }
+
+    /// Total seconds spent in intraoperative stages.
+    pub fn total_intraoperative(&self) -> f64 {
+        self.stages.iter().filter(|s| s.intraoperative).map(|s| s.seconds).sum()
+    }
+
+    /// Total seconds spent in preoperative stages.
+    pub fn total_preoperative(&self) -> f64 {
+        self.stages.iter().filter(|s| !s.intraoperative).map(|s| s.seconds).sum()
+    }
+
+    /// Seconds of a named stage (sum over repeats), or 0.
+    pub fn seconds_of(&self, name: &str) -> f64 {
+        self.stages.iter().filter(|s| s.name == name).map(|s| s.seconds).sum()
+    }
+
+    /// Render the Figure 6-style timeline table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Timeline of image processing for image guided neurosurgery\n");
+        out.push_str(&format!("{:<28} {:>10} {:>8}\n", "Action", "Time (s)", "Phase"));
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:<28} {:>10.3} {:>8}\n",
+                s.name,
+                s.seconds,
+                if s.intraoperative { "intraop" } else { "preop" }
+            ));
+        }
+        out.push_str(&format!(
+            "{:<28} {:>10.3}\n",
+            "TOTAL intraoperative",
+            self.total_intraoperative()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_measures_and_returns() {
+        let mut t = Timeline::new();
+        let v = t.stage("work", true, || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            42
+        });
+        assert_eq!(v, 42);
+        assert_eq!(t.stages().len(), 1);
+        assert!(t.seconds_of("work") >= 0.009);
+    }
+
+    #[test]
+    fn totals_split_by_phase() {
+        let mut t = Timeline::new();
+        t.record("preop seg", 100.0, false);
+        t.record("rigid reg", 2.0, true);
+        t.record("biomech", 8.0, true);
+        assert_eq!(t.total_preoperative(), 100.0);
+        assert_eq!(t.total_intraoperative(), 10.0);
+    }
+
+    #[test]
+    fn render_contains_stages() {
+        let mut t = Timeline::new();
+        t.record("rigid reg", 1.5, true);
+        let s = t.render();
+        assert!(s.contains("rigid reg"));
+        assert!(s.contains("TOTAL intraoperative"));
+    }
+
+    #[test]
+    fn repeated_stage_sums() {
+        let mut t = Timeline::new();
+        t.record("solve", 1.0, true);
+        t.record("solve", 2.0, true);
+        assert_eq!(t.seconds_of("solve"), 3.0);
+    }
+}

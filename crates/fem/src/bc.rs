@@ -1,0 +1,262 @@
+//! Dirichlet boundary conditions by substitution.
+//!
+//! The paper: "the surface displacements are applied as boundary
+//! conditions, substituting known values for equations in the original
+//! system, reducing the number of unknowns that must be solved for. This
+//! has the effect of creating some imbalance, as the distribution of
+//! surface displacements is not equal across CPUs." This module performs
+//! exactly that substitution and exposes the per-rank free/constrained
+//! counts that drive the solve-phase imbalance in the simulated cluster.
+
+use brainshift_imaging::Vec3;
+use brainshift_sparse::{CsrMatrix, TripletBuilder};
+use std::collections::HashMap;
+
+/// A set of prescribed nodal displacements.
+#[derive(Debug, Clone, Default)]
+pub struct DirichletBcs {
+    /// node index → prescribed displacement (mm).
+    prescribed: HashMap<usize, Vec3>,
+}
+
+impl DirichletBcs {
+    /// An empty set of boundary conditions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prescribe the displacement of a node (overwrites earlier values).
+    pub fn set(&mut self, node: usize, u: Vec3) {
+        self.prescribed.insert(node, u);
+    }
+
+    /// The prescribed displacement of `node`, if any.
+    pub fn get(&self, node: usize) -> Option<Vec3> {
+        self.prescribed.get(&node).copied()
+    }
+
+    /// Number of constrained nodes.
+    pub fn len(&self) -> usize {
+        self.prescribed.len()
+    }
+
+    /// True when no node is constrained.
+    pub fn is_empty(&self) -> bool {
+        self.prescribed.is_empty()
+    }
+
+    /// Iterate over `(node, displacement)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Vec3)> + '_ {
+        self.prescribed.iter().map(|(&n, &u)| (n, u))
+    }
+
+    /// Expand to per-DOF prescribed values (`dof = 3*node + component`).
+    pub fn dof_values(&self) -> HashMap<usize, f64> {
+        let mut m = HashMap::with_capacity(self.prescribed.len() * 3);
+        for (&node, &u) in &self.prescribed {
+            m.insert(3 * node, u.x);
+            m.insert(3 * node + 1, u.y);
+            m.insert(3 * node + 2, u.z);
+        }
+        m
+    }
+}
+
+/// The reduced system after Dirichlet substitution.
+pub struct ReducedSystem {
+    /// `K_ff`, the free-free block.
+    pub matrix: CsrMatrix,
+    /// `f_f − K_fc u_c`.
+    pub rhs: Vec<f64>,
+    /// Free DOF indices in original numbering (`free_dofs[i]` = original
+    /// DOF of reduced row `i`).
+    pub free_dofs: Vec<usize>,
+    /// Original DOF → reduced index (`usize::MAX` for constrained DOFs).
+    pub reduced_of_dof: Vec<usize>,
+    /// Prescribed value of each original DOF (0.0 for free DOFs).
+    pub prescribed_values: Vec<f64>,
+}
+
+impl ReducedSystem {
+    /// Scatter a reduced solution back to full DOF vector (prescribed
+    /// values filled in).
+    pub fn expand_solution(&self, x_reduced: &[f64]) -> Vec<f64> {
+        assert_eq!(x_reduced.len(), self.free_dofs.len());
+        let mut full = self.prescribed_values.clone();
+        for (i, &dof) in self.free_dofs.iter().enumerate() {
+            full[dof] = x_reduced[i];
+        }
+        full
+    }
+
+    /// Per-rank counts of (free, constrained) DOFs under contiguous DOF
+    /// offsets — the quantity the paper blames for solver imbalance.
+    pub fn rank_dof_counts(&self, dof_offsets: &[usize]) -> Vec<(usize, usize)> {
+        let p = dof_offsets.len() - 1;
+        let mut counts = vec![(0usize, 0usize); p];
+        for dof in 0..self.reduced_of_dof.len() {
+            let rank = brainshift_sparse::partition::part_of(dof_offsets, dof);
+            if self.reduced_of_dof[dof] != usize::MAX {
+                counts[rank].0 += 1;
+            } else {
+                counts[rank].1 += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// Apply Dirichlet substitution to `K u = f`.
+pub fn apply_dirichlet(k: &CsrMatrix, f: &[f64], bcs: &DirichletBcs) -> ReducedSystem {
+    let ndof = k.nrows();
+    assert_eq!(f.len(), ndof);
+    let dof_vals = bcs.dof_values();
+    let mut prescribed_values = vec![0.0; ndof];
+    let mut reduced_of_dof = vec![usize::MAX; ndof];
+    let mut free_dofs = Vec::with_capacity(ndof - dof_vals.len());
+    for dof in 0..ndof {
+        if let Some(&v) = dof_vals.get(&dof) {
+            prescribed_values[dof] = v;
+        } else {
+            reduced_of_dof[dof] = free_dofs.len();
+            free_dofs.push(dof);
+        }
+    }
+    let nfree = free_dofs.len();
+    let mut builder = TripletBuilder::with_capacity(nfree, nfree, k.nnz());
+    let mut rhs = vec![0.0; nfree];
+    for (ri, &dof) in free_dofs.iter().enumerate() {
+        let (cols, vals) = k.row(dof);
+        let mut acc = f[dof];
+        for (&c, &v) in cols.iter().zip(vals) {
+            let rc = reduced_of_dof[c];
+            if rc == usize::MAX {
+                acc -= v * prescribed_values[c];
+            } else {
+                builder.add(ri, rc, v);
+            }
+        }
+        rhs[ri] = acc;
+    }
+    ReducedSystem {
+        matrix: builder.build(),
+        rhs,
+        free_dofs,
+        reduced_of_dof,
+        prescribed_values,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembly::assemble_stiffness;
+    use crate::material::MaterialTable;
+    use brainshift_imaging::labels;
+    use brainshift_imaging::volume::{Dims, Spacing, Volume};
+    use brainshift_mesh::{boundary_nodes, mesh_labeled_volume, MesherConfig, TetMesh};
+
+    fn block_mesh(n: usize) -> TetMesh {
+        let seg = Volume::from_fn(Dims::new(n, n, n), Spacing::iso(1.0), |_, _, _| labels::BRAIN);
+        mesh_labeled_volume(&seg, &MesherConfig { step: 1, include: labels::is_deformable })
+    }
+
+    #[test]
+    fn reduction_removes_constrained_dofs() {
+        let mesh = block_mesh(3);
+        let k = assemble_stiffness(&mesh, &MaterialTable::homogeneous());
+        let mut bcs = DirichletBcs::new();
+        for &n in boundary_nodes(&mesh).iter() {
+            bcs.set(n, Vec3::ZERO);
+        }
+        let f = vec![0.0; k.nrows()];
+        let red = apply_dirichlet(&k, &f, &bcs);
+        assert_eq!(red.matrix.nrows(), k.nrows() - 3 * bcs.len());
+        assert_eq!(red.free_dofs.len(), red.matrix.nrows());
+    }
+
+    #[test]
+    fn zero_bc_zero_rhs_solution_is_zero() {
+        let mesh = block_mesh(3);
+        let k = assemble_stiffness(&mesh, &MaterialTable::homogeneous());
+        let mut bcs = DirichletBcs::new();
+        for &n in boundary_nodes(&mesh).iter() {
+            bcs.set(n, Vec3::ZERO);
+        }
+        let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &bcs);
+        assert!(red.rhs.iter().all(|&v| v == 0.0));
+        let full = red.expand_solution(&vec![0.0; red.free_dofs.len()]);
+        assert!(full.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn expand_restores_prescribed_values() {
+        let mesh = block_mesh(3);
+        let k = assemble_stiffness(&mesh, &MaterialTable::homogeneous());
+        let mut bcs = DirichletBcs::new();
+        bcs.set(0, Vec3::new(1.0, 2.0, 3.0));
+        let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &bcs);
+        let x = vec![0.5; red.free_dofs.len()];
+        let full = red.expand_solution(&x);
+        assert_eq!(full[0], 1.0);
+        assert_eq!(full[1], 2.0);
+        assert_eq!(full[2], 3.0);
+        assert_eq!(full[3], 0.5);
+    }
+
+    #[test]
+    fn reduced_matrix_stays_symmetric() {
+        let mesh = block_mesh(3);
+        let k = assemble_stiffness(&mesh, &MaterialTable::homogeneous());
+        let mut bcs = DirichletBcs::new();
+        for (i, &n) in boundary_nodes(&mesh).iter().enumerate() {
+            if i % 2 == 0 {
+                bcs.set(n, Vec3::new(0.1, 0.0, 0.0));
+            }
+        }
+        let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &bcs);
+        assert!(red.matrix.asymmetry() < 1e-12);
+    }
+
+    #[test]
+    fn nonzero_bc_contributes_to_rhs() {
+        let mesh = block_mesh(3);
+        let k = assemble_stiffness(&mesh, &MaterialTable::homogeneous());
+        let mut bcs = DirichletBcs::new();
+        bcs.set(0, Vec3::new(1.0, 0.0, 0.0));
+        let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &bcs);
+        let rhs_norm: f64 = red.rhs.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(rhs_norm > 0.0, "coupling to prescribed DOF must load the rhs");
+    }
+
+    #[test]
+    fn rank_counts_reflect_surface_concentration() {
+        // In a contiguous node ordering from our mesher, surface nodes are
+        // *not* evenly spread across ranks — the paper's solve imbalance.
+        let mesh = block_mesh(5);
+        let k = assemble_stiffness(&mesh, &MaterialTable::homogeneous());
+        let mut bcs = DirichletBcs::new();
+        for &n in boundary_nodes(&mesh).iter() {
+            bcs.set(n, Vec3::ZERO);
+        }
+        let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &bcs);
+        let offsets = brainshift_sparse::partition::even_offsets(k.nrows(), 4);
+        let counts = red.rank_dof_counts(&offsets);
+        let frees: Vec<usize> = counts.iter().map(|c| c.0).collect();
+        let min = *frees.iter().min().unwrap();
+        let max = *frees.iter().max().unwrap();
+        assert!(max > min, "free DOFs unexpectedly uniform: {frees:?}");
+        // Total conserved.
+        let total: usize = counts.iter().map(|c| c.0 + c.1).sum();
+        assert_eq!(total, k.nrows());
+    }
+
+    #[test]
+    fn overwriting_bc_takes_last_value() {
+        let mut bcs = DirichletBcs::new();
+        bcs.set(3, Vec3::new(1.0, 1.0, 1.0));
+        bcs.set(3, Vec3::new(2.0, 2.0, 2.0));
+        assert_eq!(bcs.len(), 1);
+        assert_eq!(bcs.get(3), Some(Vec3::new(2.0, 2.0, 2.0)));
+    }
+}

@@ -1,0 +1,31 @@
+//! # brainshift-fem
+//!
+//! The biomechanical finite-element engine of the paper: linear-elastic
+//! tetrahedral elements (Zienkiewicz & Taylor formulation), per-tissue
+//! material tables (homogeneous, as the paper used, and heterogeneous, as
+//! it proposed), parallel global assembly, Dirichlet substitution of the
+//! active-surface displacements, a GMRES + block-Jacobi solve driver, and
+//! the simulated-cluster instrumentation that regenerates the paper's
+//! timing figures.
+
+#![warn(missing_docs)]
+
+pub mod assembly;
+pub mod bc;
+pub mod element;
+pub mod interpolate;
+pub mod loads;
+pub mod material;
+pub mod simulate;
+pub mod solver;
+pub mod stress;
+
+pub use assembly::assemble_stiffness;
+pub use bc::{apply_dirichlet, DirichletBcs, ReducedSystem};
+pub use element::{stiffness_btdb, stiffness_isotropic, TetShape};
+pub use interpolate::displacement_field_from_mesh;
+pub use loads::{assemble_body_force, assemble_gravity, gravity_load_density};
+pub use material::{Material, MaterialTable};
+pub use simulate::{simulate_assemble_solve, SimOptions, SimTimings};
+pub use stress::{evaluate_stress, summarize, ElementState, StressSummary};
+pub use solver::{solve_deformation, solve_with_matrix, FemSolveConfig, FemSolution, KrylovKind, PrecondKind};

@@ -1,0 +1,90 @@
+//! Canonical tissue labels used throughout the pipeline.
+//!
+//! The paper segments the head into anatomical structures (skin, skull,
+//! brain parenchyma, lateral ventricles, the cerebral falx it discusses as
+//! a stiff membrane, and tumor). One shared label alphabet keeps the
+//! phantom generator, segmentation, mesher and FEM material table in
+//! agreement.
+
+/// A tissue class label stored in `Volume<u8>` segmentations.
+pub type Label = u8;
+
+/// Air / background outside the head.
+pub const BACKGROUND: Label = 0;
+/// Scalp / skin (bright in the paper's MRI figures).
+pub const SKIN: Label = 1;
+/// Skull (dark in MRI; mechanically rigid boundary).
+pub const SKULL: Label = 2;
+/// Cerebrospinal fluid between skull and brain.
+pub const CSF: Label = 3;
+/// Brain parenchyma (the homogeneous material of the paper's model).
+pub const BRAIN: Label = 4;
+/// Lateral ventricles (CSF-filled; poorly modeled by the homogeneous brain).
+pub const VENTRICLE: Label = 5;
+/// Cerebral falx: stiff dura membrane between the hemispheres.
+pub const FALX: Label = 6;
+/// Tumor tissue (the resection target).
+pub const TUMOR: Label = 7;
+/// Cavity left behind after resection (air/fluid; present only intraop).
+pub const RESECTION: Label = 8;
+
+/// Number of distinct labels (highest label + 1).
+pub const NUM_LABELS: usize = 9;
+
+/// Human-readable name for a label (for reports and figure output).
+pub fn label_name(l: Label) -> &'static str {
+    match l {
+        BACKGROUND => "background",
+        SKIN => "skin",
+        SKULL => "skull",
+        CSF => "csf",
+        BRAIN => "brain",
+        VENTRICLE => "ventricle",
+        FALX => "falx",
+        TUMOR => "tumor",
+        RESECTION => "resection-cavity",
+        _ => "unknown",
+    }
+}
+
+/// Labels belonging to the intracranial soft-tissue region that the
+/// biomechanical model deforms.
+pub fn is_deformable(l: Label) -> bool {
+    matches!(l, CSF | BRAIN | VENTRICLE | FALX | TUMOR | RESECTION)
+}
+
+/// Labels that are part of the brain proper (the active-surface target).
+pub fn is_brain_tissue(l: Label) -> bool {
+    matches!(l, BRAIN | VENTRICLE | FALX | TUMOR)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_cover_all_labels() {
+        for l in 0..NUM_LABELS as u8 {
+            assert_ne!(label_name(l), "unknown", "label {l} missing a name");
+        }
+        assert_eq!(label_name(200), "unknown");
+    }
+
+    #[test]
+    fn deformable_excludes_rigid_structures() {
+        assert!(!is_deformable(BACKGROUND));
+        assert!(!is_deformable(SKULL));
+        assert!(!is_deformable(SKIN));
+        assert!(is_deformable(BRAIN));
+        assert!(is_deformable(VENTRICLE));
+    }
+
+    #[test]
+    fn brain_tissue_subset_of_deformable() {
+        for l in 0..NUM_LABELS as u8 {
+            if is_brain_tissue(l) {
+                assert!(is_deformable(l));
+            }
+        }
+    }
+}

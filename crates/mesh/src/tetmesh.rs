@@ -1,0 +1,284 @@
+//! Unstructured tetrahedral meshes.
+//!
+//! "...the use of a finite element model with an unstructured grid can
+//! allow a representation that faithfully models key characteristics in
+//! important regions while reducing the number of equations to solve" —
+//! the mesh is the FEM's discretization of the intracranial volume, with a
+//! tissue label per element so "different biomechanical properties and
+//! parameters can easily be assigned to the different cells".
+
+use brainshift_imaging::Vec3;
+
+/// A tetrahedral mesh with a tissue label per element.
+#[derive(Debug, Clone)]
+pub struct TetMesh {
+    /// Node positions in world coordinates (mm).
+    pub nodes: Vec<Vec3>,
+    /// Tetrahedra as 4 node indices, positively oriented (signed volume
+    /// > 0).
+    pub tets: Vec<[usize; 4]>,
+    /// Tissue label of each tetrahedron.
+    pub tet_labels: Vec<u8>,
+}
+
+impl TetMesh {
+    /// An empty mesh.
+    pub fn empty() -> Self {
+        TetMesh { nodes: Vec::new(), tets: Vec::new(), tet_labels: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of tetrahedra.
+    pub fn num_tets(&self) -> usize {
+        self.tets.len()
+    }
+
+    /// Number of FEM equations: 3 displacement components per node.
+    pub fn num_equations(&self) -> usize {
+        3 * self.nodes.len()
+    }
+
+    /// Signed volume of tetrahedron `t` (positive for correct
+    /// orientation).
+    pub fn tet_volume(&self, t: usize) -> f64 {
+        let [a, b, c, d] = self.tets[t];
+        signed_volume(self.nodes[a], self.nodes[b], self.nodes[c], self.nodes[d])
+    }
+
+    /// Total mesh volume (mm³).
+    pub fn total_volume(&self) -> f64 {
+        (0..self.num_tets()).map(|t| self.tet_volume(t)).sum()
+    }
+
+    /// Centroid of tetrahedron `t`.
+    pub fn tet_centroid(&self, t: usize) -> Vec3 {
+        let [a, b, c, d] = self.tets[t];
+        (self.nodes[a] + self.nodes[b] + self.nodes[c] + self.nodes[d]) * 0.25
+    }
+
+    /// For every node, the list of tetrahedra touching it.
+    pub fn node_to_tets(&self) -> Vec<Vec<usize>> {
+        let mut map = vec![Vec::new(); self.num_nodes()];
+        for (t, tet) in self.tets.iter().enumerate() {
+            for &n in tet {
+                map[n].push(t);
+            }
+        }
+        map
+    }
+
+    /// Node adjacency (nodes sharing a tet edge), sorted and deduplicated.
+    pub fn node_adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.num_nodes()];
+        for tet in &self.tets {
+            for i in 0..4 {
+                for j in 0..4 {
+                    if i != j {
+                        adj[tet[i]].push(tet[j]);
+                    }
+                }
+            }
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+            a.dedup();
+        }
+        adj
+    }
+
+    /// Per-node connectivity degree — the quantity whose variance causes
+    /// the paper's assembly load imbalance.
+    pub fn node_degrees(&self) -> Vec<usize> {
+        self.node_adjacency().into_iter().map(|a| a.len()).collect()
+    }
+
+    /// Validate structural invariants; returns a description of the first
+    /// violation, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tets.len() != self.tet_labels.len() {
+            return Err(format!(
+                "label count {} != tet count {}",
+                self.tet_labels.len(),
+                self.tets.len()
+            ));
+        }
+        for (t, tet) in self.tets.iter().enumerate() {
+            for &n in tet {
+                if n >= self.nodes.len() {
+                    return Err(format!("tet {t} references node {n} >= {}", self.nodes.len()));
+                }
+            }
+            let mut s = *tet;
+            s.sort_unstable();
+            if s.windows(2).any(|w| w[0] == w[1]) {
+                return Err(format!("tet {t} has repeated nodes {tet:?}"));
+            }
+            let v = self.tet_volume(t);
+            if v <= 0.0 {
+                return Err(format!("tet {t} has non-positive volume {v}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Axis-aligned bounding box `(min, max)` of all nodes.
+    pub fn bounding_box(&self) -> (Vec3, Vec3) {
+        let mut lo = Vec3::splat(f64::INFINITY);
+        let mut hi = Vec3::splat(f64::NEG_INFINITY);
+        for &n in &self.nodes {
+            lo = lo.min(n);
+            hi = hi.max(n);
+        }
+        (lo, hi)
+    }
+
+    /// Drop nodes not referenced by any tet, remapping indices. Returns
+    /// the old→new index map (`usize::MAX` for dropped nodes).
+    pub fn compact(&mut self) -> Vec<usize> {
+        let mut used = vec![false; self.nodes.len()];
+        for tet in &self.tets {
+            for &n in tet {
+                used[n] = true;
+            }
+        }
+        let mut remap = vec![usize::MAX; self.nodes.len()];
+        let mut new_nodes = Vec::new();
+        for (i, &u) in used.iter().enumerate() {
+            if u {
+                remap[i] = new_nodes.len();
+                new_nodes.push(self.nodes[i]);
+            }
+        }
+        for tet in &mut self.tets {
+            for n in tet.iter_mut() {
+                *n = remap[*n];
+            }
+        }
+        self.nodes = new_nodes;
+        remap
+    }
+
+    /// Barycentric coordinates of point `p` in tetrahedron `t`, or `None`
+    /// if the tet is degenerate.
+    pub fn barycentric(&self, t: usize, p: Vec3) -> Option<[f64; 4]> {
+        let [a, b, c, d] = self.tets[t];
+        barycentric_in(self.nodes[a], self.nodes[b], self.nodes[c], self.nodes[d], p)
+    }
+}
+
+/// Signed volume of the tetrahedron (a, b, c, d).
+pub fn signed_volume(a: Vec3, b: Vec3, c: Vec3, d: Vec3) -> f64 {
+    (b - a).cross(c - a).dot(d - a) / 6.0
+}
+
+/// Barycentric coordinates of `p` with respect to tet (a,b,c,d).
+pub fn barycentric_in(a: Vec3, b: Vec3, c: Vec3, d: Vec3, p: Vec3) -> Option<[f64; 4]> {
+    let v = signed_volume(a, b, c, d);
+    if v.abs() < 1e-30 {
+        return None;
+    }
+    let wa = signed_volume(p, b, c, d) / v;
+    let wb = signed_volume(a, p, c, d) / v;
+    let wc = signed_volume(a, b, p, d) / v;
+    let wd = signed_volume(a, b, c, p) / v;
+    Some([wa, wb, wc, wd])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A unit tetrahedron with positive orientation.
+    pub(crate) fn unit_tet() -> TetMesh {
+        TetMesh {
+            nodes: vec![
+                Vec3::new(0.0, 0.0, 0.0),
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(0.0, 0.0, 1.0),
+            ],
+            tets: vec![[0, 1, 2, 3]],
+            tet_labels: vec![4],
+        }
+    }
+
+    #[test]
+    fn unit_tet_volume() {
+        let m = unit_tet();
+        assert!((m.tet_volume(0) - 1.0 / 6.0).abs() < 1e-15);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn negative_volume_detected() {
+        let mut m = unit_tet();
+        m.tets[0] = [1, 0, 2, 3]; // swapped → negative
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn repeated_node_detected() {
+        let mut m = unit_tet();
+        m.tets[0] = [0, 0, 2, 3];
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn out_of_range_node_detected() {
+        let mut m = unit_tet();
+        m.tets[0] = [0, 1, 2, 9];
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn adjacency_of_single_tet_is_complete() {
+        let m = unit_tet();
+        let adj = m.node_adjacency();
+        for (i, a) in adj.iter().enumerate() {
+            assert_eq!(a.len(), 3, "node {i}");
+        }
+        assert_eq!(m.node_degrees(), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn barycentric_at_vertices_and_centroid() {
+        let m = unit_tet();
+        let w = m.barycentric(0, Vec3::new(0.0, 0.0, 0.0)).unwrap();
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        let c = m.tet_centroid(0);
+        let wc = m.barycentric(0, c).unwrap();
+        for &wi in &wc {
+            assert!((wi - 0.25).abs() < 1e-12);
+        }
+        // Sum to 1 anywhere.
+        let wp = m.barycentric(0, Vec3::new(0.3, 0.3, 0.2)).unwrap();
+        assert!((wp.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compact_drops_unused_nodes() {
+        let mut m = unit_tet();
+        m.nodes.push(Vec3::new(9.0, 9.0, 9.0)); // orphan
+        let remap = m.compact();
+        assert_eq!(m.num_nodes(), 4);
+        assert_eq!(remap[4], usize::MAX);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn equations_are_three_per_node() {
+        assert_eq!(unit_tet().num_equations(), 12);
+    }
+
+    #[test]
+    fn bounding_box() {
+        let m = unit_tet();
+        let (lo, hi) = m.bounding_box();
+        assert_eq!(lo, Vec3::ZERO);
+        assert_eq!(hi, Vec3::new(1.0, 1.0, 1.0));
+    }
+}

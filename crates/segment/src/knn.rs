@@ -1,0 +1,258 @@
+//! k-nearest-neighbour classification with a kd-tree.
+//!
+//! The paper segments intraoperative data "with k-NN classification, a
+//! standard classification method which computes the type of tissue
+//! present at each voxel by comparing the signal of the voxel to classify
+//! with the signal of previously selected prototype voxels of known
+//! tissue type". Feature vectors combine MR intensity with the saturated
+//! distance transforms of the preoperative tissue models.
+
+/// A labeled training sample in feature space.
+#[derive(Debug, Clone)]
+pub struct Prototype {
+    /// Feature-space coordinates.
+    pub features: Vec<f32>,
+    /// Tissue class of this prototype.
+    pub label: u8,
+}
+
+/// A kd-tree over prototypes for fast k-NN queries.
+pub struct KdTree {
+    dim: usize,
+    /// Flattened nodes: prototypes reordered during construction.
+    prototypes: Vec<Prototype>,
+    /// Tree topology: nodes[i] = (split_dim, left, right) with `usize::MAX`
+    /// for leaves' children; node i splits at prototypes[i].
+    nodes: Vec<(usize, usize, usize)>,
+    root: usize,
+}
+
+impl KdTree {
+    /// Build from prototypes (all must share the same dimensionality).
+    pub fn build(mut prototypes: Vec<Prototype>) -> KdTree {
+        assert!(!prototypes.is_empty(), "need at least one prototype");
+        let dim = prototypes[0].features.len();
+        assert!(dim > 0);
+        assert!(prototypes.iter().all(|p| p.features.len() == dim), "inconsistent dims");
+        let n = prototypes.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut nodes = vec![(0usize, usize::MAX, usize::MAX); n];
+        // Recursive median build over an index slice; returns subtree root.
+        fn build_rec(
+            protos: &[Prototype],
+            order: &mut [usize],
+            nodes: &mut [(usize, usize, usize)],
+            depth: usize,
+            dim: usize,
+        ) -> usize {
+            let axis = depth % dim;
+            let mid = order.len() / 2;
+            order.select_nth_unstable_by(mid, |&a, &b| {
+                protos[a].features[axis]
+                    .partial_cmp(&protos[b].features[axis])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let root = order[mid];
+            nodes[root].0 = axis;
+            let (left, rest) = order.split_at_mut(mid);
+            let right = &mut rest[1..];
+            nodes[root].1 = if left.is_empty() {
+                usize::MAX
+            } else {
+                build_rec(protos, left, nodes, depth + 1, dim)
+            };
+            nodes[root].2 = if right.is_empty() {
+                usize::MAX
+            } else {
+                build_rec(protos, right, nodes, depth + 1, dim)
+            };
+            root
+        }
+        let root = build_rec(&prototypes, &mut order, &mut nodes, 0, dim);
+        // Keep prototypes in original order; nodes index into them.
+        let _ = &mut prototypes;
+        KdTree { dim, prototypes, nodes, root }
+    }
+
+    /// Number of prototypes in the tree.
+    pub fn len(&self) -> usize {
+        self.prototypes.len()
+    }
+
+    /// True when the tree holds no prototypes.
+    pub fn is_empty(&self) -> bool {
+        self.prototypes.is_empty()
+    }
+
+    /// The `k` nearest prototypes to `query` (squared Euclidean), as
+    /// `(distance², prototype index)` sorted nearest-first.
+    pub fn k_nearest(&self, query: &[f32], k: usize) -> Vec<(f32, usize)> {
+        assert_eq!(query.len(), self.dim);
+        let k = k.min(self.len()).max(1);
+        // Bounded max-heap as a sorted vec (k is small: the paper's k-NN
+        // uses single-digit k).
+        let mut best: Vec<(f32, usize)> = Vec::with_capacity(k + 1);
+        self.search(self.root, query, k, &mut best);
+        best
+    }
+
+    fn search(&self, node: usize, query: &[f32], k: usize, best: &mut Vec<(f32, usize)>) {
+        if node == usize::MAX {
+            return;
+        }
+        let (axis, left, right) = self.nodes[node];
+        let p = &self.prototypes[node];
+        let d2: f32 = p
+            .features
+            .iter()
+            .zip(query)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        let pos = best.partition_point(|&(d, _)| d < d2);
+        if best.len() < k || pos < k {
+            best.insert(pos, (d2, node));
+            best.truncate(k);
+        }
+        let delta = query[axis] - p.features[axis];
+        let (near, far) = if delta < 0.0 { (left, right) } else { (right, left) };
+        self.search(near, query, k, best);
+        // Prune: only descend the far side if the splitting plane is
+        // closer than the current k-th distance.
+        if best.len() < k || delta * delta < best.last().unwrap().0 {
+            self.search(far, query, k, best);
+        }
+    }
+
+    /// Classify by majority vote among the `k` nearest prototypes (ties
+    /// broken toward the nearest).
+    pub fn classify(&self, query: &[f32], k: usize) -> u8 {
+        let nn = self.k_nearest(query, k);
+        let mut counts: [u32; 256] = [0; 256];
+        for &(_, idx) in &nn {
+            counts[self.prototypes[idx].label as usize] += 1;
+        }
+        let top = counts.iter().copied().max().unwrap();
+        // Nearest-first tie-break.
+        for &(_, idx) in &nn {
+            let l = self.prototypes[idx].label;
+            if counts[l as usize] == top {
+                return l;
+            }
+        }
+        self.prototypes[nn[0].1].label
+    }
+
+    /// The `i`-th prototype (indices from [`KdTree::k_nearest`]).
+    pub fn prototype(&self, i: usize) -> &Prototype {
+        &self.prototypes[i]
+    }
+}
+
+/// Brute-force k-NN for testing.
+pub fn k_nearest_brute(protos: &[Prototype], query: &[f32], k: usize) -> Vec<(f32, usize)> {
+    let mut d: Vec<(f32, usize)> = protos
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            (
+                p.features.iter().zip(query).map(|(a, b)| (a - b) * (a - b)).sum(),
+                i,
+            )
+        })
+        .collect();
+    d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    d.truncate(k.min(protos.len()));
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_protos(n: usize, dim: usize, seed: u64) -> Vec<Prototype> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Prototype {
+                features: (0..dim).map(|_| rng.gen_range(-10.0f32..10.0)).collect(),
+                label: rng.gen_range(0..4),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kdtree_matches_brute_force() {
+        let protos = random_protos(300, 4, 1);
+        let tree = KdTree::build(protos.clone());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let q: Vec<f32> = (0..4).map(|_| rng.gen_range(-12.0f32..12.0)).collect();
+            let fast = tree.k_nearest(&q, 5);
+            let brute = k_nearest_brute(&protos, &q, 5);
+            for (f, b) in fast.iter().zip(&brute) {
+                assert!((f.0 - b.0).abs() < 1e-5, "distances differ: {} vs {}", f.0, b.0);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_match_is_nearest() {
+        let protos = random_protos(100, 3, 3);
+        let tree = KdTree::build(protos.clone());
+        for i in [0usize, 17, 99] {
+            let nn = tree.k_nearest(&protos[i].features, 1);
+            assert_eq!(nn[0].0, 0.0);
+            assert_eq!(tree.prototype(nn[0].1).label, protos[i].label);
+        }
+    }
+
+    #[test]
+    fn classify_separable_clusters() {
+        // Two well-separated Gaussian-ish clusters.
+        let mut protos = Vec::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            protos.push(Prototype {
+                features: vec![rng.gen_range(-1.0f32..1.0), rng.gen_range(-1.0f32..1.0)],
+                label: 0,
+            });
+            protos.push(Prototype {
+                features: vec![10.0 + rng.gen_range(-1.0f32..1.0), 10.0 + rng.gen_range(-1.0f32..1.0)],
+                label: 1,
+            });
+        }
+        let tree = KdTree::build(protos);
+        assert_eq!(tree.classify(&[0.0, 0.0], 5), 0);
+        assert_eq!(tree.classify(&[10.0, 10.0], 5), 1);
+        assert_eq!(tree.classify(&[9.0, 11.0], 3), 1);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let protos = random_protos(3, 2, 5);
+        let tree = KdTree::build(protos);
+        let nn = tree.k_nearest(&[0.0, 0.0], 10);
+        assert_eq!(nn.len(), 3);
+    }
+
+    #[test]
+    fn single_prototype() {
+        let tree = KdTree::build(vec![Prototype { features: vec![1.0, 2.0], label: 7 }]);
+        assert_eq!(tree.classify(&[0.0, 0.0], 3), 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_build_panics() {
+        KdTree::build(Vec::new());
+    }
+
+    #[test]
+    #[should_panic]
+    fn inconsistent_dims_panic() {
+        KdTree::build(vec![
+            Prototype { features: vec![1.0], label: 0 },
+            Prototype { features: vec![1.0, 2.0], label: 1 },
+        ]);
+    }
+}

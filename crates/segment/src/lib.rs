@@ -1,0 +1,25 @@
+//! # brainshift-segment
+//!
+//! Intraoperative tissue classification: the paper's k-NN segmentation
+//! over a multichannel feature space (MR intensity + saturated distance
+//! transforms of the registered preoperative tissue models), with
+//! prototype-voxel statistical models that update automatically across
+//! scans, plus morphological cleanup utilities.
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod confusion;
+pub mod features;
+pub mod gaussian;
+pub mod knn;
+pub mod morphology;
+pub mod prototypes;
+
+pub use confusion::ConfusionMatrix;
+pub use classify::{dice, largest_component, segment_intraop, segment_intraop_with_model, SegmentConfig};
+pub use features::FeatureStack;
+pub use gaussian::GaussianClassifier;
+pub use knn::{KdTree, Prototype};
+pub use morphology::{close, dilate, erode, open};
+pub use prototypes::PrototypeModel;

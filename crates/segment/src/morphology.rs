@@ -1,0 +1,157 @@
+//! Binary morphology on voxel masks.
+//!
+//! Segmentation cleanup: erosion/dilation with a 6-connected structuring
+//! element, opening (despeckle) and closing (hole-fill). Used alongside
+//! [`crate::classify::largest_component`] to produce the solid brain mask
+//! the active surface targets.
+
+use brainshift_imaging::Volume;
+
+/// One 6-connected dilation step: a voxel becomes true if it or any face
+/// neighbor is true.
+pub fn dilate(mask: &Volume<bool>) -> Volume<bool> {
+    let d = mask.dims();
+    Volume::from_fn(d, mask.spacing(), |x, y, z| {
+        if *mask.get(x, y, z) {
+            return true;
+        }
+        let probes = [
+            (x as i64 - 1, y as i64, z as i64),
+            (x as i64 + 1, y as i64, z as i64),
+            (x as i64, y as i64 - 1, z as i64),
+            (x as i64, y as i64 + 1, z as i64),
+            (x as i64, y as i64, z as i64 - 1),
+            (x as i64, y as i64, z as i64 + 1),
+        ];
+        probes.iter().any(|&(px, py, pz)| mask.try_get(px, py, pz).copied().unwrap_or(false))
+    })
+}
+
+/// One 6-connected erosion step: a voxel stays true only if it and all
+/// face neighbors are true (volume borders count as false).
+pub fn erode(mask: &Volume<bool>) -> Volume<bool> {
+    let d = mask.dims();
+    Volume::from_fn(d, mask.spacing(), |x, y, z| {
+        if !*mask.get(x, y, z) {
+            return false;
+        }
+        let probes = [
+            (x as i64 - 1, y as i64, z as i64),
+            (x as i64 + 1, y as i64, z as i64),
+            (x as i64, y as i64 - 1, z as i64),
+            (x as i64, y as i64 + 1, z as i64),
+            (x as i64, y as i64, z as i64 - 1),
+            (x as i64, y as i64, z as i64 + 1),
+        ];
+        probes.iter().all(|&(px, py, pz)| mask.try_get(px, py, pz).copied().unwrap_or(false))
+    })
+}
+
+/// Morphological opening (`erode` then `dilate`, `radius` steps each):
+/// removes protrusions and speckles smaller than the radius.
+pub fn open(mask: &Volume<bool>, radius: usize) -> Volume<bool> {
+    let mut m = mask.clone();
+    for _ in 0..radius {
+        m = erode(&m);
+    }
+    for _ in 0..radius {
+        m = dilate(&m);
+    }
+    m
+}
+
+/// Morphological closing (`dilate` then `erode`, `radius` steps each):
+/// fills holes and gaps smaller than the radius.
+pub fn close(mask: &Volume<bool>, radius: usize) -> Volume<bool> {
+    let mut m = mask.clone();
+    for _ in 0..radius {
+        m = dilate(&m);
+    }
+    for _ in 0..radius {
+        m = erode(&m);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brainshift_imaging::volume::{Dims, Spacing};
+
+    fn count(m: &Volume<bool>) -> usize {
+        m.data().iter().filter(|&&b| b).count()
+    }
+
+    fn block(lo: usize, hi: usize) -> Volume<bool> {
+        Volume::from_fn(Dims::new(12, 12, 12), Spacing::iso(1.0), move |x, y, z| {
+            (lo..hi).contains(&x) && (lo..hi).contains(&y) && (lo..hi).contains(&z)
+        })
+    }
+
+    #[test]
+    fn dilate_grows_erode_shrinks() {
+        let m = block(4, 8); // 4³ cube
+        assert_eq!(count(&m), 64);
+        let grown = dilate(&m);
+        assert!(count(&grown) > 64);
+        let shrunk = erode(&m);
+        // 4³ erodes to 2³.
+        assert_eq!(count(&shrunk), 8);
+    }
+
+    #[test]
+    fn opening_is_anti_extensive_and_keeps_interior() {
+        // Opening never adds voxels (open(M) ⊆ M) and preserves regions
+        // thicker than the structuring element; with a 6-connected cross,
+        // cube corners are sacrificed — that's the definition, not a bug.
+        let m = block(3, 9);
+        let opened = dilate(&erode(&m));
+        for (orig, op) in m.data().iter().zip(opened.data()) {
+            assert!(!op || *orig, "opening added a voxel");
+        }
+        // Face centres and interior survive.
+        assert!(*opened.get(5, 5, 5));
+        assert!(*opened.get(3, 5, 5));
+        // A corner of the cube is removed by the cross element.
+        assert!(!*opened.get(3, 3, 3));
+    }
+
+    #[test]
+    fn opening_removes_speckle() {
+        let mut m = block(4, 8);
+        m.set(0, 0, 0, true); // isolated speckle
+        m.set(11, 11, 11, true);
+        let cleaned = open(&m, 1);
+        assert!(!*cleaned.get(0, 0, 0));
+        assert!(!*cleaned.get(11, 11, 11));
+        // The main block survives (shrunk corners are acceptable for a
+        // 6-connected element; interior must remain).
+        assert!(*cleaned.get(5, 5, 5));
+    }
+
+    #[test]
+    fn closing_fills_hole() {
+        let mut m = block(3, 9);
+        m.set(5, 5, 5, false); // interior hole
+        let closed = close(&m, 1);
+        assert!(*closed.get(5, 5, 5));
+        assert!(count(&closed) >= count(&m));
+    }
+
+    #[test]
+    fn border_voxels_erode_away() {
+        // A mask touching the border erodes there (outside counts false).
+        let m = Volume::from_fn(Dims::new(6, 6, 6), Spacing::iso(1.0), |_, _, _| true);
+        let e = erode(&m);
+        assert!(!*e.get(0, 0, 0));
+        assert!(*e.get(3, 3, 3));
+        assert_eq!(count(&e), 4 * 4 * 4);
+    }
+
+    #[test]
+    fn empty_and_full_are_fixed_points_of_open_close_interior() {
+        let empty: Volume<bool> = Volume::filled(Dims::new(5, 5, 5), Spacing::iso(1.0), false);
+        assert_eq!(count(&open(&empty, 2)), 0);
+        assert_eq!(count(&close(&empty, 2)), 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Dense vector kernels and a small dense LU factorization.
+//!
+//! The Krylov solvers are built on these BLAS-1 style kernels; the dense LU
+//! supports exact block solves in the block-Jacobi preconditioner (used for
+//! small blocks and for tests; large blocks use ILU(0)).
+
+use rayon::prelude::*;
+
+/// Threshold below which parallel reductions aren't worth the overhead.
+const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.len() >= PAR_THRESHOLD {
+        a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum()
+    } else {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+}
+
+/// Euclidean norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y += alpha * x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    if x.len() >= PAR_THRESHOLD {
+        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| *yi += alpha * xi);
+    } else {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    }
+}
+
+/// `x *= alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    if x.len() >= PAR_THRESHOLD {
+        x.par_iter_mut().for_each(|v| *v *= alpha);
+    } else {
+        for v in x {
+            *v *= alpha;
+        }
+    }
+}
+
+/// Copy `src` into `dst`.
+pub fn copy(src: &[f64], dst: &mut [f64]) {
+    dst.copy_from_slice(src);
+}
+
+/// `z = a - b`.
+pub fn sub_into(a: &[f64], b: &[f64], z: &mut [f64]) {
+    assert!(a.len() == b.len() && b.len() == z.len());
+    for ((zi, ai), bi) in z.iter_mut().zip(a).zip(b) {
+        *zi = ai - bi;
+    }
+}
+
+/// A dense LU factorization with partial pivoting (row-major storage).
+#[derive(Debug, Clone)]
+pub struct DenseLu {
+    n: usize,
+    /// Combined L (unit lower) and U factors.
+    lu: Vec<f64>,
+    /// Row permutation.
+    piv: Vec<usize>,
+}
+
+impl DenseLu {
+    /// Factorize a row-major `n × n` matrix. Returns `None` if singular to
+    /// working precision.
+    pub fn factorize(a: &[f64], n: usize) -> Option<DenseLu> {
+        assert_eq!(a.len(), n * n);
+        let mut lu = a.to_vec();
+        let mut piv: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Pivot search.
+            let mut p = k;
+            let mut best = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < 1e-300 {
+                return None;
+            }
+            if p != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, p * n + j);
+                }
+                piv.swap(k, p);
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let m = lu[i * n + k] / pivot;
+                lu[i * n + k] = m;
+                for j in (k + 1)..n {
+                    lu[i * n + j] -= m * lu[k * n + j];
+                }
+            }
+        }
+        Some(DenseLu { n, lu, piv })
+    }
+
+    /// Solve `A x = b`, writing x into `out`.
+    pub fn solve(&self, b: &[f64], out: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        assert_eq!(out.len(), n);
+        // Apply permutation.
+        for i in 0..n {
+            out[i] = b[self.piv[i]];
+        }
+        // Forward substitution with unit lower factor.
+        for i in 1..n {
+            let mut acc = out[i];
+            for j in 0..i {
+                acc -= self.lu[i * n + j] * out[j];
+            }
+            out[i] = acc;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut acc = out[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[i * n + j] * out[j];
+            }
+            out[i] = acc / self.lu[i * n + i];
+        }
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        let a = vec![3.0, 4.0];
+        assert_eq!(dot(&a, &a), 25.0);
+        assert_eq!(norm2(&a), 5.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0, 36.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![6.0, 12.0, 18.0]);
+    }
+
+    #[test]
+    fn large_parallel_dot_matches_serial() {
+        let n = PAR_THRESHOLD + 7;
+        let a: Vec<f64> = (0..n).map(|i| (i % 10) as f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| ((i + 3) % 7) as f64).collect();
+        let serial: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - serial).abs() < 1e-9 * serial.abs());
+    }
+
+    #[test]
+    fn lu_solves_known_system() {
+        // A = [[2, 1], [1, 3]], b = [3, 5] -> x = [0.8, 1.4]
+        let a = vec![2.0, 1.0, 1.0, 3.0];
+        let lu = DenseLu::factorize(&a, 2).unwrap();
+        let mut x = vec![0.0; 2];
+        lu.solve(&[3.0, 5.0], &mut x);
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_needs_pivoting() {
+        // Zero in the (0,0) position requires a row swap.
+        let a = vec![0.0, 1.0, 1.0, 0.0];
+        let lu = DenseLu::factorize(&a, 2).unwrap();
+        let mut x = vec![0.0; 2];
+        lu.solve(&[2.0, 3.0], &mut x);
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_detects_singular() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        assert!(DenseLu::factorize(&a, 2).is_none());
+    }
+
+    #[test]
+    fn lu_random_roundtrip() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let n = 20;
+        let mut a = vec![0.0; n * n];
+        for (i, v) in a.iter_mut().enumerate() {
+            *v = rng.gen_range(-1.0..1.0);
+            if i % (n + 1) == 0 {
+                *v += 5.0; // diagonally dominant
+            }
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 * 0.3 - 2.0).collect();
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            b[i] = (0..n).map(|j| a[i * n + j] * x_true[j]).sum();
+        }
+        let lu = DenseLu::factorize(&a, n).unwrap();
+        let mut x = vec![0.0; n];
+        lu.solve(&b, &mut x);
+        for (xs, xt) in x.iter().zip(&x_true) {
+            assert!((xs - xt).abs() < 1e-9);
+        }
+    }
+}

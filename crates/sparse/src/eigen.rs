@@ -1,0 +1,148 @@
+//! Extremal-eigenvalue estimation for SPD operators.
+//!
+//! Condition numbers explain the Krylov iteration counts the paper's
+//! Figures 7–9 hinge on: power iteration estimates λ_max, inverse
+//! iteration (inner CG solves) estimates λ_min, and their ratio bounds
+//! the CG/GMRES convergence rate.
+
+use crate::cg::conjugate_gradient;
+use crate::dense::{dot, norm2};
+use crate::precond::JacobiPrecond;
+use crate::solver::{LinearOperator, SolverOptions};
+
+/// Result of an extremal-eigenvalue estimate.
+#[derive(Debug, Clone)]
+pub struct EigenEstimate {
+    /// The eigenvalue estimate.
+    pub value: f64,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Relative change of the estimate in the final iteration.
+    pub residual: f64,
+}
+
+/// Estimate the largest eigenvalue of an SPD operator by power iteration
+/// with Rayleigh quotients.
+pub fn largest_eigenvalue(a: &dyn LinearOperator, tol: f64, max_iters: usize) -> EigenEstimate {
+    let n = a.dim();
+    // Deterministic pseudo-random start vector (no rand dependency here).
+    let mut v: Vec<f64> = (0..n).map(|i| (((i * 2654435761) % 1000) as f64 / 500.0) - 1.0).collect();
+    let nv = norm2(&v).max(1e-300);
+    v.iter_mut().for_each(|x| *x /= nv);
+    let mut av = vec![0.0; n];
+    let mut lambda = 0.0f64;
+    for it in 1..=max_iters {
+        a.apply(&v, &mut av);
+        let new_lambda = dot(&v, &av);
+        let na = norm2(&av).max(1e-300);
+        for (vi, ai) in v.iter_mut().zip(&av) {
+            *vi = ai / na;
+        }
+        let rel = (new_lambda - lambda).abs() / new_lambda.abs().max(1e-300);
+        lambda = new_lambda;
+        if rel < tol {
+            return EigenEstimate { value: lambda, iterations: it, residual: rel };
+        }
+    }
+    EigenEstimate { value: lambda, iterations: max_iters, residual: f64::NAN }
+}
+
+/// Estimate the smallest eigenvalue of an SPD *matrix* by inverse power
+/// iteration; each step solves `A w = v` with Jacobi-CG.
+pub fn smallest_eigenvalue(a: &crate::csr::CsrMatrix, tol: f64, max_iters: usize) -> EigenEstimate {
+    let n = a.nrows();
+    let pre = JacobiPrecond::new(a);
+    let solve_opts = SolverOptions { tolerance: 1e-10, max_iterations: 20_000, ..Default::default() };
+    let mut v: Vec<f64> = (0..n).map(|i| (((i * 40503) % 997) as f64 / 498.5) - 1.0).collect();
+    let nv = norm2(&v).max(1e-300);
+    v.iter_mut().for_each(|x| *x /= nv);
+    let mut lambda = 0.0f64;
+    for it in 1..=max_iters {
+        let mut w = vec![0.0; n];
+        let stats = conjugate_gradient(a, &pre, &v, &mut w, &solve_opts);
+        if !stats.converged() {
+            return EigenEstimate { value: lambda, iterations: it, residual: f64::NAN };
+        }
+        // Rayleigh quotient of the (normalized) inverse iterate.
+        let nw = norm2(&w).max(1e-300);
+        for wi in w.iter_mut() {
+            *wi /= nw;
+        }
+        let mut aw = vec![0.0; n];
+        a.spmv(&w, &mut aw);
+        let new_lambda = dot(&w, &aw);
+        let rel = (new_lambda - lambda).abs() / new_lambda.abs().max(1e-300);
+        lambda = new_lambda;
+        v = w;
+        if rel < tol {
+            return EigenEstimate { value: lambda, iterations: it, residual: rel };
+        }
+    }
+    EigenEstimate { value: lambda, iterations: max_iters, residual: f64::NAN }
+}
+
+/// Condition-number estimate `λ_max / λ_min` of an SPD matrix.
+pub fn condition_estimate(a: &crate::csr::CsrMatrix) -> f64 {
+    let hi = largest_eigenvalue(a, 1e-6, 500);
+    let lo = smallest_eigenvalue(a, 1e-6, 100);
+    if lo.value.abs() < 1e-300 {
+        f64::INFINITY
+    } else {
+        hi.value / lo.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::TripletBuilder;
+
+    fn diag(values: &[f64]) -> crate::csr::CsrMatrix {
+        let mut b = TripletBuilder::new(values.len(), values.len());
+        for (i, &v) in values.iter().enumerate() {
+            b.add(i, i, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn diagonal_extremes_recovered() {
+        let a = diag(&[1.0, 4.0, 9.0, 2.0, 7.0]);
+        let hi = largest_eigenvalue(&a, 1e-10, 2000);
+        assert!((hi.value - 9.0).abs() < 1e-6, "{}", hi.value);
+        let lo = smallest_eigenvalue(&a, 1e-10, 200);
+        assert!((lo.value - 1.0).abs() < 1e-6, "{}", lo.value);
+        assert!((condition_estimate(&a) - 9.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn laplacian_eigenvalues_match_analytic() {
+        // Tridiagonal 1-D Laplacian: λ_k = 2 − 2 cos(kπ/(n+1)).
+        let n = 30;
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, 2.0);
+            if i > 0 {
+                b.add(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.add(i, i + 1, -1.0);
+            }
+        }
+        let a = b.build();
+        let theta = std::f64::consts::PI / (n as f64 + 1.0);
+        let lam_max = 2.0 - 2.0 * ((n as f64) * theta).cos();
+        let lam_min = 2.0 - 2.0 * theta.cos();
+        let hi = largest_eigenvalue(&a, 1e-12, 20_000);
+        assert!((hi.value - lam_max).abs() < 1e-4 * lam_max, "{} vs {lam_max}", hi.value);
+        let lo = smallest_eigenvalue(&a, 1e-12, 500);
+        assert!((lo.value - lam_min).abs() < 1e-4 * lam_min, "{} vs {lam_min}", lo.value);
+    }
+
+    #[test]
+    fn identity_condition_is_one() {
+        let a = crate::csr::CsrMatrix::identity(12);
+        let c = condition_estimate(&a);
+        assert!((c - 1.0).abs() < 1e-6, "{c}");
+    }
+}

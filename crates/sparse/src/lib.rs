@@ -1,0 +1,30 @@
+//! # brainshift-sparse
+//!
+//! From-scratch replacement for the slice of PETSc the paper uses: CSR
+//! storage with a concurrent-friendly triplet builder, BLAS-1 kernels, a
+//! dense LU for small blocks, restarted GMRES and CG, and Jacobi /
+//! block-Jacobi / ILU(0) preconditioners, plus the row-partitioning
+//! helpers that drive the parallel decomposition (and its load imbalance,
+//! the central subject of the paper's §3.2).
+
+#![warn(missing_docs)]
+
+pub mod bicgstab;
+pub mod cg;
+pub mod csr;
+pub mod dense;
+pub mod eigen;
+pub mod gmres;
+pub mod ordering;
+pub mod partition;
+pub mod precond;
+pub mod solver;
+
+pub use bicgstab::bicgstab;
+pub use cg::conjugate_gradient;
+pub use csr::{CsrMatrix, TripletBuilder};
+pub use eigen::{condition_estimate, largest_eigenvalue, smallest_eigenvalue};
+pub use gmres::gmres;
+pub use ordering::{bandwidth, permute_symmetric, reverse_cuthill_mckee};
+pub use precond::{BlockJacobiPrecond, BlockSolve, IdentityPrecond, Ilu0, JacobiPrecond, Preconditioner};
+pub use solver::{LinearOperator, SolveStats, SolverOptions, StopReason};

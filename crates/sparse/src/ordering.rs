@@ -1,0 +1,194 @@
+//! Matrix reordering: reverse Cuthill–McKee.
+//!
+//! ILU(0) quality and cache behaviour both depend on the row ordering.
+//! Our mesher emits nodes in discovery order (good but not optimal); RCM
+//! renumbers rows by breadth-first traversal from a peripheral vertex,
+//! concentrating non-zeros near the diagonal. The ordering ablation
+//! measures its effect on block-Jacobi/ILU(0) iteration counts.
+
+use crate::csr::{CsrMatrix, TripletBuilder};
+
+/// Bandwidth of a matrix: `max |i − j|` over stored entries.
+pub fn bandwidth(a: &CsrMatrix) -> usize {
+    let mut bw = 0usize;
+    for i in 0..a.nrows() {
+        let (cols, _) = a.row(i);
+        for &c in cols {
+            bw = bw.max(i.abs_diff(c));
+        }
+    }
+    bw
+}
+
+/// Reverse Cuthill–McKee permutation of a structurally symmetric matrix:
+/// returns `perm` with `perm[new] = old`. Disconnected components are
+/// handled by restarting from the unvisited vertex of minimum degree.
+pub fn reverse_cuthill_mckee(a: &CsrMatrix) -> Vec<usize> {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols());
+    let degree = |i: usize| a.row(i).0.len();
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = std::collections::VecDeque::new();
+
+    loop {
+        // Next start: unvisited vertex of minimum degree (a cheap
+        // peripheral-vertex heuristic).
+        let start = (0..n)
+            .filter(|&i| !visited[i])
+            .min_by_key(|&i| degree(i));
+        let Some(start) = start else { break };
+        visited[start] = true;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            // Enqueue unvisited neighbors by increasing degree.
+            let (cols, _) = a.row(v);
+            let mut nbrs: Vec<usize> = cols.iter().cloned().filter(|&c| c != v && !visited[c]).collect();
+            nbrs.sort_by_key(|&c| degree(c));
+            for c in nbrs {
+                if !visited[c] {
+                    visited[c] = true;
+                    queue.push_back(c);
+                }
+            }
+        }
+    }
+    order.reverse();
+    order
+}
+
+/// Apply a symmetric permutation: `B[new_i][new_j] = A[perm[new_i]][perm[new_j]]`.
+pub fn permute_symmetric(a: &CsrMatrix, perm: &[usize]) -> CsrMatrix {
+    let n = a.nrows();
+    assert_eq!(perm.len(), n);
+    let mut inv = vec![0usize; n];
+    for (new, &old) in perm.iter().enumerate() {
+        inv[old] = new;
+    }
+    let mut b = TripletBuilder::with_capacity(n, a.ncols(), a.nnz());
+    for (new_i, &old_i) in perm.iter().enumerate() {
+        let (cols, vals) = a.row(old_i);
+        for (&c, &v) in cols.iter().zip(vals) {
+            b.add(new_i, inv[c], v);
+        }
+    }
+    b.build()
+}
+
+/// Permute a vector into the new ordering: `out[new] = x[perm[new]]`.
+pub fn permute_vec(x: &[f64], perm: &[usize]) -> Vec<f64> {
+    perm.iter().map(|&old| x[old]).collect()
+}
+
+/// Scatter a permuted vector back: `out[perm[new]] = x[new]`.
+pub fn unpermute_vec(x: &[f64], perm: &[usize]) -> Vec<f64> {
+    let mut out = vec![0.0; x.len()];
+    for (new, &old) in perm.iter().enumerate() {
+        out[old] = x[new];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    /// A "shuffled banded" SPD matrix: banded structure hidden under a
+    /// random labeling, so RCM has something to recover.
+    fn shuffled_banded(n: usize, bw: usize, seed: u64) -> (CsrMatrix, Vec<usize>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut label: Vec<usize> = (0..n).collect();
+        use rand::seq::SliceRandom;
+        label.shuffle(&mut rng);
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.add(label[i], label[i], 4.0);
+            for d in 1..=bw {
+                if i + d < n {
+                    b.add(label[i], label[i + d], -1.0 / d as f64);
+                    b.add(label[i + d], label[i], -1.0 / d as f64);
+                }
+            }
+        }
+        (b.build(), label)
+    }
+
+    #[test]
+    fn rcm_is_a_permutation() {
+        let (a, _) = shuffled_banded(50, 2, 1);
+        let perm = reverse_cuthill_mckee(&a);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rcm_reduces_bandwidth_of_shuffled_band() {
+        let (a, _) = shuffled_banded(200, 2, 2);
+        let before = bandwidth(&a);
+        let perm = reverse_cuthill_mckee(&a);
+        let b = permute_symmetric(&a, &perm);
+        let after = bandwidth(&b);
+        assert!(after < before / 4, "bandwidth {before} → {after}");
+        // Ideal band is 2; RCM should get close.
+        assert!(after <= 8, "after = {after}");
+    }
+
+    #[test]
+    fn permutation_preserves_solutions() {
+        use crate::gmres;
+        use crate::precond::Ilu0;
+        use crate::solver::SolverOptions;
+        let (a, _) = shuffled_banded(80, 3, 3);
+        let x_true: Vec<f64> = (0..80).map(|i| (i as f64 * 0.21).sin()).collect();
+        let mut rhs = vec![0.0; 80];
+        a.spmv(&x_true, &mut rhs);
+        let perm = reverse_cuthill_mckee(&a);
+        let ap = permute_symmetric(&a, &perm);
+        let rhs_p = permute_vec(&rhs, &perm);
+        let opts = SolverOptions { tolerance: 1e-11, max_iterations: 5000, ..Default::default() };
+        let mut xp = vec![0.0; 80];
+        let s = gmres(&ap, &Ilu0::new(&ap), &rhs_p, &mut xp, &opts);
+        assert!(s.converged());
+        let x = unpermute_vec(&xp, &perm);
+        for (a1, b1) in x.iter().zip(&x_true) {
+            assert!((a1 - b1).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn permute_unpermute_roundtrip() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let perm = vec![3, 1, 4, 0, 5, 9, 2, 6, 8, 7];
+        let p = permute_vec(&x, &perm);
+        let back = unpermute_vec(&p, &perm);
+        assert_eq!(x, back);
+    }
+
+    #[test]
+    fn disconnected_components_all_ordered() {
+        // Two disjoint chains.
+        let mut b = TripletBuilder::new(10, 10);
+        for i in 0..5usize {
+            b.add(i, i, 2.0);
+            if i > 0 {
+                b.add(i, i - 1, -1.0);
+                b.add(i - 1, i, -1.0);
+            }
+        }
+        for i in 5..10usize {
+            b.add(i, i, 2.0);
+            if i > 5 {
+                b.add(i, i - 1, -1.0);
+                b.add(i - 1, i, -1.0);
+            }
+        }
+        let a = b.build();
+        let perm = reverse_cuthill_mckee(&a);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+    }
+}

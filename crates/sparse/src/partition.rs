@@ -1,0 +1,169 @@
+//! Row partitioning of distributed systems.
+//!
+//! The paper's decomposition sends "approximately equal numbers of mesh
+//! nodes to each CPU", which — with unstructured connectivity — produces
+//! the load imbalance its §3.2 analyzes. We implement that contiguous even
+//! split plus a work-balanced split (the paper's proposed future
+//! improvement) so the ablation benchmark can compare them.
+
+/// Offsets of an even contiguous split of `n` rows into `p` parts:
+/// `p + 1` boundaries, first 0, last `n`. Earlier parts get the remainder.
+pub fn even_offsets(n: usize, p: usize) -> Vec<usize> {
+    assert!(p >= 1, "need at least one partition");
+    assert!(n >= p, "cannot split {n} rows into {p} non-empty parts");
+    let base = n / p;
+    let rem = n % p;
+    let mut offsets = Vec::with_capacity(p + 1);
+    let mut acc = 0;
+    offsets.push(0);
+    for i in 0..p {
+        acc += base + usize::from(i < rem);
+        offsets.push(acc);
+    }
+    offsets
+}
+
+/// Offsets of a contiguous split balanced by per-row weights (e.g. row
+/// non-zeros, or per-node connectivity work): greedily close each part
+/// once it reaches the ideal share, while guaranteeing every part is
+/// non-empty and later parts still get rows.
+pub fn weighted_offsets(weights: &[f64], p: usize) -> Vec<usize> {
+    let n = weights.len();
+    assert!(p >= 1);
+    assert!(n >= p, "cannot split {n} rows into {p} non-empty parts");
+    let total: f64 = weights.iter().sum();
+    let ideal = total / p as f64;
+    let mut offsets = Vec::with_capacity(p + 1);
+    offsets.push(0);
+    let mut acc = 0.0;
+    let mut row = 0usize;
+    for part in 0..p - 1 {
+        let remaining_parts = p - part;
+        let max_end = n - (remaining_parts - 1); // leave ≥1 row per later part
+        let mut end = row;
+        let mut part_sum = 0.0;
+        // Take at least one row; stop when we'd overshoot the ideal more by
+        // including the next row than by excluding it.
+        while end < max_end {
+            let w = weights[end];
+            if end > row && (part_sum + w) - ideal > ideal - part_sum {
+                break;
+            }
+            part_sum += w;
+            end += 1;
+            if part_sum >= ideal {
+                break;
+            }
+        }
+        end = end.max(row + 1).min(max_end);
+        offsets.push(end);
+        acc += part_sum;
+        row = end;
+    }
+    offsets.push(n);
+    let _ = acc;
+    offsets
+}
+
+/// Imbalance factor of a partition under per-row weights: max part weight
+/// divided by mean part weight (1.0 = perfectly balanced).
+pub fn imbalance(weights: &[f64], offsets: &[usize]) -> f64 {
+    assert!(offsets.len() >= 2);
+    let p = offsets.len() - 1;
+    let sums: Vec<f64> = offsets
+        .windows(2)
+        .map(|w| weights[w[0]..w[1]].iter().sum())
+        .collect();
+    let total: f64 = sums.iter().sum();
+    if total <= 0.0 {
+        return 1.0;
+    }
+    let mean = total / p as f64;
+    sums.into_iter().fold(0.0f64, f64::max) / mean
+}
+
+/// Which part a row belongs to under the given offsets.
+pub fn part_of(offsets: &[usize], row: usize) -> usize {
+    debug_assert!(row < *offsets.last().unwrap());
+    match offsets.binary_search(&row) {
+        Ok(i) => i.min(offsets.len() - 2),
+        Err(i) => i - 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_offsets_cover_all_rows() {
+        let o = even_offsets(10, 3);
+        assert_eq!(o, vec![0, 4, 7, 10]);
+        let o = even_offsets(9, 3);
+        assert_eq!(o, vec![0, 3, 6, 9]);
+        let o = even_offsets(5, 5);
+        assert_eq!(o, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn even_offsets_sizes_differ_by_at_most_one() {
+        for n in [7usize, 100, 77511] {
+            for p in 1..=16 {
+                if n < p {
+                    continue;
+                }
+                let o = even_offsets(n, p);
+                let sizes: Vec<usize> = o.windows(2).map(|w| w[1] - w[0]).collect();
+                let min = *sizes.iter().min().unwrap();
+                let max = *sizes.iter().max().unwrap();
+                assert!(max - min <= 1);
+                assert_eq!(sizes.iter().sum::<usize>(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_offsets_balance_skewed_weights() {
+        // First half heavy, second half light.
+        let mut w = vec![10.0; 50];
+        w.extend(vec![1.0; 50]);
+        let o_even = even_offsets(100, 4);
+        let o_weighted = weighted_offsets(&w, 4);
+        assert!(imbalance(&w, &o_weighted) < imbalance(&w, &o_even));
+        assert_eq!(o_weighted[0], 0);
+        assert_eq!(*o_weighted.last().unwrap(), 100);
+        // strictly increasing
+        for win in o_weighted.windows(2) {
+            assert!(win[0] < win[1]);
+        }
+    }
+
+    #[test]
+    fn weighted_uniform_close_to_even() {
+        let w = vec![1.0; 100];
+        let o = weighted_offsets(&w, 4);
+        assert!(imbalance(&w, &o) < 1.1);
+    }
+
+    #[test]
+    fn imbalance_of_perfect_split_is_one() {
+        let w = vec![1.0; 8];
+        assert!((imbalance(&w, &[0, 4, 8]) - 1.0).abs() < 1e-12);
+        assert!((imbalance(&w, &[0, 2, 8]) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn part_of_maps_rows() {
+        let o = vec![0, 4, 7, 10];
+        assert_eq!(part_of(&o, 0), 0);
+        assert_eq!(part_of(&o, 3), 0);
+        assert_eq!(part_of(&o, 4), 1);
+        assert_eq!(part_of(&o, 9), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_parts_panics() {
+        even_offsets(3, 5);
+    }
+}

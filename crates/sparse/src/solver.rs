@@ -1,0 +1,105 @@
+//! Common solver interfaces and convergence reporting.
+
+use crate::csr::CsrMatrix;
+
+/// Anything that can apply `y = A x` — a plain CSR matrix, or the
+/// distributed operator run across the simulated cluster.
+pub trait LinearOperator: Sync {
+    /// Dimension of the (square) operator.
+    fn dim(&self) -> usize;
+    /// `y = A x`.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+}
+
+impl LinearOperator for CsrMatrix {
+    fn dim(&self) -> usize {
+        assert_eq!(self.nrows(), self.ncols());
+        self.nrows()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv_parallel(x, y);
+    }
+}
+
+/// Why a Krylov solve stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Relative residual dropped below tolerance.
+    Converged,
+    /// Iteration budget exhausted.
+    MaxIterations,
+    /// A breakdown (e.g. zero inner product) occurred; the best iterate so
+    /// far was returned.
+    Breakdown,
+}
+
+/// Convergence statistics of one linear solve.
+#[derive(Debug, Clone)]
+pub struct SolveStats {
+    /// Why the solver stopped.
+    pub reason: StopReason,
+    /// Total Krylov iterations (across restarts for GMRES).
+    pub iterations: usize,
+    /// Final *relative* residual `‖b − A x‖ / ‖b‖` as estimated by the
+    /// solver recurrence.
+    pub relative_residual: f64,
+    /// Residual history (one entry per iteration), for convergence plots.
+    pub history: Vec<f64>,
+}
+
+impl SolveStats {
+    /// True when the solve reached its tolerance.
+    pub fn converged(&self) -> bool {
+        self.reason == StopReason::Converged
+    }
+}
+
+/// Parameters shared by the Krylov solvers.
+#[derive(Debug, Clone)]
+pub struct SolverOptions {
+    /// Relative residual tolerance.
+    pub tolerance: f64,
+    /// Maximum total iterations.
+    pub max_iterations: usize,
+    /// GMRES restart length (ignored by CG).
+    pub restart: usize,
+    /// Record per-iteration residuals in `SolveStats::history`.
+    pub record_history: bool,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        // PETSc-like defaults: rtol 1e-5, GMRES(30).
+        SolverOptions {
+            tolerance: 1e-5,
+            max_iterations: 2000,
+            restart: 30,
+            record_history: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::TripletBuilder;
+
+    #[test]
+    fn csr_is_linear_operator() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.add(0, 0, 2.0);
+        b.add(1, 1, 3.0);
+        let m = b.build();
+        assert_eq!(LinearOperator::dim(&m), 2);
+        let mut y = vec![0.0; 2];
+        m.apply(&[1.0, 1.0], &mut y);
+        assert_eq!(y, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn default_options_sane() {
+        let o = SolverOptions::default();
+        assert!(o.tolerance > 0.0 && o.tolerance < 1.0);
+        assert!(o.restart >= 1);
+    }
+}

@@ -1,0 +1,28 @@
+use brainshift_bench::{cap_bcs, phantom_labels};
+use brainshift_fem::{apply_dirichlet, assemble_stiffness, MaterialTable};
+use brainshift_imaging::labels;
+use brainshift_imaging::phantom::BrainShiftConfig;
+use brainshift_imaging::volume::{Dims, Spacing};
+use brainshift_mesh::{mesh_labeled_volume, MesherConfig};
+use brainshift_sparse::{conjugate_gradient, gmres, BlockJacobiPrecond, BlockSolve, JacobiPrecond, SolverOptions};
+
+fn main() {
+    let (vol, model) = phantom_labels(Dims::new(64, 64, 48), Spacing::iso(2.5));
+    let mesh = mesh_labeled_volume(&vol, &MesherConfig { step: 1, include: labels::is_brain_tissue });
+    println!("nodes {} tets {}", mesh.num_nodes(), mesh.num_tets());
+    let shift = BrainShiftConfig { peak_shift_mm: 8.0, resect_tumor: true, ..Default::default() };
+    let bcs = cap_bcs(&mesh, &model, &shift);
+    let k = assemble_stiffness(&mesh, &MaterialTable::heterogeneous());
+    let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &bcs);
+    println!("n={} nnz={}", red.matrix.nrows(), red.matrix.nnz());
+    let opts = SolverOptions { tolerance: 1e-6, max_iterations: 1500, record_history: true, ..Default::default() };
+    let p = BlockJacobiPrecond::new(&red.matrix, 4, BlockSolve::Ilu0);
+    let mut x = vec![0.0; red.matrix.nrows()];
+    let s = gmres(&red.matrix, &p, &red.rhs, &mut x, &opts);
+    println!("gmres bj-ilu0: {:?} iters {} rel {:.2e}", s.reason, s.iterations, s.relative_residual);
+    let h = &s.history;
+    for i in (0..h.len()).step_by(h.len().max(1)/10+1) { println!("  hist[{i}] = {:.3e}", h[i]); }
+    let mut x2 = vec![0.0; red.matrix.nrows()];
+    let s2 = conjugate_gradient(&red.matrix, &JacobiPrecond::new(&red.matrix), &red.rhs, &mut x2, &SolverOptions { tolerance: 1e-6, max_iterations: 3000, ..Default::default() });
+    println!("cg jacobi: {:?} iters {} rel {:.2e}", s2.reason, s2.iterations, s2.relative_residual);
+}

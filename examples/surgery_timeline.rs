@@ -1,0 +1,64 @@
+//! A whole surgery, scan by scan: the paper's clinical workflow over a
+//! sequence of intraoperative acquisitions with progressive brain shift
+//! and, midway, tumor resection — tracking registration quality and the
+//! "quantitative monitoring of treatment progress" the paper motivates.
+//!
+//! ```bash
+//! cargo run --release --example surgery_timeline
+//! ```
+
+use brainshift_core::pipeline::PipelineConfig;
+use brainshift_core::sequence::{generate_scan_sequence, label_volume_mm3, run_scan_sequence};
+use brainshift_imaging::labels;
+use brainshift_imaging::phantom::{BrainShiftConfig, PhantomConfig};
+use brainshift_imaging::volume::{Dims, Spacing};
+
+fn main() {
+    println!("surgery timeline: four intraoperative scans");
+    println!("===========================================\n");
+    let phantom = PhantomConfig {
+        dims: Dims::new(40, 40, 30),
+        spacing: Spacing::iso(3.6),
+        ..Default::default()
+    };
+    let shift = BrainShiftConfig { peak_shift_mm: 9.0, ..Default::default() };
+    // Scans 1–2 during approach (shift grows), tumor resected before
+    // scans 3–4.
+    let seq = generate_scan_sequence(&phantom, &shift, 4, 2);
+
+    println!("treatment progress (tumor volume from each scan's segmentation):");
+    let v0 = label_volume_mm3(&seq.reference.labels, labels::TUMOR);
+    println!("  scan 0 (reference): {:>8.0} mm3", v0);
+    for (i, scan) in seq.scans.iter().enumerate() {
+        let v = label_volume_mm3(&scan.labels, labels::TUMOR);
+        let cavity = label_volume_mm3(&scan.labels, labels::RESECTION);
+        println!(
+            "  scan {} (shift {:>3.0}%): {:>8.0} mm3 tumor, {:>8.0} mm3 cavity",
+            i + 1,
+            seq.stages[i] * 100.0,
+            v,
+            cavity
+        );
+    }
+
+    println!("\nregistering each scan to the reference (shared mesh + statistical model):");
+    let outcomes = run_scan_sequence(&seq, &PipelineConfig { skip_rigid: true, ..Default::default() });
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>12} {:>8}",
+        "scan", "shift%", "peak rec", "mean err", "mean truth", "iters"
+    );
+    for o in &outcomes {
+        println!(
+            "{:>6} {:>8.0} {:>9.2} mm {:>9.2} mm {:>9.2} mm {:>8}",
+            o.scan_index + 1,
+            o.stage * 100.0,
+            o.peak_recovered_mm,
+            o.field_error.mean_error_mm,
+            o.field_error.mean_truth_mm,
+            o.fem_iterations
+        );
+    }
+    println!("\n(the recovered deformation tracks the progressing shift; the mesh,");
+    println!(" active-surface snap and prototype model are built once and reused,");
+    println!(" which is what keeps the per-scan intraoperative cost low.)");
+}

@@ -1,0 +1,113 @@
+//! Integration: shape invariants of the simulated-cluster timing model —
+//! the properties the paper's Figures 7–9 exhibit must hold for any
+//! reasonable problem, not just the headline configuration.
+
+use brainshift_bench::problem_with_equations;
+use brainshift_cluster::MachineModel;
+use brainshift_fem::{assemble_stiffness, simulate_assemble_solve, MaterialTable, SimOptions, SimTimings};
+
+fn sweep(machine: MachineModel, cpus: &[usize], eqs: usize) -> Vec<SimTimings> {
+    let p = problem_with_equations(eqs);
+    let materials = MaterialTable::homogeneous();
+    let k = assemble_stiffness(&p.mesh, &materials);
+    cpus.iter()
+        .map(|&c| {
+            simulate_assemble_solve(&p.mesh, &materials, &p.bcs, machine.clone(), c, &SimOptions::default(), Some(&k)).0
+        })
+        .collect()
+}
+
+#[test]
+fn assembly_time_strictly_decreases_with_cpus() {
+    let ts = sweep(MachineModel::deep_flow(), &[1, 2, 4, 8, 16], 20_000);
+    for w in ts.windows(2) {
+        assert!(
+            w[1].assemble_s < w[0].assemble_s,
+            "assembly not decreasing: {} → {} at {} cpus",
+            w[0].assemble_s,
+            w[1].assemble_s,
+            w[1].cpus
+        );
+    }
+}
+
+#[test]
+fn speedup_sublinear_and_imbalance_present() {
+    let ts = sweep(MachineModel::ultra_hpc_6000(), &[1, 4, 8, 16], 20_000);
+    let s16 = ts[0].total_s() / ts[3].total_s();
+    assert!(s16 > 2.0, "speedup at 16 cpus only {s16}");
+    assert!(s16 < 16.0, "superlinear speedup is a model bug: {s16}");
+    assert!(ts[3].assembly_imbalance > 1.0);
+    assert!(ts[3].solve_imbalance > 1.0);
+}
+
+#[test]
+fn smp_outscales_ethernet_on_solve() {
+    let eth = sweep(MachineModel::deep_flow(), &[1, 8], 20_000);
+    let smp = sweep(MachineModel::ultra_hpc_6000(), &[1, 8], 20_000);
+    let eth_speedup = eth[0].solve_s / eth[1].solve_s;
+    let smp_speedup = smp[0].solve_s / smp[1].solve_s;
+    assert!(
+        smp_speedup > eth_speedup,
+        "SMP {smp_speedup:.2} vs Ethernet {eth_speedup:.2}"
+    );
+}
+
+#[test]
+fn larger_system_takes_proportionally_longer() {
+    let small = sweep(MachineModel::ultra_hpc_6000(), &[8], 15_000);
+    let large = sweep(MachineModel::ultra_hpc_6000(), &[8], 45_000);
+    let ratio = large[0].assemble_s / small[0].assemble_s;
+    assert!(
+        (2.0..5.0).contains(&ratio),
+        "3x equations should be ~3x assembly: ratio {ratio}"
+    );
+    // Equation counts actually near the targets.
+    assert!((large[0].total_equations as f64 / small[0].total_equations as f64) > 2.5);
+}
+
+#[test]
+fn hierarchical_machine_penalized_only_across_nodes() {
+    // Ultra 80 pair: 4 CPUs stay inside one node (cheap), 8 spill onto
+    // Ethernet — per-CPU efficiency must drop at the transition.
+    let ts = sweep(MachineModel::ultra_80_pair(), &[1, 4, 8], 20_000);
+    let eff4 = ts[0].solve_s / (ts[1].solve_s * 4.0);
+    let eff8 = ts[0].solve_s / (ts[2].solve_s * 8.0);
+    assert!(
+        eff8 < eff4,
+        "crossing the node boundary should cost efficiency: {eff4:.2} vs {eff8:.2}"
+    );
+}
+
+#[test]
+fn ten_second_claim_at_paper_scale() {
+    // The headline: 77k equations, 16 Deep Flow CPUs, under 10 seconds.
+    let p = problem_with_equations(77_511);
+    let materials = MaterialTable::homogeneous();
+    let (t, _) = simulate_assemble_solve(
+        &p.mesh,
+        &materials,
+        &p.bcs,
+        MachineModel::deep_flow(),
+        16,
+        &SimOptions::default(),
+        None,
+    );
+    assert!(t.converged);
+    assert!(
+        t.total_s() < 10.0,
+        "total {} s at 16 CPUs — the paper's claim fails",
+        t.total_s()
+    );
+    // And 1 CPU must NOT meet the deadline (the parallelism is necessary).
+    let (t1, _) = simulate_assemble_solve(
+        &p.mesh,
+        &materials,
+        &p.bcs,
+        MachineModel::deep_flow(),
+        1,
+        &SimOptions::default(),
+        None,
+    );
+    assert!(t1.total_s() > 10.0, "1 CPU already meets the deadline: {}", t1.total_s());
+}

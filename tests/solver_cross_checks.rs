@@ -1,0 +1,159 @@
+//! Integration: cross-validation of the numerical stack — the FEM matrix
+//! solved through independent code paths must agree, and the distributed
+//! (thread message-passing) reductions must match serial arithmetic.
+
+use brainshift_cluster::run_ranks;
+use brainshift_fem::{apply_dirichlet, assemble_stiffness, DirichletBcs, MaterialTable};
+use brainshift_imaging::labels;
+use brainshift_imaging::volume::{Dims, Spacing, Volume};
+use brainshift_imaging::Vec3;
+use brainshift_mesh::{boundary_nodes, mesh_labeled_volume, MesherConfig};
+use brainshift_sparse::dense::DenseLu;
+use brainshift_sparse::{
+    conjugate_gradient, gmres, BlockJacobiPrecond, BlockSolve, Ilu0, JacobiPrecond, SolverOptions,
+};
+
+fn small_reduced() -> (brainshift_sparse::CsrMatrix, Vec<f64>) {
+    let seg = Volume::from_fn(Dims::new(5, 5, 5), Spacing::iso(2.0), |_, _, _| labels::BRAIN);
+    let mesh = mesh_labeled_volume(&seg, &MesherConfig { step: 1, include: labels::is_deformable });
+    let k = assemble_stiffness(&mesh, &MaterialTable::homogeneous());
+    let mut bcs = DirichletBcs::new();
+    for &n in boundary_nodes(&mesh).iter() {
+        let p = mesh.nodes[n];
+        bcs.set(n, Vec3::new(0.1 * p.z, -0.05 * p.x, 0.02 * p.y));
+    }
+    let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &bcs);
+    (red.matrix, red.rhs)
+}
+
+#[test]
+fn gmres_cg_and_dense_lu_agree_on_fem_system() {
+    let (a, rhs) = small_reduced();
+    let n = a.nrows();
+    // Dense LU reference.
+    let mut dense = vec![0.0; n * n];
+    for i in 0..n {
+        let (cols, vals) = a.row(i);
+        for (&c, &v) in cols.iter().zip(vals) {
+            dense[i * n + c] = v;
+        }
+    }
+    let lu = DenseLu::factorize(&dense, n).expect("SPD system must factor");
+    let mut x_lu = vec![0.0; n];
+    lu.solve(&rhs, &mut x_lu);
+
+    let opts = SolverOptions { tolerance: 1e-12, max_iterations: 20_000, ..Default::default() };
+    let mut x_g = vec![0.0; n];
+    let sg = gmres(&a, &Ilu0::new(&a), &rhs, &mut x_g, &opts);
+    assert!(sg.converged());
+    let mut x_c = vec![0.0; n];
+    let sc = conjugate_gradient(&a, &JacobiPrecond::new(&a), &rhs, &mut x_c, &opts);
+    assert!(sc.converged());
+
+    let scale = x_lu.iter().fold(1e-12f64, |m, v| m.max(v.abs()));
+    for i in 0..n {
+        assert!((x_g[i] - x_lu[i]).abs() < 1e-7 * scale, "gmres[{i}]");
+        assert!((x_c[i] - x_lu[i]).abs() < 1e-7 * scale, "cg[{i}]");
+    }
+}
+
+#[test]
+fn block_jacobi_block_count_does_not_change_solution() {
+    let (a, rhs) = small_reduced();
+    let opts = SolverOptions { tolerance: 1e-11, max_iterations: 20_000, ..Default::default() };
+    let mut reference: Option<Vec<f64>> = None;
+    for blocks in [1usize, 2, 5] {
+        let pc = BlockJacobiPrecond::new(&a, blocks, BlockSolve::Ilu0);
+        let mut x = vec![0.0; a.nrows()];
+        let s = gmres(&a, &pc, &rhs, &mut x, &opts);
+        assert!(s.converged(), "blocks={blocks}");
+        match &reference {
+            None => reference = Some(x),
+            Some(r) => {
+                for (p, q) in x.iter().zip(r) {
+                    assert!((p - q).abs() < 1e-6, "blocks={blocks}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn distributed_spmv_matches_serial() {
+    // Row-partitioned SpMV executed on real threads with message passing:
+    // each rank owns a contiguous row block and gathers the full vector.
+    let (a, _) = small_reduced();
+    let n = a.nrows();
+    let x: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) * 0.25 - 1.0).collect();
+    let mut serial = vec![0.0; n];
+    a.spmv(&x, &mut serial);
+
+    let p = 4.min(n);
+    let offsets = brainshift_sparse::partition::even_offsets(n, p);
+    let results = run_ranks(p, |comm| {
+        let r = comm.rank();
+        let lo = offsets[r];
+        let hi = offsets[r + 1];
+        // Allgather the input vector (ghost exchange superset).
+        let parts = comm.allgatherv(&x[lo..hi]);
+        let full: Vec<f64> = parts.concat();
+        let mut local = vec![0.0; hi - lo];
+        for (li, row) in (lo..hi).enumerate() {
+            let (cols, vals) = a.row(row);
+            local[li] = cols.iter().zip(vals).map(|(&c, &v)| v * full[c]).sum();
+        }
+        local
+    });
+    let distributed: Vec<f64> = results.concat();
+    for (d, s) in distributed.iter().zip(&serial) {
+        assert!((d - s).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn distributed_gmres_norms_match_serial() {
+    // The dot/norm reductions a distributed Krylov solver performs,
+    // executed over the thread communicator, must agree with serial.
+    let (_, rhs) = small_reduced();
+    let n = rhs.len();
+    let p = 3;
+    let offsets = brainshift_sparse::partition::even_offsets(n, p);
+    let serial_dot: f64 = rhs.iter().map(|v| v * v).sum();
+    let results = run_ranks(p, |comm| {
+        let r = comm.rank();
+        let local: f64 = rhs[offsets[r]..offsets[r + 1]].iter().map(|v| v * v).sum();
+        comm.allreduce_sum(&[local])[0]
+    });
+    for r in results {
+        assert!((r - serial_dot).abs() < 1e-9 * serial_dot.abs().max(1.0));
+    }
+}
+
+#[test]
+fn distributed_gmres_solves_fem_system() {
+    // The real-message-passing distributed solver on the actual reduced
+    // FEM matrix: all ranks converge to the serial solution.
+    use brainshift_cluster::{distributed_gmres, LocalSystem};
+    let (a, rhs) = small_reduced();
+    let n = a.nrows();
+    let opts = SolverOptions { tolerance: 1e-9, max_iterations: 5000, ..Default::default() };
+    // Serial reference.
+    let mut x_ref = vec![0.0; n];
+    let s_ref = gmres(&a, &Ilu0::new(&a), &rhs, &mut x_ref, &opts);
+    assert!(s_ref.converged());
+    let p = 4;
+    let offsets = brainshift_sparse::partition::even_offsets(n, p);
+    let results = run_ranks(p, |comm| {
+        let r = comm.rank();
+        let sys = LocalSystem::from_global(&a, offsets[r], offsets[r + 1]);
+        distributed_gmres(comm, &sys, &rhs[offsets[r]..offsets[r + 1]], &opts)
+    });
+    let x: Vec<f64> = results.iter().flat_map(|(xl, _)| xl.clone()).collect();
+    let scale = x_ref.iter().fold(1e-12f64, |m, v| m.max(v.abs()));
+    for (d, s) in x.iter().zip(&x_ref) {
+        assert!((d - s).abs() < 1e-5 * scale, "{d} vs {s}");
+    }
+    for (_, stats) in &results {
+        assert!(stats.converged());
+    }
+}
