@@ -1,0 +1,78 @@
+//! Criterion: per-scan biomechanical solve latency — the cold path
+//! (assemble + reduce + factor + solve every scan, what `run_scan_sequence`
+//! did before the persistent context) versus context reuse (assemble-once,
+//! zero-started solves) versus the full warm-started path (assemble-once,
+//! each solve seeded from the neighbouring scan's displacement).
+
+use brainshift_bench::{cap_bcs, problem_with_equations};
+use brainshift_fem::{
+    solve_deformation, DirichletBcs, FemSolveConfig, MaterialTable, SolverContext,
+};
+use brainshift_imaging::phantom::BrainShiftConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::cell::Cell;
+
+fn scaled(bcs: &DirichletBcs, s: f64) -> DirichletBcs {
+    let mut out = DirichletBcs::new();
+    for (n, u) in bcs.iter() {
+        out.set(n, u * s);
+    }
+    out
+}
+
+fn bench_warm_solve(c: &mut Criterion) {
+    let p = problem_with_equations(9_000);
+    let materials = MaterialTable::homogeneous();
+    let bcs = cap_bcs(&p.mesh, &p.model, &BrainShiftConfig::default());
+    let cfg = FemSolveConfig::default();
+    let constrained = bcs.nodes_sorted();
+
+    let mut g = c.benchmark_group("per_scan_solve_9k");
+    g.sample_size(10);
+
+    // The pre-context per-scan cost: everything from scratch.
+    g.bench_function("cold_assemble_factor_solve", |b| {
+        b.iter(|| {
+            let sol = solve_deformation(&p.mesh, &materials, &bcs, &cfg);
+            assert!(sol.stats.converged());
+        });
+    });
+
+    // Assembly, reduction and factorization hoisted out; solves still
+    // start from zero (context reuse without warm starting).
+    g.bench_function("context_reuse_zero_start", |b| {
+        let mut ctx = SolverContext::new(&p.mesh, &materials, &constrained, cfg.clone());
+        b.iter(|| {
+            ctx.reset_warm_start();
+            let sol = ctx.solve(&bcs);
+            assert!(sol.stats.converged());
+        });
+    });
+
+    // The full intraoperative path: consecutive scans differ by a small
+    // shift increment, each solve seeded from the previous scan.
+    // Alternating between two nearby scan states keeps every iteration a
+    // genuine warm start (never a re-solve of an identical system).
+    g.bench_function("context_warm_start", |b| {
+        let mut ctx = SolverContext::new(&p.mesh, &materials, &constrained, cfg.clone());
+        let scan_a = scaled(&bcs, 0.95);
+        let scan_b = &bcs;
+        ctx.solve(&scan_a); // prime the warm-start state
+        let flip = Cell::new(false);
+        b.iter(|| {
+            let target = if flip.get() { &scan_a } else { scan_b };
+            flip.set(!flip.get());
+            let sol = ctx.solve(target);
+            assert!(sol.stats.converged());
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_warm_solve
+}
+criterion_main!(benches);

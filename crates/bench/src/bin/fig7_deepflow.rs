@@ -4,7 +4,7 @@
 
 use brainshift_bench::{plot_log_series, print_timing_header, print_timing_row, problem_with_equations};
 use brainshift_cluster::MachineModel;
-use brainshift_fem::{assemble_stiffness, simulate_assemble_solve, MaterialTable, SimOptions};
+use brainshift_fem::{simulate_assemble_solve, MaterialTable, SimOptions, SimProblem};
 
 fn main() {
     let target = std::env::args()
@@ -13,7 +13,7 @@ fn main() {
         .unwrap_or(77_511);
     let p = problem_with_equations(target);
     let materials = MaterialTable::homogeneous();
-    let k = assemble_stiffness(&p.mesh, &materials);
+    let k = SimProblem::new(&p.mesh, &materials, &p.bcs);
     print_timing_header(
         "Figure 7 — Deep Flow cluster",
         p.mesh.num_equations(),

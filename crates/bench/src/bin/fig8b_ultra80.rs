@@ -3,12 +3,12 @@
 
 use brainshift_bench::{plot_log_series, print_timing_header, print_timing_row, problem_with_equations};
 use brainshift_cluster::MachineModel;
-use brainshift_fem::{assemble_stiffness, simulate_assemble_solve, MaterialTable, SimOptions};
+use brainshift_fem::{simulate_assemble_solve, MaterialTable, SimOptions, SimProblem};
 
 fn main() {
     let p = problem_with_equations(77_511);
     let materials = MaterialTable::homogeneous();
-    let k = assemble_stiffness(&p.mesh, &materials);
+    let k = SimProblem::new(&p.mesh, &materials, &p.bcs);
     print_timing_header(
         "Figure 8b — 2x Ultra 80 over Fast Ethernet",
         p.mesh.num_equations(),

@@ -1,0 +1,166 @@
+//! Measure the per-scan biomechanical solve on the host — cold path vs
+//! persistent solver context — and write the numbers to
+//! `bench_out/warm_solve.json` so future changes have a perf trajectory.
+//!
+//! ```bash
+//! cargo run --release --bin warm_solve_json -- [equations] [scans]
+//! ```
+
+use brainshift_bench::{cap_bcs, problem_with_equations};
+use brainshift_fem::{
+    solve_deformation, DirichletBcs, FemSolveConfig, MaterialTable, SolverContext,
+};
+use brainshift_imaging::phantom::BrainShiftConfig;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let equations: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(24_000);
+    let n_scans: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5).max(1);
+
+    println!("building a ~{equations}-equation brain FEM problem...");
+    let p = problem_with_equations(equations);
+    let materials = MaterialTable::homogeneous();
+    let full_bcs = cap_bcs(&p.mesh, &p.model, &BrainShiftConfig::default());
+    let cfg = FemSolveConfig::default();
+    println!(
+        "mesh: {} nodes → {} equations; {} scans of progressive shift\n",
+        p.mesh.num_nodes(),
+        p.mesh.num_equations(),
+        n_scans
+    );
+
+    // Progressive-shift scans: stage i prescribes (i+1)/n of the full
+    // craniotomy-cap displacement, as in the intraoperative sequence.
+    let scans: Vec<DirichletBcs> = (0..n_scans)
+        .map(|i| {
+            let s = (i + 1) as f64 / n_scans as f64;
+            let mut bcs = DirichletBcs::new();
+            for (n, u) in full_bcs.iter() {
+                bcs.set(n, u * s);
+            }
+            bcs
+        })
+        .collect();
+
+    // ---- Cold path: assemble + reduce + factor + solve, every scan. ----
+    let mut cold_s = Vec::with_capacity(n_scans);
+    let mut cold_iters = Vec::with_capacity(n_scans);
+    let mut cold_solutions = Vec::with_capacity(n_scans);
+    for bcs in &scans {
+        let t0 = Instant::now();
+        let sol = solve_deformation(&p.mesh, &materials, bcs, &cfg);
+        cold_s.push(t0.elapsed().as_secs_f64());
+        assert!(sol.stats.converged(), "cold solve did not converge");
+        cold_iters.push(sol.stats.iterations);
+        cold_solutions.push(sol.displacements);
+    }
+
+    // ---- Persistent context: setup once, warm-started solves. ----
+    let t0 = Instant::now();
+    let mut ctx = SolverContext::new(&p.mesh, &materials, &full_bcs.nodes_sorted(), cfg.clone());
+    let setup_s = t0.elapsed().as_secs_f64();
+    let mut warm_s = Vec::with_capacity(n_scans);
+    let mut warm_iters = Vec::with_capacity(n_scans);
+    let mut max_dev = 0.0f64;
+    for (i, bcs) in scans.iter().enumerate() {
+        let t0 = Instant::now();
+        let sol = ctx.solve(bcs);
+        warm_s.push(t0.elapsed().as_secs_f64());
+        assert!(sol.stats.converged(), "warm solve did not converge");
+        warm_iters.push(sol.stats.iterations);
+        for (a, b) in sol.displacements.iter().zip(&cold_solutions[i]) {
+            max_dev = max_dev.max((*a - *b).norm());
+        }
+    }
+    let stats = ctx.stats();
+    assert_eq!(stats.assemblies, 1);
+    assert_eq!(stats.factorizations, 1);
+    // Both paths stop at a relative residual of `tolerance`; two converged
+    // solutions may differ by O(tolerance × ‖u‖) in displacement.
+    let peak_mm = cold_solutions
+        .iter()
+        .flatten()
+        .map(|u| u.norm())
+        .fold(0.0, f64::max);
+    let dev_bound = 50.0 * cfg.options.tolerance * peak_mm.max(1.0);
+    assert!(
+        max_dev < dev_bound,
+        "context and cold displacements diverge: {max_dev:.3e} mm (bound {dev_bound:.3e})"
+    );
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let cold_mean = mean(&cold_s);
+    let warm_mean = mean(&warm_s);
+    println!("{:<28} {:>10} {:>8}", "path", "mean/scan", "iters");
+    println!(
+        "{:<28} {:>8.3} s {:>8}",
+        "cold (reassemble+refactor)",
+        cold_mean,
+        cold_iters.iter().sum::<usize>() / n_scans
+    );
+    println!(
+        "{:<28} {:>8.3} s {:>8}",
+        "context (warm-started)",
+        warm_mean,
+        warm_iters.iter().sum::<usize>() / n_scans
+    );
+    println!(
+        "context setup (once/surgery) {:>7.3} s; per-scan speedup ×{:.2}; max deviation {:.2e} mm",
+        setup_s,
+        cold_mean / warm_mean,
+        max_dev
+    );
+    assert!(
+        warm_mean < cold_mean,
+        "context path not faster: {warm_mean:.3}s vs {cold_mean:.3}s"
+    );
+
+    // ---- Hand-rolled JSON (no serde in the build environment). ----
+    let fmt_vec = |v: &[f64]| {
+        let mut s = String::from("[");
+        for (i, x) in v.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{x:.6}");
+        }
+        s.push(']');
+        s
+    };
+    let fmt_usize_vec = |v: &[usize]| {
+        let mut s = String::from("[");
+        for (i, x) in v.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{x}");
+        }
+        s.push(']');
+        s
+    };
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"equations\": {},", p.mesh.num_equations());
+    let _ = writeln!(json, "  \"scans\": {n_scans},");
+    let _ = writeln!(json, "  \"context_setup_s\": {setup_s:.6},");
+    let _ = writeln!(json, "  \"cold_scan_s\": {},", fmt_vec(&cold_s));
+    let _ = writeln!(json, "  \"warm_scan_s\": {},", fmt_vec(&warm_s));
+    let _ = writeln!(json, "  \"cold_mean_s\": {cold_mean:.6},");
+    let _ = writeln!(json, "  \"warm_mean_s\": {warm_mean:.6},");
+    let _ = writeln!(json, "  \"per_scan_speedup\": {:.4},", cold_mean / warm_mean);
+    let _ = writeln!(json, "  \"cold_iterations\": {},", fmt_usize_vec(&cold_iters));
+    let _ = writeln!(json, "  \"warm_iterations\": {},", fmt_usize_vec(&warm_iters));
+    let _ = writeln!(json, "  \"assemblies\": {},", stats.assemblies);
+    let _ = writeln!(json, "  \"factorizations\": {},", stats.factorizations);
+    let _ = writeln!(json, "  \"max_displacement_deviation_mm\": {max_dev:.6e}");
+    let _ = writeln!(json, "}}");
+
+    let out_dir = PathBuf::from("bench_out");
+    std::fs::create_dir_all(&out_dir).expect("create bench_out/");
+    let path = out_dir.join("warm_solve.json");
+    std::fs::write(&path, json).expect("write warm_solve.json");
+    println!("\nwritten: {}", path.display());
+}

@@ -18,6 +18,9 @@ pub mod timeline;
 
 pub use case::{generate_elastic_case, ElasticCase, ElasticCaseOptions};
 pub use metrics::{field_error, intensity_residual, structure_overlaps, FieldErrorReport, ResidualReport};
-pub use sequence::{generate_scan_sequence, run_scan_sequence, ScanOutcome, ScanSequence};
-pub use pipeline::{composite_warped, run_pipeline, PipelineConfig, PipelineResult, SurfaceForceKind};
+pub use sequence::{generate_scan_sequence, run_scan_sequence, ScanOutcome, ScanSequence, SequenceResult};
+pub use pipeline::{
+    composite_warped, run_pipeline, run_pipeline_with_solver, PipelineConfig, PipelineResult,
+    SurfaceForceKind,
+};
 pub use timeline::Timeline;

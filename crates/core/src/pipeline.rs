@@ -9,8 +9,8 @@
 
 use crate::timeline::Timeline;
 use brainshift_fem::{
-    displacement_field_from_mesh, solve_deformation, DirichletBcs, FemSolveConfig, FemSolution,
-    MaterialTable,
+    displacement_field_from_mesh, ContextStats, DirichletBcs, FemSolveConfig, FemSolution,
+    MaterialTable, SolverContext,
 };
 use brainshift_imaging::field::{invert_field, warp_volume_backward};
 use brainshift_imaging::{labels, DisplacementField, Vec3, Volume};
@@ -102,6 +102,9 @@ pub struct PipelineResult {
     pub warped_reference: Volume<f32>,
     /// Stage timings (Figure 6).
     pub timeline: Timeline,
+    /// Cumulative FEM solver-context counters (over every scan served by
+    /// the context passed to [`run_pipeline_with_solver`]).
+    pub solver_stats: ContextStats,
 }
 
 /// Run the full intraoperative pipeline.
@@ -115,6 +118,27 @@ pub fn run_pipeline(
     reference_seg: &Volume<u8>,
     intraop_intensity: &Volume<f32>,
     cfg: &PipelineConfig,
+) -> PipelineResult {
+    run_pipeline_with_solver(reference_intensity, reference_seg, intraop_intensity, cfg, &mut None)
+}
+
+/// [`run_pipeline`] with a persistent FEM solver context threaded across
+/// calls.
+///
+/// On the first scan of a surgery pass `&mut None`: the context (global
+/// stiffness assembly, Dirichlet reduction, preconditioner factorization)
+/// is built and left behind in `solver`. Later scans of the *same*
+/// surgery reuse it — their biomechanical stage is a single warm-started
+/// Krylov solve. The context is rebuilt automatically if the mesh or the
+/// constrained surface changes (e.g. rigid registration realigned the
+/// reference); changing `cfg.materials` or `cfg.fem` mid-surgery requires
+/// resetting `solver` to `None` yourself.
+pub fn run_pipeline_with_solver(
+    reference_intensity: &Volume<f32>,
+    reference_seg: &Volume<u8>,
+    intraop_intensity: &Volume<f32>,
+    cfg: &PipelineConfig,
+    solver: &mut Option<SolverContext>,
 ) -> PipelineResult {
     let mut timeline = Timeline::new();
 
@@ -211,14 +235,28 @@ pub fn run_pipeline(
     });
 
     // ── Biomechanical simulation: surface displacements as Dirichlet
-    //    data, FEM for the volume (Fig 1's last box). ──
+    //    data, FEM for the volume (Fig 1's last box). The solver context
+    //    (assembly + reduction + preconditioner) persists across scans of
+    //    a surgery; a scan whose mesh matches pays only the solve. ──
     let fem = timeline.stage("biomechanical simulation", true, || {
         let mut bcs = DirichletBcs::new();
         for (v, &node) in brain_surface.mesh_node.iter().enumerate() {
             bcs.set(node, surface_displacements[v]);
         }
-        solve_deformation(&mesh, &cfg.materials, &bcs, &cfg.fem)
+        let reusable = solver
+            .as_ref()
+            .is_some_and(|c| c.matches(&mesh, &brain_surface.mesh_node));
+        if !reusable {
+            *solver = Some(SolverContext::new(
+                &mesh,
+                &cfg.materials,
+                &brain_surface.mesh_node,
+                cfg.fem.clone(),
+            ));
+        }
+        solver.as_mut().unwrap().solve(&bcs)
     });
+    let solver_stats = solver.as_ref().unwrap().stats();
 
     // ── Dense deformation + resample (the ~0.5 s visualization step). ──
     let (forward_field, backward_field, warped_reference) = timeline.stage("visualization resample", true, || {
@@ -244,6 +282,7 @@ pub fn run_pipeline(
         backward_field,
         warped_reference,
         timeline,
+        solver_stats,
     }
 }
 
@@ -408,6 +447,42 @@ mod tests {
             "gradient force recovered only {peak:.2} mm of {:.2} mm",
             case.gt_forward.max_magnitude()
         );
+    }
+
+    #[test]
+    fn solver_context_persists_across_pipeline_calls() {
+        // Two scans of the same surgery (fixed reference, skip_rigid):
+        // the second run must reuse the first run's assembly and
+        // factorization and warm-start its solve.
+        let case = small_case();
+        let cfg = fast_cfg();
+        let mut solver = None;
+        let r1 = run_pipeline_with_solver(
+            &case.preop.intensity,
+            &case.preop.labels,
+            &case.intraop.intensity,
+            &cfg,
+            &mut solver,
+        );
+        assert_eq!(r1.solver_stats.assemblies, 1);
+        assert_eq!(r1.solver_stats.factorizations, 1);
+        assert_eq!(r1.solver_stats.warm_started_solves, 0);
+        let r2 = run_pipeline_with_solver(
+            &case.preop.intensity,
+            &case.preop.labels,
+            &case.intraop.intensity,
+            &cfg,
+            &mut solver,
+        );
+        assert!(r2.fem.stats.converged());
+        assert_eq!(r2.solver_stats.assemblies, 1, "second scan reassembled");
+        assert_eq!(r2.solver_stats.factorizations, 1, "second scan refactored");
+        assert_eq!(r2.solver_stats.solves, 2);
+        assert_eq!(r2.solver_stats.warm_started_solves, 1);
+        // Identical inputs → identical displacement output either way.
+        for (a, b) in r1.fem.displacements.iter().zip(&r2.fem.displacements) {
+            assert!((*a - *b).norm() < 1e-7);
+        }
     }
 
     #[test]

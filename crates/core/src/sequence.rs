@@ -14,7 +14,7 @@ use crate::case::{generate_elastic_case, ElasticCase, ElasticCaseOptions};
 use crate::metrics::{field_error, FieldErrorReport};
 use crate::pipeline::PipelineConfig;
 use brainshift_fem::{
-    displacement_field_from_mesh, solve_deformation, DirichletBcs,
+    displacement_field_from_mesh, ContextStats, DirichletBcs, SolverContext,
 };
 use brainshift_imaging::phantom::{forward_warp_labels, render_intensity, BrainShiftConfig, PhantomConfig, PhantomScan};
 use brainshift_imaging::{labels, DisplacementField, Volume};
@@ -93,10 +93,23 @@ pub struct ScanOutcome {
     pub peak_recovered_mm: f64,
 }
 
+/// Everything a registered sequence yields: the per-scan outcomes plus
+/// the solver counters proving the once-per-surgery initialization.
+pub struct SequenceResult {
+    /// One entry per intraoperative scan, in acquisition order.
+    pub outcomes: Vec<ScanOutcome>,
+    /// FEM solver-context counters over the whole surgery. With the
+    /// persistent context these show exactly one assembly and one
+    /// preconditioner factorization regardless of the scan count.
+    pub solver_stats: ContextStats,
+}
+
 /// Register every scan of the sequence against the reference, reusing the
-/// mesh, the assembled problem structure and the prototype model across
-/// scans (the paper's once-per-surgery initialization).
-pub fn run_scan_sequence(seq: &ScanSequence, cfg: &PipelineConfig) -> Vec<ScanOutcome> {
+/// mesh, the assembled stiffness matrix, the factored preconditioner and
+/// the prototype model across scans (the paper's once-per-surgery
+/// initialization). Each scan's FEM solve is warm-started from the
+/// previous scan's displacement field.
+pub fn run_scan_sequence(seq: &ScanSequence, cfg: &PipelineConfig) -> SequenceResult {
     // Built once per surgery:
     let mesh = mesh_labeled_volume(&seq.reference.labels, &cfg.mesher);
     let surface = extract_boundary(&mesh);
@@ -106,6 +119,10 @@ pub fn run_scan_sequence(seq: &ScanSequence, cfg: &PipelineConfig) -> Vec<ScanOu
     let ref_mask = largest_component(&seq.reference.labels.map(|&l| labels::is_brain_tissue(l)));
     let force_ref = DistanceForce::from_mask(&ref_mask, cfg.surface_force_step);
     let snap = evolve_surface(&surface, &force_ref, &cfg.active_surface);
+    // The constrained node set is the mesh's brain surface for the whole
+    // surgery — assemble K, split off K_ff/K_fc and factor the
+    // preconditioner once, re-solve per scan.
+    let mut solver = SolverContext::new(&mesh, &cfg.materials, &surface.mesh_node, cfg.fem.clone());
 
     let mut outcomes = Vec::with_capacity(seq.scans.len());
     for (i, scan) in seq.scans.iter().enumerate() {
@@ -120,7 +137,7 @@ pub fn run_scan_sequence(seq: &ScanSequence, cfg: &PipelineConfig) -> Vec<ScanOu
         for (v, &node) in surface.mesh_node.iter().enumerate() {
             bcs.set(node, evolved.positions[v] - snap.positions[v]);
         }
-        let sol = solve_deformation(&mesh, &cfg.materials, &bcs, &cfg.fem);
+        let sol = solver.solve(&bcs);
         let field = displacement_field_from_mesh(
             &mesh,
             &sol.displacements,
@@ -137,7 +154,7 @@ pub fn run_scan_sequence(seq: &ScanSequence, cfg: &PipelineConfig) -> Vec<ScanOu
             peak_recovered_mm: field.max_magnitude(),
         });
     }
-    outcomes
+    SequenceResult { outcomes, solver_stats: solver.stats() }
 }
 
 /// Convenience: is the tumor present in a scan's labels?
@@ -206,9 +223,24 @@ mod tests {
     }
 
     #[test]
+    fn sequence_reuses_one_assembly_and_factorization() {
+        // The acceptance contract of the persistent context: an entire
+        // multi-scan surgery performs exactly ONE stiffness assembly and
+        // ONE preconditioner factorization, with every scan after the
+        // first warm-started.
+        let seq = small_seq(3, 3);
+        let res = run_scan_sequence(&seq, &PipelineConfig { skip_rigid: true, ..Default::default() });
+        let s = res.solver_stats;
+        assert_eq!(s.assemblies, 1, "stiffness reassembled mid-surgery");
+        assert_eq!(s.factorizations, 1, "preconditioner refactored mid-surgery");
+        assert_eq!(s.solves, 3);
+        assert_eq!(s.warm_started_solves, 2);
+    }
+
+    #[test]
     fn sequence_registration_tracks_growing_shift() {
         let seq = small_seq(3, 3);
-        let outcomes = run_scan_sequence(&seq, &PipelineConfig { skip_rigid: true, ..Default::default() });
+        let outcomes = run_scan_sequence(&seq, &PipelineConfig { skip_rigid: true, ..Default::default() }).outcomes;
         assert_eq!(outcomes.len(), 3);
         // Recovered peak deformation grows along the sequence.
         assert!(

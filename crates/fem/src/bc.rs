@@ -60,6 +60,164 @@ impl DirichletBcs {
         }
         m
     }
+
+    /// Constrained node indices, sorted ascending.
+    pub fn nodes_sorted(&self) -> Vec<usize> {
+        let mut nodes: Vec<usize> = self.prescribed.keys().copied().collect();
+        nodes.sort_unstable();
+        nodes
+    }
+}
+
+/// The *structure* of a Dirichlet substitution: which DOFs are free, the
+/// free-free block `K_ff`, and the free-constrained coupling block
+/// `K_fc`.
+///
+/// In the intraoperative sequence the constrained node set is fixed per
+/// surgery (the brain's surface nodes) while the prescribed *values*
+/// change on every scan. The structure — and therefore `K_ff` and any
+/// preconditioner factored from it — can be built once and reused; each
+/// scan only recomputes the load vector `f_f − K_fc·u_c`.
+pub struct DirichletStructure {
+    /// `K_ff`, the free-free block (the system actually solved).
+    pub matrix: CsrMatrix,
+    /// `K_fc`, free rows × compact constrained columns: couples
+    /// prescribed values into the reduced right-hand side.
+    pub coupling: CsrMatrix,
+    /// Free DOF indices in original numbering.
+    pub free_dofs: Vec<usize>,
+    /// Original DOF → reduced index (`usize::MAX` for constrained DOFs).
+    pub reduced_of_dof: Vec<usize>,
+    /// Compact constrained index → original DOF.
+    pub constrained_dofs: Vec<usize>,
+}
+
+impl DirichletStructure {
+    /// Split `k` along the DOFs of `constrained_nodes` (deduplicated;
+    /// order irrelevant).
+    pub fn new(k: &CsrMatrix, constrained_nodes: &[usize]) -> Self {
+        let ndof = k.nrows();
+        let mut constrained = vec![false; ndof];
+        for &node in constrained_nodes {
+            for c in 0..3 {
+                let dof = 3 * node + c;
+                assert!(dof < ndof, "constrained node {node} out of range");
+                constrained[dof] = true;
+            }
+        }
+        let mut free_dofs = Vec::with_capacity(ndof);
+        let mut constrained_dofs = Vec::with_capacity(constrained_nodes.len() * 3);
+        let mut reduced_of_dof = vec![usize::MAX; ndof];
+        let mut constrained_of_dof = vec![usize::MAX; ndof];
+        for (dof, &is_c) in constrained.iter().enumerate() {
+            if is_c {
+                constrained_of_dof[dof] = constrained_dofs.len();
+                constrained_dofs.push(dof);
+            } else {
+                reduced_of_dof[dof] = free_dofs.len();
+                free_dofs.push(dof);
+            }
+        }
+        let nfree = free_dofs.len();
+        let nc = constrained_dofs.len();
+        let mut bff = TripletBuilder::with_capacity(nfree, nfree, k.nnz());
+        let mut bfc = TripletBuilder::new(nfree, nc.max(1));
+        for (ri, &dof) in free_dofs.iter().enumerate() {
+            let (cols, vals) = k.row(dof);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let rc = reduced_of_dof[c];
+                if rc == usize::MAX {
+                    bfc.add(ri, constrained_of_dof[c], v);
+                } else {
+                    bff.add(ri, rc, v);
+                }
+            }
+        }
+        DirichletStructure {
+            matrix: bff.build(),
+            coupling: bfc.build(),
+            free_dofs,
+            reduced_of_dof,
+            constrained_dofs,
+        }
+    }
+
+    /// Number of free (solved-for) DOFs.
+    pub fn num_free(&self) -> usize {
+        self.free_dofs.len()
+    }
+
+    /// Number of constrained DOFs.
+    pub fn num_constrained(&self) -> usize {
+        self.constrained_dofs.len()
+    }
+
+    /// Gather prescribed values from `bcs` into the compact constrained
+    /// vector `u_c`. Every constrained node must carry a value.
+    pub fn gather_constrained(&self, bcs: &DirichletBcs, u_c: &mut [f64]) {
+        assert_eq!(u_c.len(), self.constrained_dofs.len());
+        for (ci, &dof) in self.constrained_dofs.iter().enumerate() {
+            let node = dof / 3;
+            let u = bcs
+                .get(node)
+                .unwrap_or_else(|| panic!("node {node} is in the constrained set but has no value"));
+            u_c[ci] = match dof % 3 {
+                0 => u.x,
+                1 => u.y,
+                _ => u.z,
+            };
+        }
+    }
+
+    /// Reduced load vector for zero body force: `rhs = −K_fc·u_c`.
+    pub fn reduced_rhs_zero_f(&self, u_c: &[f64], rhs: &mut [f64]) {
+        self.coupling.spmv(u_c, rhs);
+        for v in rhs.iter_mut() {
+            *v = -*v;
+        }
+    }
+
+    /// Reduced load vector: `rhs = f_f − K_fc·u_c` (`f` in original DOF
+    /// numbering).
+    pub fn reduced_rhs(&self, f: &[f64], u_c: &[f64], rhs: &mut [f64]) {
+        self.coupling.spmv(u_c, rhs);
+        for (i, &dof) in self.free_dofs.iter().enumerate() {
+            rhs[i] = f[dof] - rhs[i];
+        }
+    }
+
+    /// Scatter a reduced solution plus the prescribed values into a full
+    /// DOF vector.
+    pub fn expand_solution_into(&self, x_reduced: &[f64], u_c: &[f64], full: &mut [f64]) {
+        assert_eq!(x_reduced.len(), self.free_dofs.len());
+        assert_eq!(full.len(), self.reduced_of_dof.len());
+        for (i, &dof) in self.free_dofs.iter().enumerate() {
+            full[dof] = x_reduced[i];
+        }
+        for (ci, &dof) in self.constrained_dofs.iter().enumerate() {
+            full[dof] = u_c[ci];
+        }
+    }
+
+    /// Per-rank counts of (free, constrained) DOFs under contiguous DOF
+    /// offsets — the quantity the paper blames for solver imbalance.
+    pub fn rank_dof_counts(&self, dof_offsets: &[usize]) -> Vec<(usize, usize)> {
+        rank_dof_counts(&self.reduced_of_dof, dof_offsets)
+    }
+}
+
+fn rank_dof_counts(reduced_of_dof: &[usize], dof_offsets: &[usize]) -> Vec<(usize, usize)> {
+    let p = dof_offsets.len() - 1;
+    let mut counts = vec![(0usize, 0usize); p];
+    for (dof, &red) in reduced_of_dof.iter().enumerate() {
+        let rank = brainshift_sparse::partition::part_of(dof_offsets, dof);
+        if red != usize::MAX {
+            counts[rank].0 += 1;
+        } else {
+            counts[rank].1 += 1;
+        }
+    }
+    counts
 }
 
 /// The reduced system after Dirichlet substitution.
@@ -92,57 +250,33 @@ impl ReducedSystem {
     /// Per-rank counts of (free, constrained) DOFs under contiguous DOF
     /// offsets — the quantity the paper blames for solver imbalance.
     pub fn rank_dof_counts(&self, dof_offsets: &[usize]) -> Vec<(usize, usize)> {
-        let p = dof_offsets.len() - 1;
-        let mut counts = vec![(0usize, 0usize); p];
-        for dof in 0..self.reduced_of_dof.len() {
-            let rank = brainshift_sparse::partition::part_of(dof_offsets, dof);
-            if self.reduced_of_dof[dof] != usize::MAX {
-                counts[rank].0 += 1;
-            } else {
-                counts[rank].1 += 1;
-            }
-        }
-        counts
+        rank_dof_counts(&self.reduced_of_dof, dof_offsets)
     }
 }
 
 /// Apply Dirichlet substitution to `K u = f`.
+///
+/// One-shot form of [`DirichletStructure`]: builds the structure for this
+/// BC set, computes the load vector, and discards the coupling block.
+/// Repeat solves over a fixed constrained set should hold a
+/// `DirichletStructure` (or a `SolverContext`) instead.
 pub fn apply_dirichlet(k: &CsrMatrix, f: &[f64], bcs: &DirichletBcs) -> ReducedSystem {
     let ndof = k.nrows();
     assert_eq!(f.len(), ndof);
-    let dof_vals = bcs.dof_values();
+    let structure = DirichletStructure::new(k, &bcs.nodes_sorted());
+    let mut u_c = vec![0.0; structure.num_constrained()];
+    structure.gather_constrained(bcs, &mut u_c);
+    let mut rhs = vec![0.0; structure.num_free()];
+    structure.reduced_rhs(f, &u_c, &mut rhs);
     let mut prescribed_values = vec![0.0; ndof];
-    let mut reduced_of_dof = vec![usize::MAX; ndof];
-    let mut free_dofs = Vec::with_capacity(ndof - dof_vals.len());
-    for dof in 0..ndof {
-        if let Some(&v) = dof_vals.get(&dof) {
-            prescribed_values[dof] = v;
-        } else {
-            reduced_of_dof[dof] = free_dofs.len();
-            free_dofs.push(dof);
-        }
-    }
-    let nfree = free_dofs.len();
-    let mut builder = TripletBuilder::with_capacity(nfree, nfree, k.nnz());
-    let mut rhs = vec![0.0; nfree];
-    for (ri, &dof) in free_dofs.iter().enumerate() {
-        let (cols, vals) = k.row(dof);
-        let mut acc = f[dof];
-        for (&c, &v) in cols.iter().zip(vals) {
-            let rc = reduced_of_dof[c];
-            if rc == usize::MAX {
-                acc -= v * prescribed_values[c];
-            } else {
-                builder.add(ri, rc, v);
-            }
-        }
-        rhs[ri] = acc;
+    for (ci, &dof) in structure.constrained_dofs.iter().enumerate() {
+        prescribed_values[dof] = u_c[ci];
     }
     ReducedSystem {
-        matrix: builder.build(),
+        matrix: structure.matrix,
         rhs,
-        free_dofs,
-        reduced_of_dof,
+        free_dofs: structure.free_dofs,
+        reduced_of_dof: structure.reduced_of_dof,
         prescribed_values,
     }
 }
@@ -249,6 +383,74 @@ mod tests {
         // Total conserved.
         let total: usize = counts.iter().map(|c| c.0 + c.1).sum();
         assert_eq!(total, k.nrows());
+    }
+
+    #[test]
+    fn structure_splits_k_exactly() {
+        // K_ff x_f + K_fc u_c must reproduce K u on the free rows for any
+        // assignment of free/constrained values.
+        let mesh = block_mesh(3);
+        let k = assemble_stiffness(&mesh, &MaterialTable::homogeneous());
+        let ndof = k.nrows();
+        let surface = boundary_nodes(&mesh);
+        let s = DirichletStructure::new(&k, &surface);
+        assert_eq!(s.num_free() + s.num_constrained(), ndof);
+
+        let full: Vec<f64> = (0..ndof).map(|d| ((d as f64) * 0.37).sin()).collect();
+        let x_f: Vec<f64> = s.free_dofs.iter().map(|&d| full[d]).collect();
+        let u_c: Vec<f64> = s.constrained_dofs.iter().map(|&d| full[d]).collect();
+
+        let mut k_full = vec![0.0; ndof];
+        k.spmv(&full, &mut k_full);
+        let mut kff_x = vec![0.0; s.num_free()];
+        s.matrix.spmv(&x_f, &mut kff_x);
+        let mut kfc_u = vec![0.0; s.num_free()];
+        s.coupling.spmv(&u_c, &mut kfc_u);
+        for (i, &dof) in s.free_dofs.iter().enumerate() {
+            assert!(
+                (kff_x[i] + kfc_u[i] - k_full[dof]).abs() < 1e-10,
+                "row {i}: split product diverges from full product"
+            );
+        }
+    }
+
+    #[test]
+    fn structure_rhs_matches_apply_dirichlet() {
+        let mesh = block_mesh(3);
+        let k = assemble_stiffness(&mesh, &MaterialTable::homogeneous());
+        let mut bcs = DirichletBcs::new();
+        for (i, &n) in boundary_nodes(&mesh).iter().enumerate() {
+            bcs.set(n, Vec3::new(0.1 * i as f64, -0.05, 0.02 * i as f64));
+        }
+        let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &bcs);
+
+        let s = DirichletStructure::new(&k, &bcs.nodes_sorted());
+        let mut u_c = vec![0.0; s.num_constrained()];
+        s.gather_constrained(&bcs, &mut u_c);
+        let mut rhs = vec![0.0; s.num_free()];
+        s.reduced_rhs_zero_f(&u_c, &mut rhs);
+        assert_eq!(rhs.len(), red.rhs.len());
+        for (a, b) in rhs.iter().zip(&red.rhs) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn expand_into_round_trips() {
+        let mesh = block_mesh(3);
+        let k = assemble_stiffness(&mesh, &MaterialTable::homogeneous());
+        let surface = boundary_nodes(&mesh);
+        let s = DirichletStructure::new(&k, &surface);
+        let x: Vec<f64> = (0..s.num_free()).map(|i| i as f64).collect();
+        let u: Vec<f64> = (0..s.num_constrained()).map(|i| -(i as f64)).collect();
+        let mut full = vec![f64::NAN; k.nrows()];
+        s.expand_solution_into(&x, &u, &mut full);
+        for (i, &dof) in s.free_dofs.iter().enumerate() {
+            assert_eq!(full[dof], i as f64);
+        }
+        for (ci, &dof) in s.constrained_dofs.iter().enumerate() {
+            assert_eq!(full[dof], -(ci as f64));
+        }
     }
 
     #[test]

@@ -1,0 +1,373 @@
+//! Persistent solver context: assemble once, re-solve many.
+//!
+//! The paper's intraoperative loop solves the *same* elastic system once
+//! per scan: the mesh, the material table, and the set of constrained
+//! surface nodes are fixed for the whole surgery — only the prescribed
+//! surface displacements change as the brain shifts. The original
+//! pipeline nevertheless re-assembled the global stiffness matrix,
+//! re-applied the Dirichlet substitution, and re-factored the
+//! preconditioner on every scan.
+//!
+//! A [`SolverContext`] hoists all of that per-surgery work out of the
+//! per-scan path. It caches:
+//!
+//! 1. the assembled stiffness matrix `K`;
+//! 2. the reduced free-free block `K_ff` and the boundary-coupling block
+//!    `K_fc` (so each scan's load vector is one sparse product,
+//!    `f = −K_fc·u_c`);
+//! 3. the factored preconditioner for `K_ff`;
+//! 4. a [`KrylovWorkspace`] reused across solves (no per-scan basis
+//!    allocation).
+//!
+//! Per scan, the remaining work is: gather boundary values → one
+//! `K_fc` product → one GMRES solve warm-started from the previous
+//! scan's displacement (brain shift is progressive, so consecutive
+//! solutions are close). [`ContextStats`] counts assemblies and
+//! factorizations so callers can *assert* the assemble-once contract.
+
+use crate::assembly::assemble_stiffness;
+use crate::bc::{DirichletBcs, DirichletStructure};
+use crate::material::MaterialTable;
+use crate::solver::{build_preconditioner, FemSolution, FemSolveConfig, KrylovKind};
+use brainshift_imaging::Vec3;
+use brainshift_mesh::TetMesh;
+use brainshift_sparse::{
+    conjugate_gradient, gmres_with_workspace, CsrMatrix, KrylovWorkspace, Preconditioner,
+};
+
+/// Counters proving the assemble-once / re-solve-many contract.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContextStats {
+    /// Global stiffness assemblies performed by this context.
+    pub assemblies: usize,
+    /// Preconditioner factorizations performed by this context.
+    pub factorizations: usize,
+    /// Total solves served.
+    pub solves: usize,
+    /// Solves seeded from a previous solution instead of zero.
+    pub warm_started_solves: usize,
+}
+
+/// A per-surgery solver: fixed mesh, materials, and constrained node
+/// set; cheap repeated solves as the prescribed values change per scan.
+pub struct SolverContext {
+    cfg: FemSolveConfig,
+    num_nodes: usize,
+    mesh_fingerprint: u64,
+    k: CsrMatrix,
+    structure: DirichletStructure,
+    precond: Box<dyn Preconditioner>,
+    workspace: KrylovWorkspace,
+    /// Previous reduced solution; seeds the next solve.
+    prev_x: Vec<f64>,
+    has_prev: bool,
+    u_c: Vec<f64>,
+    rhs: Vec<f64>,
+    full: Vec<f64>,
+    stats: ContextStats,
+}
+
+impl SolverContext {
+    /// Assemble the stiffness matrix for `mesh`/`materials`, reduce it
+    /// along the DOFs of `constrained_nodes`, and factor the
+    /// preconditioner — the once-per-surgery setup.
+    pub fn new(
+        mesh: &TetMesh,
+        materials: &MaterialTable,
+        constrained_nodes: &[usize],
+        cfg: FemSolveConfig,
+    ) -> Self {
+        let k = assemble_stiffness(mesh, materials);
+        let mut ctx = Self::with_matrix(k, mesh, constrained_nodes, cfg);
+        ctx.stats.assemblies = 1;
+        ctx
+    }
+
+    /// Build a context around a pre-assembled stiffness matrix (no
+    /// assembly counted; one factorization performed).
+    pub fn with_matrix(
+        k: CsrMatrix,
+        mesh: &TetMesh,
+        constrained_nodes: &[usize],
+        cfg: FemSolveConfig,
+    ) -> Self {
+        assert_eq!(k.nrows(), mesh.num_equations());
+        assert!(
+            !constrained_nodes.is_empty(),
+            "unconstrained elastic body: singular system"
+        );
+        let structure = DirichletStructure::new(&k, constrained_nodes);
+        let precond = build_preconditioner(cfg.precond, &structure.matrix);
+        let nfree = structure.num_free();
+        let nc = structure.num_constrained();
+        let workspace = KrylovWorkspace::new(nfree, cfg.options.restart);
+        SolverContext {
+            cfg,
+            num_nodes: mesh.num_nodes(),
+            mesh_fingerprint: mesh_fingerprint(mesh),
+            full: vec![0.0; k.nrows()],
+            k,
+            structure,
+            precond,
+            workspace,
+            prev_x: vec![0.0; nfree],
+            has_prev: false,
+            u_c: vec![0.0; nc],
+            rhs: vec![0.0; nfree],
+            stats: ContextStats { factorizations: 1, ..Default::default() },
+        }
+    }
+
+    /// Solve for the displacement field under `bcs`. The constrained
+    /// node set must equal the one the context was built for (only the
+    /// values may differ); panics otherwise.
+    ///
+    /// The solve is warm-started from the previous scan's solution when
+    /// one exists (see [`Self::reset_warm_start`]).
+    pub fn solve(&mut self, bcs: &DirichletBcs) -> FemSolution {
+        assert_eq!(
+            3 * bcs.len(),
+            self.structure.num_constrained(),
+            "BC node set differs from the context's constrained set"
+        );
+        self.structure.gather_constrained(bcs, &mut self.u_c);
+        self.structure.reduced_rhs_zero_f(&self.u_c, &mut self.rhs);
+
+        // Warm start: seed from the previous scan's reduced solution.
+        let warm = self.has_prev;
+        if !warm {
+            self.prev_x.iter_mut().for_each(|v| *v = 0.0);
+        }
+        let stats = match self.cfg.krylov {
+            KrylovKind::Gmres => gmres_with_workspace(
+                &self.structure.matrix,
+                self.precond.as_ref(),
+                &self.rhs,
+                &mut self.prev_x,
+                &self.cfg.options,
+                &mut self.workspace,
+            ),
+            KrylovKind::ConjugateGradient => conjugate_gradient(
+                &self.structure.matrix,
+                self.precond.as_ref(),
+                &self.rhs,
+                &mut self.prev_x,
+                &self.cfg.options,
+            ),
+        };
+        self.has_prev = true;
+        self.stats.solves += 1;
+        if warm {
+            self.stats.warm_started_solves += 1;
+        }
+
+        self.structure.expand_solution_into(&self.prev_x, &self.u_c, &mut self.full);
+        let displacements = (0..self.num_nodes)
+            .map(|n| Vec3::new(self.full[3 * n], self.full[3 * n + 1], self.full[3 * n + 2]))
+            .collect();
+        FemSolution {
+            displacements,
+            stats,
+            reduced_equations: self.structure.num_free(),
+            total_equations: self.k.nrows(),
+        }
+    }
+
+    /// Forget the previous solution; the next solve starts from zero.
+    pub fn reset_warm_start(&mut self) {
+        self.has_prev = false;
+    }
+
+    /// Assembly / factorization / solve counters.
+    pub fn stats(&self) -> ContextStats {
+        self.stats
+    }
+
+    /// The cached full stiffness matrix.
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.k
+    }
+
+    /// The cached reduction structure (`K_ff`, `K_fc`, DOF maps).
+    pub fn structure(&self) -> &DirichletStructure {
+        &self.structure
+    }
+
+    /// Unknowns in the reduced system.
+    pub fn reduced_equations(&self) -> usize {
+        self.structure.num_free()
+    }
+
+    /// The solver configuration this context was built with.
+    pub fn config(&self) -> &FemSolveConfig {
+        &self.cfg
+    }
+
+    /// Can this context serve solves for `mesh` with `constrained_nodes`?
+    ///
+    /// True when the mesh geometry/topology fingerprint matches the one
+    /// the context was built from and the (deduplicated) constrained node
+    /// set is identical. Material changes are *not* detected — a surgery
+    /// keeps one material table, so callers must rebuild on their own if
+    /// they change it.
+    pub fn matches(&self, mesh: &TetMesh, constrained_nodes: &[usize]) -> bool {
+        if mesh.num_nodes() != self.num_nodes
+            || mesh.num_equations() != self.k.nrows()
+            || mesh_fingerprint(mesh) != self.mesh_fingerprint
+        {
+            return false;
+        }
+        let mut seen = vec![false; self.num_nodes];
+        let mut unique = 0usize;
+        for &n in constrained_nodes {
+            if n >= self.num_nodes {
+                return false;
+            }
+            if !seen[n] {
+                seen[n] = true;
+                unique += 1;
+            }
+        }
+        3 * unique == self.structure.num_constrained()
+            && constrained_nodes
+                .iter()
+                .all(|&n| self.structure.reduced_of_dof[3 * n] == usize::MAX)
+    }
+}
+
+/// Order-sensitive hash of the node coordinates and connectivity —
+/// enough to tell "same mesh as last scan" from "remeshed".
+fn mesh_fingerprint(mesh: &TetMesh) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bits: u64| {
+        h ^= bits;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for p in &mesh.nodes {
+        mix(p.x.to_bits());
+        mix(p.y.to_bits());
+        mix(p.z.to_bits());
+    }
+    mix(mesh.num_tets() as u64);
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::solve_deformation;
+    use brainshift_imaging::labels;
+    use brainshift_imaging::volume::{Dims, Spacing, Volume};
+    use brainshift_mesh::{boundary_nodes, mesh_labeled_volume, MesherConfig};
+    use brainshift_sparse::SolverOptions;
+
+    fn block_mesh(n: usize) -> TetMesh {
+        let seg = Volume::from_fn(Dims::new(n, n, n), Spacing::iso(1.0), |_, _, _| labels::BRAIN);
+        mesh_labeled_volume(&seg, &MesherConfig { step: 1, include: labels::is_deformable })
+    }
+
+    fn tight() -> FemSolveConfig {
+        FemSolveConfig {
+            options: SolverOptions { tolerance: 1e-10, max_iterations: 5000, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    fn scan_bcs(mesh: &TetMesh, surface: &[usize], scale: f64) -> DirichletBcs {
+        let mut bcs = DirichletBcs::new();
+        for &n in surface {
+            let p = mesh.nodes[n];
+            bcs.set(n, Vec3::new(0.0, 0.01 * scale * p.x, -0.05 * scale * (p.z + 1.0)));
+        }
+        bcs
+    }
+
+    #[test]
+    fn context_matches_cold_solver_across_scans() {
+        let mesh = block_mesh(4);
+        let materials = MaterialTable::homogeneous();
+        let surface = boundary_nodes(&mesh);
+        let mut ctx = SolverContext::new(&mesh, &materials, &surface, tight());
+        for stage in 1..=4 {
+            let bcs = scan_bcs(&mesh, &surface, stage as f64);
+            let warm = ctx.solve(&bcs);
+            let cold = solve_deformation(&mesh, &materials, &bcs, &tight());
+            assert!(warm.stats.converged() && cold.stats.converged());
+            for (a, b) in warm.displacements.iter().zip(&cold.displacements) {
+                assert!((*a - *b).norm() < 1e-7, "stage {stage}: {a:?} vs {b:?}");
+            }
+        }
+        let s = ctx.stats();
+        assert_eq!(s.assemblies, 1);
+        assert_eq!(s.factorizations, 1);
+        assert_eq!(s.solves, 4);
+        assert_eq!(s.warm_started_solves, 3);
+    }
+
+    #[test]
+    fn warm_start_converges_no_slower_than_zero_start() {
+        let mesh = block_mesh(5);
+        let materials = MaterialTable::homogeneous();
+        let surface = boundary_nodes(&mesh);
+        let cfg = tight();
+        // Two consecutive scans with nearby boundary displacements.
+        let bcs1 = scan_bcs(&mesh, &surface, 1.0);
+        let bcs2 = scan_bcs(&mesh, &surface, 1.1);
+
+        let mut warm_ctx = SolverContext::new(&mesh, &materials, &surface, cfg.clone());
+        warm_ctx.solve(&bcs1);
+        let warm = warm_ctx.solve(&bcs2);
+
+        let mut zero_ctx = SolverContext::new(&mesh, &materials, &surface, cfg);
+        let zero = zero_ctx.solve(&bcs2);
+
+        assert!(warm.stats.converged() && zero.stats.converged());
+        assert!(
+            warm.stats.iterations <= zero.stats.iterations,
+            "warm {} > zero {}",
+            warm.stats.iterations,
+            zero.stats.iterations
+        );
+    }
+
+    #[test]
+    fn reset_warm_start_reverts_to_zero_seed() {
+        let mesh = block_mesh(3);
+        let materials = MaterialTable::homogeneous();
+        let surface = boundary_nodes(&mesh);
+        let mut ctx = SolverContext::new(&mesh, &materials, &surface, tight());
+        let bcs = scan_bcs(&mesh, &surface, 1.0);
+        let first = ctx.solve(&bcs);
+        ctx.reset_warm_start();
+        let second = ctx.solve(&bcs);
+        assert_eq!(first.stats.iterations, second.stats.iterations);
+        assert_eq!(ctx.stats().warm_started_solves, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_bc_set_rejected() {
+        let mesh = block_mesh(3);
+        let surface = boundary_nodes(&mesh);
+        let mut ctx =
+            SolverContext::new(&mesh, &MaterialTable::homogeneous(), &surface, tight());
+        // Prescribe only one node: not the context's constrained set.
+        let mut bcs = DirichletBcs::new();
+        bcs.set(surface[0], Vec3::ZERO);
+        ctx.solve(&bcs);
+    }
+
+    #[test]
+    fn identical_scans_solve_in_zero_iterations_when_warm() {
+        let mesh = block_mesh(4);
+        let surface = boundary_nodes(&mesh);
+        let mut ctx =
+            SolverContext::new(&mesh, &MaterialTable::homogeneous(), &surface, tight());
+        let bcs = scan_bcs(&mesh, &surface, 2.0);
+        ctx.solve(&bcs);
+        // Same boundary values again: the warm start *is* the solution.
+        let again = ctx.solve(&bcs);
+        assert!(again.stats.converged());
+        assert_eq!(again.stats.iterations, 0, "warm start should satisfy the system");
+    }
+}

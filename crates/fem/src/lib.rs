@@ -12,6 +12,7 @@
 
 pub mod assembly;
 pub mod bc;
+pub mod context;
 pub mod element;
 pub mod interpolate;
 pub mod loads;
@@ -21,11 +22,12 @@ pub mod solver;
 pub mod stress;
 
 pub use assembly::assemble_stiffness;
-pub use bc::{apply_dirichlet, DirichletBcs, ReducedSystem};
+pub use bc::{apply_dirichlet, DirichletBcs, DirichletStructure, ReducedSystem};
+pub use context::{ContextStats, SolverContext};
 pub use element::{stiffness_btdb, stiffness_isotropic, TetShape};
 pub use interpolate::displacement_field_from_mesh;
 pub use loads::{assemble_body_force, assemble_gravity, gravity_load_density};
 pub use material::{Material, MaterialTable};
-pub use simulate::{simulate_assemble_solve, SimOptions, SimTimings};
+pub use simulate::{simulate_assemble_solve, SimOptions, SimProblem, SimTimings};
 pub use stress::{evaluate_stress, summarize, ElementState, StressSummary};
 pub use solver::{solve_deformation, solve_with_matrix, FemSolveConfig, FemSolution, KrylovKind, PrecondKind};

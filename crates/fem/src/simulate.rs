@@ -12,13 +12,13 @@
 //!   from each CPU's contiguous range.
 
 use crate::assembly::{assembly_flops_per_rank, assemble_stiffness};
-use crate::bc::{apply_dirichlet, DirichletBcs};
+use crate::bc::{DirichletBcs, DirichletStructure};
 use crate::material::MaterialTable;
 use brainshift_cluster::{MachineModel, SimCluster};
 use brainshift_imaging::Vec3;
 use brainshift_mesh::TetMesh;
 use brainshift_sparse::partition::{even_offsets, part_of};
-use brainshift_sparse::{gmres, BlockJacobiPrecond, BlockSolve, SolverOptions};
+use brainshift_sparse::{gmres, BlockJacobiPrecond, BlockSolve, CsrMatrix, SolverOptions};
 
 /// Modeled timings of one assemble+solve on `cpus` CPUs of a machine.
 #[derive(Debug, Clone)]
@@ -78,11 +78,48 @@ impl Default for SimOptions {
     }
 }
 
+/// The assembled-and-reduced elastic problem shared across simulated
+/// runs: the full stiffness matrix plus the Dirichlet split (`K_ff`,
+/// `K_fc`) for one constrained node set.
+///
+/// A CPU-count sweep re-prices the same numerics on different modeled
+/// machines; assembling and reducing once per sweep (instead of once per
+/// point) mirrors the per-surgery [`crate::SolverContext`] and keeps the
+/// figure benchmarks fast.
+pub struct SimProblem {
+    k: CsrMatrix,
+    structure: DirichletStructure,
+}
+
+impl SimProblem {
+    /// Assemble `mesh`/`materials` and reduce along the node set of
+    /// `bcs`. The prescribed *values* may change between runs; the node
+    /// set may not.
+    pub fn new(mesh: &TetMesh, materials: &MaterialTable, bcs: &DirichletBcs) -> Self {
+        let k = assemble_stiffness(mesh, materials);
+        let structure = DirichletStructure::new(&k, &bcs.nodes_sorted());
+        SimProblem { k, structure }
+    }
+
+    /// The assembled global stiffness matrix.
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.k
+    }
+
+    /// The cached Dirichlet reduction structure.
+    pub fn structure(&self) -> &DirichletStructure {
+        &self.structure
+    }
+}
+
 /// Run the biomechanical system on a simulated machine with `cpus` CPUs.
 ///
-/// `bcs` are the active-surface displacements. The stiffness matrix may be
-/// passed pre-assembled via `prebuilt` to keep sweeps over CPU counts fast
-/// (the numerics don't depend on the partition; only the pricing does).
+/// `bcs` are the active-surface displacements. The assembled + reduced
+/// problem may be passed via `prebuilt` to keep sweeps over CPU counts
+/// fast (the numerics don't depend on the partition; only the pricing
+/// does). A prebuilt problem must have been built for the same mesh and
+/// the same constrained node set; the prescribed values are re-read from
+/// `bcs` on every call.
 pub fn simulate_assemble_solve(
     mesh: &TetMesh,
     materials: &MaterialTable,
@@ -90,7 +127,7 @@ pub fn simulate_assemble_solve(
     machine: MachineModel,
     cpus: usize,
     opts: &SimOptions,
-    prebuilt: Option<&brainshift_sparse::CsrMatrix>,
+    prebuilt: Option<&SimProblem>,
 ) -> (SimTimings, Vec<Vec3>) {
     let machine_name = machine.name;
     let sim = SimCluster::new(machine, cpus);
@@ -142,17 +179,25 @@ pub fn simulate_assemble_solve(
     let assembly_imbalance = sim.phases().last().unwrap().imbalance();
 
     // ---- Real numerics: assemble + reduce + solve on the host. ----
-    let owned_k;
-    let k = match prebuilt {
-        Some(k) => k,
+    let owned_problem;
+    let problem = match prebuilt {
+        Some(p) => p,
         None => {
-            owned_k = assemble_stiffness(mesh, materials);
-            &owned_k
+            owned_problem = SimProblem::new(mesh, materials, bcs);
+            &owned_problem
         }
     };
-    let f = vec![0.0; ndof];
-    let reduced = apply_dirichlet(k, &f, bcs);
-    let nfree = reduced.matrix.nrows();
+    let structure = &problem.structure;
+    assert_eq!(
+        3 * bcs.len(),
+        structure.num_constrained(),
+        "prebuilt problem was reduced for a different constrained node set"
+    );
+    let nfree = structure.num_free();
+    let mut u_c = vec![0.0; structure.num_constrained()];
+    structure.gather_constrained(bcs, &mut u_c);
+    let mut rhs = vec![0.0; nfree];
+    structure.reduced_rhs_zero_f(&u_c, &mut rhs);
 
     // Reduced-system block offsets = cumulative free-DOF counts per rank
     // (ranks keep their contiguous ranges; substitution shrinks them
@@ -160,7 +205,7 @@ pub fn simulate_assemble_solve(
     let mut red_offsets = Vec::with_capacity(cpus + 1);
     red_offsets.push(0usize);
     {
-        let counts = reduced.rank_dof_counts(&dof_offsets);
+        let counts = structure.rank_dof_counts(&dof_offsets);
         let mut acc = 0;
         for &(free, _) in &counts {
             acc += free;
@@ -173,10 +218,11 @@ pub fn simulate_assemble_solve(
     red_offsets.dedup();
     let eff_blocks = red_offsets.len() - 1;
 
-    let precond = BlockJacobiPrecond::from_offsets(&reduced.matrix, &red_offsets, opts.block_solve);
+    let precond = BlockJacobiPrecond::from_offsets(&structure.matrix, &red_offsets, opts.block_solve);
     let mut x = vec![0.0; nfree];
-    let stats = gmres(&reduced.matrix, &precond, &reduced.rhs, &mut x, &opts.solver);
-    let full = reduced.expand_solution(&x);
+    let stats = gmres(&structure.matrix, &precond, &rhs, &mut x, &opts.solver);
+    let mut full = vec![0.0; ndof];
+    structure.expand_solution_into(&x, &u_c, &mut full);
     let displacements: Vec<Vec3> = (0..mesh.num_nodes())
         .map(|n| Vec3::new(full[3 * n], full[3 * n + 1], full[3 * n + 2]))
         .collect();
@@ -189,7 +235,7 @@ pub fn simulate_assemble_solve(
     for r in 0..eff_blocks {
         for row in red_offsets[r]..red_offsets[r + 1] {
             rank_rows[r] += 1;
-            let (cols, _) = reduced.matrix.row(row);
+            let (cols, _) = structure.matrix.row(row);
             rank_nnz[r] += cols.len();
             for &c in cols {
                 let owner = part_of(&red_offsets, c);
@@ -297,7 +343,7 @@ mod tests {
     #[test]
     fn more_cpus_reduce_assembly_time() {
         let (mesh, bcs) = test_problem();
-        let k = assemble_stiffness(&mesh, &MaterialTable::homogeneous());
+        let k = SimProblem::new(&mesh, &MaterialTable::homogeneous(), &bcs);
         let mut prev = f64::INFINITY;
         for cpus in [1usize, 2, 4, 8] {
             let (t, _) = simulate_assemble_solve(
@@ -327,7 +373,7 @@ mod tests {
             let u = if (p.z - hi.z).abs() < 1e-9 { Vec3::new(0.0, 0.0, -1.0) } else { Vec3::ZERO };
             bcs.set(n, u);
         }
-        let k = assemble_stiffness(&mesh, &MaterialTable::homogeneous());
+        let k = SimProblem::new(&mesh, &MaterialTable::homogeneous(), &bcs);
         let run = |machine: MachineModel, cpus| {
             simulate_assemble_solve(
                 &mesh,
@@ -361,7 +407,7 @@ mod tests {
     #[test]
     fn smp_scales_at_least_as_well_as_ethernet() {
         let (mesh, bcs) = test_problem();
-        let k = assemble_stiffness(&mesh, &MaterialTable::homogeneous());
+        let k = SimProblem::new(&mesh, &MaterialTable::homogeneous(), &bcs);
         let run = |machine: MachineModel, cpus| {
             simulate_assemble_solve(
                 &mesh,
@@ -391,7 +437,7 @@ mod tests {
     #[test]
     fn solution_independent_of_prebuilt_matrix() {
         let (mesh, bcs) = test_problem();
-        let k = assemble_stiffness(&mesh, &MaterialTable::homogeneous());
+        let k = SimProblem::new(&mesh, &MaterialTable::homogeneous(), &bcs);
         let (_, d1) = simulate_assemble_solve(
             &mesh,
             &MaterialTable::homogeneous(),

@@ -108,6 +108,21 @@ impl JointHistogram {
         self.total
     }
 
+    /// Fold another histogram's counts into this one. Both must have been
+    /// created with the same bin count and intensity ranges (histogram
+    /// addition is only meaningful over a shared binning); panics
+    /// otherwise. This is the reduction step of per-thread accumulation:
+    /// each worker fills a private histogram, then the partials merge.
+    pub fn merge(&mut self, other: &JointHistogram) {
+        assert_eq!(self.bins, other.bins, "bin counts differ");
+        assert_eq!(self.a_range, other.a_range, "A intensity ranges differ");
+        assert_eq!(self.b_range, other.b_range, "B intensity ranges differ");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+    }
+
     /// Marginal entropy of image A (nats).
     pub fn entropy_a(&self) -> f64 {
         let mut h = 0.0;
@@ -172,7 +187,7 @@ pub fn checkerboard(a: &Volume<f32>, b: &Volume<f32>, block: usize) -> Volume<f3
     assert!(block >= 1);
     let d = a.dims();
     Volume::from_fn(d, a.spacing(), |x, y, z| {
-        if (x / block + y / block + z / block) % 2 == 0 {
+        if (x / block + y / block + z / block).is_multiple_of(2) {
             *a.get(x, y, z)
         } else {
             *b.get(x, y, z)
@@ -288,6 +303,44 @@ mod tests {
         // Identical inputs → identical output regardless of pattern.
         let same = checkerboard(&a, &a, 2);
         assert!(same.data().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn merged_partials_equal_single_accumulation() {
+        // Per-thread accumulation contract: splitting the samples across
+        // several histograms and merging must reproduce one-histogram
+        // accumulation exactly (counts are integral, so no FP slack).
+        let v = noise_volume(13);
+        let w = noise_volume(14);
+        let ra = v.min_max();
+        let rb = w.min_max();
+        let mut whole = JointHistogram::new(16, ra, rb);
+        for (&a, &b) in v.data().iter().zip(w.data()) {
+            whole.add(a, b);
+        }
+        let mut parts: Vec<JointHistogram> =
+            (0..4).map(|_| JointHistogram::new(16, ra, rb)).collect();
+        for (i, (&a, &b)) in v.data().iter().zip(w.data()).enumerate() {
+            parts[i % 4].add(a, b);
+        }
+        let mut merged = JointHistogram::new(16, ra, rb);
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged.total(), whole.total());
+        assert_eq!(merged.mutual_information(), whole.mutual_information());
+        assert_eq!(
+            merged.normalized_mutual_information(),
+            whole.normalized_mutual_information()
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_rejects_mismatched_binning() {
+        let mut a = JointHistogram::new(8, (0.0, 1.0), (0.0, 1.0));
+        let b = JointHistogram::new(16, (0.0, 1.0), (0.0, 1.0));
+        a.merge(&b);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::transform::RigidTransform;
 use brainshift_imaging::interp::sample_trilinear;
 use brainshift_imaging::similarity::JointHistogram;
 use brainshift_imaging::{Vec3, Volume};
+use rayon::prelude::*;
 
 /// Metric configuration.
 #[derive(Debug, Clone)]
@@ -41,27 +42,39 @@ pub fn mutual_information(
     let d = fixed.dims();
     let f_range = fixed.min_max();
     let m_range = moving.min_max();
-    let mut hist = JointHistogram::new(cfg.bins, f_range, m_range);
     let stride = cfg.stride.max(1);
-    for z in (0..d.nz).step_by(stride) {
-        for y in (0..d.ny).step_by(stride) {
-            for x in (0..d.nx).step_by(stride) {
-                let p = Vec3::new(x as f64, y as f64, z as f64);
-                let q = transform.apply(p);
-                let dm = moving.dims();
-                if q.x < 0.0
-                    || q.y < 0.0
-                    || q.z < 0.0
-                    || q.x > dm.nx as f64 - 1.0
-                    || q.y > dm.ny as f64 - 1.0
-                    || q.z > dm.nz as f64 - 1.0
-                {
-                    continue;
+    // One private histogram per z-slab, merged afterwards — the metric
+    // sits in the inner loop of the rigid optimizer, so the accumulation
+    // runs slab-parallel with no shared bins to contend on.
+    let zs: Vec<usize> = (0..d.nz).step_by(stride).collect();
+    let partials: Vec<JointHistogram> = zs
+        .par_iter()
+        .map(|&z| {
+            let mut h = JointHistogram::new(cfg.bins, f_range, m_range);
+            let dm = moving.dims();
+            for y in (0..d.ny).step_by(stride) {
+                for x in (0..d.nx).step_by(stride) {
+                    let p = Vec3::new(x as f64, y as f64, z as f64);
+                    let q = transform.apply(p);
+                    if q.x < 0.0
+                        || q.y < 0.0
+                        || q.z < 0.0
+                        || q.x > dm.nx as f64 - 1.0
+                        || q.y > dm.ny as f64 - 1.0
+                        || q.z > dm.nz as f64 - 1.0
+                    {
+                        continue;
+                    }
+                    let mv = sample_trilinear(moving, q, 0.0);
+                    h.add(*fixed.get(x, y, z), mv);
                 }
-                let mv = sample_trilinear(moving, q, 0.0);
-                hist.add(*fixed.get(x, y, z), mv);
             }
-        }
+            h
+        })
+        .collect();
+    let mut hist = JointHistogram::new(cfg.bins, f_range, m_range);
+    for p in &partials {
+        hist.merge(p);
     }
     if hist.total() < 100.0 {
         return 0.0;

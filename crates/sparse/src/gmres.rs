@@ -11,8 +11,102 @@ use crate::dense::{axpy, norm2};
 use crate::precond::Preconditioner;
 use crate::solver::{LinearOperator, SolveStats, SolverOptions, StopReason};
 
+/// Preallocated scratch memory for restarted GMRES.
+///
+/// A GMRES(m) cycle on an n-dof system needs an (m+1)×n Krylov basis plus
+/// a handful of n- and m-sized vectors. Allocating them inside the solver
+/// (the original implementation built the basis as a `Vec<Vec<f64>>` per
+/// restart) costs both allocator traffic and page faults on every scan of
+/// an intraoperative sequence. A `KrylovWorkspace` is created once, sized
+/// on first use, and reused for every subsequent solve on the same
+/// system; repeat solves perform **no** heap allocation in the inner
+/// loop.
+#[derive(Debug, Default)]
+pub struct KrylovWorkspace {
+    n: usize,
+    m: usize,
+    /// Krylov basis, flat row-major: vector `j` lives at `j*n..(j+1)*n`.
+    basis: Vec<f64>,
+    /// Hessenberg factors, column-major `h[i + j*(m+1)]`.
+    h: Vec<f64>,
+    cs: Vec<f64>,
+    sn: Vec<f64>,
+    g: Vec<f64>,
+    y: Vec<f64>,
+    w: Vec<f64>,
+    r: Vec<f64>,
+    raw: Vec<f64>,
+    work_ax: Vec<f64>,
+    zb: Vec<f64>,
+}
+
+impl KrylovWorkspace {
+    /// Workspace sized for an `n`-dof system with restart length `m`.
+    pub fn new(n: usize, restart: usize) -> Self {
+        let mut ws = KrylovWorkspace::default();
+        ws.ensure(n, restart);
+        ws
+    }
+
+    /// Resize for a system of `n` dofs and restart `m`; no-op (and no
+    /// allocation) when the shape already matches.
+    pub fn ensure(&mut self, n: usize, restart: usize) {
+        let m = restart.max(1);
+        if self.n == n && self.m == m {
+            return;
+        }
+        self.n = n;
+        self.m = m;
+        self.basis.resize((m + 1) * n, 0.0);
+        self.h.resize((m + 1) * m, 0.0);
+        self.cs.resize(m, 0.0);
+        self.sn.resize(m, 0.0);
+        self.g.resize(m + 1, 0.0);
+        self.y.resize(m, 0.0);
+        self.w.resize(n, 0.0);
+        self.r.resize(n, 0.0);
+        self.raw.resize(n, 0.0);
+        self.work_ax.resize(n, 0.0);
+        self.zb.resize(n, 0.0);
+    }
+
+    /// Total scratch footprint in bytes (diagnostics).
+    pub fn bytes(&self) -> usize {
+        std::mem::size_of_val(self.basis.as_slice())
+            + std::mem::size_of_val(self.h.as_slice())
+            + std::mem::size_of_val(self.cs.as_slice())
+            + std::mem::size_of_val(self.sn.as_slice())
+            + std::mem::size_of_val(self.g.as_slice())
+            + std::mem::size_of_val(self.y.as_slice())
+            + std::mem::size_of_val(self.w.as_slice())
+            + std::mem::size_of_val(self.r.as_slice())
+            + std::mem::size_of_val(self.raw.as_slice())
+            + std::mem::size_of_val(self.work_ax.as_slice())
+            + std::mem::size_of_val(self.zb.as_slice())
+    }
+}
+
 /// Solve `A x = b` with left-preconditioned restarted GMRES. `x` holds the
 /// initial guess on entry and the solution on exit.
+///
+/// Allocates a fresh [`KrylovWorkspace`] per call; hot paths that solve
+/// repeatedly on the same system should hold a workspace and call
+/// [`gmres_with_workspace`].
+pub fn gmres(
+    a: &dyn LinearOperator,
+    precond: &dyn Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &SolverOptions,
+) -> SolveStats {
+    let mut ws = KrylovWorkspace::new(a.dim(), opts.restart);
+    gmres_with_workspace(a, precond, b, x, opts, &mut ws)
+}
+
+/// [`gmres`] with caller-owned scratch memory: after the workspace's
+/// first use at this problem size, the solver's inner loop performs no
+/// heap allocation (basis, residual, and Hessenberg storage all live in
+/// `ws`).
 ///
 /// Convergence is declared on the **true unpreconditioned** relative
 /// residual `‖b − A x‖/‖b‖`, verified with an explicit matvec at the end
@@ -21,26 +115,27 @@ use crate::solver::{LinearOperator, SolveStats, SolverOptions, StopReason};
 /// (e.g. ILU(0) on a high-contrast matrix) the recurrence norm can
 /// collapse while the actual residual has not moved, and trusting it
 /// returns garbage "converged" solutions.
-pub fn gmres(
+pub fn gmres_with_workspace(
     a: &dyn LinearOperator,
     precond: &dyn Preconditioner,
     b: &[f64],
     x: &mut [f64],
     opts: &SolverOptions,
+    ws: &mut KrylovWorkspace,
 ) -> SolveStats {
     let n = a.dim();
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
     let m = opts.restart.max(1);
+    ws.ensure(n, m);
 
     let mut history = Vec::new();
     let mut total_iters = 0usize;
 
     // Preconditioned rhs norm scales the inner recurrence; the true
     // (unpreconditioned) norm scales the convergence criterion.
-    let mut zb = vec![0.0; n];
-    precond.apply(b, &mut zb);
-    let b_norm = norm2(&zb).max(1e-300);
+    precond.apply(b, &mut ws.zb);
+    let b_norm = norm2(&ws.zb).max(1e-300);
     let b_norm_raw = norm2(b);
     if b_norm_raw == 0.0 {
         // b = 0 → x = 0.
@@ -53,16 +148,6 @@ pub fn gmres(
         };
     }
 
-    let mut work_ax = vec![0.0; n];
-    let mut r = vec![0.0; n];
-
-    // Krylov basis (m+1 vectors) and Hessenberg factors.
-    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
-    let mut h = vec![0.0f64; (m + 1) * m]; // column-major h[i + j*(m+1)]
-    let mut cs = vec![0.0f64; m];
-    let mut sn = vec![0.0f64; m];
-    let mut g = vec![0.0f64; m + 1];
-
     let mut last_rel = f64::INFINITY;
     // The inner cycle breaks on the *preconditioned* recurrence norm,
     // which can undershoot the true residual by orders of magnitude (the
@@ -73,12 +158,11 @@ pub fn gmres(
 
     loop {
         // True residual: raw = b − A x (this is the convergence check).
-        a.apply(x, &mut work_ax);
-        let mut raw = vec![0.0; n];
+        a.apply(x, &mut ws.work_ax);
         for i in 0..n {
-            raw[i] = b[i] - work_ax[i];
+            ws.raw[i] = b[i] - ws.work_ax[i];
         }
-        let raw_rel = norm2(&raw) / b_norm_raw;
+        let raw_rel = norm2(&ws.raw) / b_norm_raw;
         if opts.record_history && history.is_empty() {
             history.push(raw_rel);
         }
@@ -103,8 +187,8 @@ pub fn gmres(
             };
         }
         // Preconditioned residual starts the Krylov cycle.
-        precond.apply(&raw, &mut r);
-        let beta = norm2(&r);
+        precond.apply(&ws.raw, &mut ws.r);
+        let beta = norm2(&ws.r);
         if beta < 1e-300 {
             // Preconditioner annihilated a nonzero residual: breakdown.
             return SolveStats {
@@ -116,14 +200,12 @@ pub fn gmres(
         }
         last_rel = beta / b_norm;
 
-        basis.clear();
-        let mut v0 = r.clone();
-        for v in &mut v0 {
-            *v /= beta;
+        // v₀ = r/β into basis slot 0 (no allocation: slots are reused).
+        for (slot, &ri) in ws.basis[..n].iter_mut().zip(ws.r.iter()) {
+            *slot = ri / beta;
         }
-        basis.push(v0);
-        g.iter_mut().for_each(|v| *v = 0.0);
-        g[0] = beta;
+        ws.g.iter_mut().for_each(|v| *v = 0.0);
+        ws.g[0] = beta;
 
         let mut k_used = 0usize;
         let mut broke_down = false;
@@ -134,44 +216,44 @@ pub fn gmres(
             }
             total_iters += 1;
             // w = M⁻¹ A v_j
-            a.apply(&basis[j], &mut work_ax);
-            let mut w = vec![0.0; n];
-            precond.apply(&work_ax, &mut w);
+            a.apply(&ws.basis[j * n..(j + 1) * n], &mut ws.work_ax);
+            precond.apply(&ws.work_ax, &mut ws.w);
             // Modified Gram–Schmidt.
-            for (i, vi) in basis.iter().enumerate().take(j + 1) {
-                let hij = crate::dense::dot(&w, vi);
-                h[i + j * (m + 1)] = hij;
-                axpy(-hij, vi, &mut w);
+            for i in 0..=j {
+                let vi = &ws.basis[i * n..(i + 1) * n];
+                let hij = crate::dense::dot(&ws.w, vi);
+                ws.h[i + j * (m + 1)] = hij;
+                axpy(-hij, vi, &mut ws.w);
             }
-            let wnorm = norm2(&w);
-            h[(j + 1) + j * (m + 1)] = wnorm;
+            let wnorm = norm2(&ws.w);
+            ws.h[(j + 1) + j * (m + 1)] = wnorm;
 
             // Apply previous Givens rotations to the new column.
             for i in 0..j {
-                let hi = h[i + j * (m + 1)];
-                let hi1 = h[(i + 1) + j * (m + 1)];
-                h[i + j * (m + 1)] = cs[i] * hi + sn[i] * hi1;
-                h[(i + 1) + j * (m + 1)] = -sn[i] * hi + cs[i] * hi1;
+                let hi = ws.h[i + j * (m + 1)];
+                let hi1 = ws.h[(i + 1) + j * (m + 1)];
+                ws.h[i + j * (m + 1)] = ws.cs[i] * hi + ws.sn[i] * hi1;
+                ws.h[(i + 1) + j * (m + 1)] = -ws.sn[i] * hi + ws.cs[i] * hi1;
             }
             // New rotation to annihilate h[j+1, j].
-            let hjj = h[j + j * (m + 1)];
-            let hj1j = h[(j + 1) + j * (m + 1)];
+            let hjj = ws.h[j + j * (m + 1)];
+            let hj1j = ws.h[(j + 1) + j * (m + 1)];
             let denom = (hjj * hjj + hj1j * hj1j).sqrt();
             if denom < 1e-300 {
                 broke_down = true;
                 k_used = j;
                 break;
             }
-            cs[j] = hjj / denom;
-            sn[j] = hj1j / denom;
-            h[j + j * (m + 1)] = denom;
-            h[(j + 1) + j * (m + 1)] = 0.0;
-            let gj = g[j];
-            g[j] = cs[j] * gj;
-            g[j + 1] = -sn[j] * gj;
+            ws.cs[j] = hjj / denom;
+            ws.sn[j] = hj1j / denom;
+            ws.h[j + j * (m + 1)] = denom;
+            ws.h[(j + 1) + j * (m + 1)] = 0.0;
+            let gj = ws.g[j];
+            ws.g[j] = ws.cs[j] * gj;
+            ws.g[j + 1] = -ws.sn[j] * gj;
 
             k_used = j + 1;
-            last_rel = g[j + 1].abs() / b_norm;
+            last_rel = ws.g[j + 1].abs() / b_norm;
             if opts.record_history {
                 history.push(last_rel);
             }
@@ -183,25 +265,23 @@ pub fn gmres(
                 // Happy breakdown: exact solution in the current subspace.
                 break;
             }
-            let mut vnext = w;
-            for v in &mut vnext {
-                *v /= wnorm;
+            // v_{j+1} = w/‖w‖ into the next basis slot.
+            for (slot, &wi) in ws.basis[(j + 1) * n..(j + 2) * n].iter_mut().zip(ws.w.iter()) {
+                *slot = wi / wnorm;
             }
-            basis.push(vnext);
         }
 
         // Back-solve the triangular system H y = g and update x.
         if k_used > 0 {
-            let mut y = vec![0.0f64; k_used];
             for i in (0..k_used).rev() {
-                let mut acc = g[i];
+                let mut acc = ws.g[i];
                 for j2 in (i + 1)..k_used {
-                    acc -= h[i + j2 * (m + 1)] * y[j2];
+                    acc -= ws.h[i + j2 * (m + 1)] * ws.y[j2];
                 }
-                y[i] = acc / h[i + i * (m + 1)];
+                ws.y[i] = acc / ws.h[i + i * (m + 1)];
             }
-            for (j2, &yj) in y.iter().enumerate() {
-                axpy(yj, &basis[j2], x);
+            for j2 in 0..k_used {
+                axpy(ws.y[j2], &ws.basis[j2 * n..(j2 + 1) * n], x);
             }
         }
 
@@ -209,15 +289,14 @@ pub fn gmres(
         if broke_down {
             // Best-effort iterate already applied; report honestly with
             // the true residual.
-            a.apply(x, &mut work_ax);
-            let mut raw2 = vec![0.0; n];
+            a.apply(x, &mut ws.work_ax);
             for i in 0..n {
-                raw2[i] = b[i] - work_ax[i];
+                ws.raw[i] = b[i] - ws.work_ax[i];
             }
             return SolveStats {
                 reason: StopReason::Breakdown,
                 iterations: total_iters,
-                relative_residual: norm2(&raw2) / b_norm_raw,
+                relative_residual: norm2(&ws.raw) / b_norm_raw,
                 history,
             };
         }
@@ -416,6 +495,56 @@ mod tests {
             let bn = (n as f64).sqrt();
             assert!(res / bn <= 1e-7, "claimed convergence with residual {}", res / bn);
         }
+    }
+
+    #[test]
+    fn workspace_reuse_matches_cold_solve_and_does_not_reallocate() {
+        let n = 150;
+        let a = laplace_1d(n);
+        // Full GMRES (restart ≥ n) so the 1-D Laplacian converges at
+        // tight tolerance without restart stagnation.
+        let opts = SolverOptions { tolerance: 1e-10, restart: 160, ..Default::default() };
+        let p = JacobiPrecond::new(&a);
+        let mut ws = KrylovWorkspace::new(n, opts.restart);
+
+        for seed in 0..4u64 {
+            let x_true: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.11 + seed as f64).sin()).collect();
+            let mut b = vec![0.0; n];
+            a.spmv(&x_true, &mut b);
+
+            let mut x_cold = vec![0.0; n];
+            let s_cold = gmres(&a, &p, &b, &mut x_cold, &opts);
+            assert!(s_cold.converged());
+
+            // After the first solve, the workspace's buffers must be
+            // stable: same pointer, same capacity (no reallocation).
+            let before = (ws.basis.as_ptr(), ws.basis.capacity(), ws.w.as_ptr(), ws.h.as_ptr());
+            let mut x_warm = vec![0.0; n];
+            let s_warm = gmres_with_workspace(&a, &p, &b, &mut x_warm, &opts, &mut ws);
+            assert!(s_warm.converged());
+            let after = (ws.basis.as_ptr(), ws.basis.capacity(), ws.w.as_ptr(), ws.h.as_ptr());
+            if seed > 0 {
+                assert_eq!(before, after, "workspace reallocated on reuse");
+            }
+
+            assert_eq!(s_cold.iterations, s_warm.iterations);
+            for i in 0..n {
+                assert!((x_cold[i] - x_warm[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_resizes_for_larger_system() {
+        let mut ws = KrylovWorkspace::new(10, 5);
+        let a = laplace_1d(80);
+        let b = vec![1.0; 80];
+        let mut x = vec![0.0; 80];
+        let opts = SolverOptions { tolerance: 1e-8, ..Default::default() };
+        let stats = gmres_with_workspace(&a, &IdentityPrecond, &b, &mut x, &opts, &mut ws);
+        assert!(stats.converged());
+        check_solution(&a, &b, &x, 1e-6);
+        assert!(ws.bytes() >= (opts.restart + 1) * 80 * 8);
     }
 
     #[test]

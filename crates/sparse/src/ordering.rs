@@ -93,7 +93,7 @@ pub fn unpermute_vec(x: &[f64], perm: &[usize]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use rand::SeedableRng;
 
     /// A "shuffled banded" SPD matrix: banded structure hidden under a
     /// random labeling, so RCM has something to recover.

@@ -9,7 +9,7 @@
 
 use brainshift_bench::{print_timing_header, print_timing_row, problem_with_equations};
 use brainshift_cluster::MachineModel;
-use brainshift_fem::{assemble_stiffness, simulate_assemble_solve, MaterialTable, SimOptions};
+use brainshift_fem::{simulate_assemble_solve, MaterialTable, SimOptions, SimProblem};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -30,7 +30,7 @@ fn main() {
     println!("building a ~{equations}-equation brain FEM problem...");
     let p = problem_with_equations(equations);
     let materials = MaterialTable::homogeneous();
-    let k = assemble_stiffness(&p.mesh, &materials);
+    let k = SimProblem::new(&p.mesh, &materials, &p.bcs);
     println!(
         "mesh: {} nodes, {} tets → {} equations\n",
         p.mesh.num_nodes(),

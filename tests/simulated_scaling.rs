@@ -4,12 +4,12 @@
 
 use brainshift_bench::problem_with_equations;
 use brainshift_cluster::MachineModel;
-use brainshift_fem::{assemble_stiffness, simulate_assemble_solve, MaterialTable, SimOptions, SimTimings};
+use brainshift_fem::{simulate_assemble_solve, MaterialTable, SimOptions, SimProblem, SimTimings};
 
 fn sweep(machine: MachineModel, cpus: &[usize], eqs: usize) -> Vec<SimTimings> {
     let p = problem_with_equations(eqs);
     let materials = MaterialTable::homogeneous();
-    let k = assemble_stiffness(&p.mesh, &materials);
+    let k = SimProblem::new(&p.mesh, &materials, &p.bcs);
     cpus.iter()
         .map(|&c| {
             simulate_assemble_solve(&p.mesh, &materials, &p.bcs, machine.clone(), c, &SimOptions::default(), Some(&k)).0

@@ -1,0 +1,146 @@
+//! Integration: the persistent `SolverContext` is a pure optimization —
+//! its warm-started, assemble-once solves must be numerically equivalent
+//! to the cold per-scan path, and warm starts must never slow a solve
+//! down on the progressive-shift sequence phantom.
+
+use brainshift_core::{generate_scan_sequence, PipelineConfig};
+use brainshift_fem::{
+    solve_deformation, DirichletBcs, FemSolveConfig, MaterialTable, SolverContext,
+};
+use brainshift_imaging::phantom::{BrainShiftConfig, PhantomConfig};
+use brainshift_imaging::volume::{Dims, Spacing, Volume};
+use brainshift_imaging::{labels, Vec3};
+use brainshift_mesh::{
+    boundary_nodes, extract_boundary, mesh_labeled_volume, MesherConfig, TetMesh,
+};
+use brainshift_sparse::SolverOptions;
+use proptest::prelude::*;
+
+fn block_mesh(n: usize) -> TetMesh {
+    let seg = Volume::from_fn(Dims::new(n, n, n), Spacing::iso(1.0), |_, _, _| labels::BRAIN);
+    mesh_labeled_volume(&seg, &MesherConfig { step: 1, include: labels::is_deformable })
+}
+
+fn tight() -> FemSolveConfig {
+    FemSolveConfig {
+        options: SolverOptions { tolerance: 1e-10, max_iterations: 5000, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Cold `solve_deformation` and warm `SolverContext::solve` agree on
+    /// arbitrary sequences of boundary displacement fields over a fixed
+    /// constrained set — including the later scans where the context is
+    /// warm-started from an unrelated previous solution.
+    #[test]
+    fn warm_context_matches_cold_solver_on_random_bcs(
+        scans in prop::collection::vec(
+            ((-0.4f64..0.4), (-0.4f64..0.4), (-0.4f64..0.4), (0.2f64..1.4)),
+            1..4,
+        ),
+    ) {
+        let mesh = block_mesh(4);
+        let materials = MaterialTable::homogeneous();
+        let surface = boundary_nodes(&mesh);
+        let cfg = tight();
+        let mut ctx = SolverContext::new(&mesh, &materials, &surface, cfg.clone());
+        for (ax, ay, az, freq) in scans {
+            let mut bcs = DirichletBcs::new();
+            for &n in &surface {
+                let p = mesh.nodes[n];
+                bcs.set(
+                    n,
+                    Vec3::new(
+                        ax * (freq * p.y).sin(),
+                        ay * (freq * p.z).cos(),
+                        az * (freq * (p.x + p.y)).sin(),
+                    ),
+                );
+            }
+            let warm = ctx.solve(&bcs);
+            let cold = solve_deformation(&mesh, &materials, &bcs, &cfg);
+            prop_assert!(warm.stats.converged());
+            prop_assert!(cold.stats.converged());
+            for (a, b) in warm.displacements.iter().zip(&cold.displacements) {
+                prop_assert!(
+                    (*a - *b).norm() < 1e-7,
+                    "warm/cold diverge: {:?} vs {:?}", a, b
+                );
+            }
+        }
+        let s = ctx.stats();
+        prop_assert_eq!(s.assemblies, 1);
+        prop_assert_eq!(s.factorizations, 1);
+    }
+}
+
+/// On the sequence phantom (progressive brain shift, the ground-truth
+/// deformation growing scan over scan), warm-starting scan *i+1* from
+/// scan *i*'s displacement must converge in no more iterations than a
+/// zero-start solve of the same scan.
+#[test]
+fn warm_started_sequence_scans_converge_no_slower_than_zero_start() {
+    let seq = generate_scan_sequence(
+        &PhantomConfig {
+            dims: Dims::new(32, 32, 24),
+            spacing: Spacing::iso(4.5),
+            ..Default::default()
+        },
+        &BrainShiftConfig { peak_shift_mm: 8.0, ..Default::default() },
+        3,
+        3,
+    );
+    let cfg = PipelineConfig::default();
+    let mesh = mesh_labeled_volume(&seq.reference.labels, &cfg.mesher);
+    let surface = extract_boundary(&mesh);
+
+    // BCs of scan i: the ground-truth deformation sampled at the surface
+    // nodes — the ideal active-surface output, scaling with the stage.
+    let scan_bcs: Vec<DirichletBcs> = seq
+        .gt_forward
+        .iter()
+        .map(|field| {
+            let mut bcs = DirichletBcs::new();
+            for &node in &surface.mesh_node {
+                bcs.set(node, field.sample(mesh.nodes[node]));
+            }
+            bcs
+        })
+        .collect();
+
+    let mut warm_ctx = SolverContext::new(&mesh, &cfg.materials, &surface.mesh_node, cfg.fem.clone());
+    let warm_iters: Vec<usize> = scan_bcs
+        .iter()
+        .map(|bcs| {
+            let sol = warm_ctx.solve(bcs);
+            assert!(sol.stats.converged());
+            sol.stats.iterations
+        })
+        .collect();
+
+    // Zero-start baseline: a fresh warm-start state per scan (same
+    // cached assembly, so only the seeding differs).
+    let mut zero_ctx = SolverContext::new(&mesh, &cfg.materials, &surface.mesh_node, cfg.fem.clone());
+    let zero_iters: Vec<usize> = scan_bcs
+        .iter()
+        .map(|bcs| {
+            zero_ctx.reset_warm_start();
+            let sol = zero_ctx.solve(bcs);
+            assert!(sol.stats.converged());
+            sol.stats.iterations
+        })
+        .collect();
+
+    assert_eq!(warm_iters[0], zero_iters[0], "scan 0 has nothing to warm-start from");
+    for i in 1..warm_iters.len() {
+        assert!(
+            warm_iters[i] <= zero_iters[i],
+            "scan {i}: warm start took {} iterations vs {} from zero",
+            warm_iters[i],
+            zero_iters[i]
+        );
+    }
+}

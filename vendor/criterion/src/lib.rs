@@ -1,0 +1,301 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! Implements the subset of the criterion API this workspace's benches
+//! use — `Criterion::default().sample_size(..)`, `benchmark_group`,
+//! `bench_function` (with `&str` or [`BenchmarkId`]), `Throughput`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros
+//! (struct form with `name`/`config`/`targets`). Measurement is plain
+//! wall-clock sampling: a short warm-up, then `sample_size` timed
+//! samples, reporting min/median/mean per iteration.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; prevents the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Honor a benchmark-name filter passed on the command line
+        // (`cargo bench -- <filter>`), skipping harness flags.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { sample_size: 100, filter }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<I: Into<BenchmarkId>, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id.full_name(), self.sample_size, None, self.filter.as_deref(), f);
+        self
+    }
+}
+
+/// Work-per-iteration hint used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, optionally parameterized (`name/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Identifier with a parameter suffix, e.g. `tets/4096`.
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId { name: name.to_string(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn full_name(&self) -> String {
+        match &self.parameter {
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name, parameter: None }
+    }
+}
+
+/// A named collection of benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.full_name());
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(&full, n, self.throughput, self.criterion.filter.as_deref(), f);
+        self
+    }
+
+    /// Close the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Time `f`, once per sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: run untimed until ~30 ms or 3 iterations, whichever
+        // comes first, so cold caches don't pollute the first sample.
+        let warm_start = Instant::now();
+        let mut warmed = 0;
+        while warmed < 3 && warm_start.elapsed() < Duration::from_millis(30) {
+            black_box(f());
+            warmed += 1;
+        }
+        for _ in 0..self.target_samples {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    filter: Option<&str>,
+    mut f: F,
+) {
+    if let Some(filter) = filter {
+        if !name.contains(filter) {
+            return;
+        }
+    }
+    let mut bencher = Bencher { samples: Vec::new(), target_samples: sample_size };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{name:<48} (no samples recorded)");
+        return;
+    }
+    let mut sorted = bencher.samples.clone();
+    sorted.sort_unstable();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median.as_secs_f64() > 0.0 => {
+            format!("  {:>10.3e} elem/s", n as f64 / median.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if median.as_secs_f64() > 0.0 => {
+            format!("  {:>10.3e} B/s", n as f64 / median.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<48} min {:>12}  median {:>12}  mean {:>12}{rate}",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Define a benchmark group. Supports both the positional form
+/// `criterion_group!(benches, f1, f2)` and the struct form with
+/// `name`/`config`/`targets`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion { sample_size: 5, filter: None };
+        let mut ran = 0usize;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(2u64.pow(10))
+            });
+        });
+        assert!(ran >= 5, "expected at least sample_size iterations, got {ran}");
+    }
+
+    #[test]
+    fn group_inherits_and_overrides_sample_size() {
+        let mut c = Criterion { sample_size: 4, filter: None };
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(6).throughput(Throughput::Elements(10));
+        let mut ran = 0usize;
+        g.bench_function(BenchmarkId::new("param", 42), |b| {
+            b.iter(|| ran += 1);
+        });
+        g.finish();
+        assert!(ran >= 6);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion { sample_size: 3, filter: Some("other".into()) };
+        let mut ran = false;
+        c.bench_function("skipped", |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

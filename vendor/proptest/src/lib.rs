@@ -1,0 +1,199 @@
+//! Offline stand-in for [proptest](https://crates.io/crates/proptest).
+//!
+//! Covers the surface this workspace's property tests use: the
+//! `proptest!` block macro (with optional `#![proptest_config(..)]`),
+//! numeric range strategies, tuple strategies, `prop::collection::vec`,
+//! and the `prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros.
+//! Inputs are drawn from a deterministic per-test RNG (seeded from the
+//! test name and case index) so failures are reproducible; shrinking is
+//! not implemented — the failing case's seed is reported instead.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Value-generation strategies grouped like upstream's `prop` module.
+pub mod prop {
+    /// Collection strategies (`vec`).
+    pub mod collection {
+        pub use crate::strategy::{vec, SizeRange, VecStrategy};
+    }
+}
+
+/// Outcome of a single generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's inputs violated a `prop_assume!` precondition.
+    Reject,
+    /// A `prop_assert!`-family assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure with a message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Glob-import target mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "prop_assert!({}) failed", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq! failed: {:?} != {:?}", l, r
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (not a failure) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests: each `#[test] fn name(arg in strategy, ..)`
+/// runs `ProptestConfig::cases` times with freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::test_runner::run(
+                &config,
+                stringify!($name),
+                |__rng: &mut $crate::test_runner::TestRng|
+                    -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            n in 3usize..17,
+            x in -2.5f64..2.5,
+            b in 0u8..4,
+        ) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((-2.5..2.5).contains(&x));
+            prop_assert!(b < 4);
+        }
+
+        #[test]
+        fn vec_with_size_range(
+            v in prop::collection::vec((0usize..10, -1.0f64..1.0), 2..9),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 9, "len {}", v.len());
+            for (i, x) in &v {
+                prop_assert!(*i < 10);
+                prop_assert!((-1.0..1.0).contains(x));
+            }
+        }
+
+        #[test]
+        fn vec_with_exact_size(v in prop::collection::vec(0.0f64..1.0, 5)) {
+            prop_assert_eq!(v.len(), 5);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_message() {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run(
+                &ProptestConfig::with_cases(4),
+                "always_fails",
+                |_rng| -> Result<(), TestCaseError> {
+                    prop_assert!(false, "intentional");
+                    Ok(())
+                },
+            );
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn same_seed_reproduces_inputs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = 0.0f64..1.0;
+        let mut a = TestRng::from_seed(99);
+        let mut b = TestRng::from_seed(99);
+        for _ in 0..50 {
+            assert_eq!(
+                strat.generate(&mut a).to_bits(),
+                strat.generate(&mut b).to_bits()
+            );
+        }
+    }
+}

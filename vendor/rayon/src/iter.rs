@@ -1,0 +1,407 @@
+//! Indexed parallel iterators.
+//!
+//! The design is deliberately smaller than real rayon: every source knows
+//! its length and can produce the item at index `i` independently, so an
+//! adapter chain (`map`/`zip`/`enumerate`) stays indexable and a terminal
+//! op (`for_each`/`collect`/`sum`) evaluates contiguous index ranges on
+//! the pool. Only the combinators this workspace uses are provided.
+
+use crate::pool::run_chunked;
+use std::cmp::Ordering as CmpOrdering;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A source of `len()` independent items, shareable across threads.
+///
+/// # Safety
+/// Implementations producing `&mut` items require every index to be
+/// consumed at most once per terminal evaluation; the terminal ops below
+/// visit each index exactly once.
+pub unsafe trait ParallelSource: Sync + Sized {
+    /// The item produced at each index.
+    type Item: Send;
+    /// Number of items.
+    fn len(&self) -> usize;
+    /// True when the source has no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Produce the item at `i < len()`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds, and for mutable sources each index must be
+    /// requested at most once per evaluation.
+    unsafe fn get(&self, i: usize) -> Self::Item;
+
+    /// Transform each item.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pair items with another equal-length parallel source.
+    fn zip<B: ParallelSource>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Pair each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Consume every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        run_chunked(self.len(), &|_, lo, hi| {
+            for i in lo..hi {
+                f(unsafe { self.get(i) });
+            }
+        });
+    }
+
+    /// Sum the items in parallel (partial sums are combined in chunk
+    /// order, so the result is deterministic for a fixed thread budget).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        self.collect_chunks(|items| items.sum::<S>()).into_iter().sum()
+    }
+
+    /// Collect into a container (only `Vec<T>` is supported).
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelSource<Self::Item>,
+    {
+        C::from_chunks(self.collect_chunks(|items| items.collect::<Vec<_>>()))
+    }
+
+    /// Evaluate chunk-local results in parallel, returned in chunk order.
+    fn collect_chunks<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(ChunkItems<'_, Self>) -> R + Sync,
+    {
+        let n = self.len();
+        let mut slots: Vec<Option<R>> = Vec::new();
+        slots.resize_with(n.max(1), || None);
+        let cell = SlotWriter { ptr: slots.as_mut_ptr() };
+        let used = run_chunked(n, &|c, lo, hi| {
+            let r = f(ChunkItems { src: self, next: lo, end: hi });
+            unsafe { cell.write(c, r) };
+        });
+        slots.truncate(used);
+        slots.into_iter().map(|s| s.expect("chunk slot unfilled")).collect()
+    }
+}
+
+/// Serial iterator over one chunk's items, handed to chunk evaluators.
+pub struct ChunkItems<'a, P: ParallelSource> {
+    src: &'a P,
+    next: usize,
+    end: usize,
+}
+
+impl<P: ParallelSource> Iterator for ChunkItems<'_, P> {
+    type Item = P::Item;
+    fn next(&mut self) -> Option<P::Item> {
+        if self.next == self.end {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        Some(unsafe { self.src.get(i) })
+    }
+}
+
+/// Pointer wrapper letting disjoint chunk slots be written concurrently.
+struct SlotWriter<R> {
+    ptr: *mut Option<R>,
+}
+unsafe impl<R: Send> Sync for SlotWriter<R> {}
+impl<R> SlotWriter<R> {
+    /// # Safety: each `c` written at most once, in bounds.
+    unsafe fn write(&self, c: usize, r: R) {
+        unsafe { *self.ptr.add(c) = Some(r) };
+    }
+}
+
+/// Conversion from per-chunk pieces, used by [`ParallelSource::collect`].
+pub trait FromParallelSource<T>: Sized {
+    /// Concatenate in-order chunk results into the container.
+    fn from_chunks(chunks: Vec<Vec<T>>) -> Self;
+}
+
+impl<T> FromParallelSource<T> for Vec<T> {
+    fn from_chunks(chunks: Vec<Vec<T>>) -> Self {
+        let total = chunks.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for c in chunks {
+            out.extend(c);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------- sources
+
+/// Shared-slice source (`par_iter`).
+pub struct SliceSource<'a, T> {
+    slice: &'a [T],
+}
+unsafe impl<'a, T: Sync> ParallelSource for SliceSource<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    unsafe fn get(&self, i: usize) -> &'a T {
+        unsafe { self.slice.get_unchecked(i) }
+    }
+}
+
+/// Mutable-slice source (`par_iter_mut`).
+pub struct SliceMutSource<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+unsafe impl<T: Send> Sync for SliceMutSource<'_, T> {}
+unsafe impl<'a, T: Send> ParallelSource for SliceMutSource<'a, T> {
+    type Item = &'a mut T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn get(&self, i: usize) -> &'a mut T {
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+/// Shared chunks source (`par_chunks`).
+pub struct ChunksSource<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+unsafe impl<'a, T: Sync> ParallelSource for ChunksSource<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    unsafe fn get(&self, i: usize) -> &'a [T] {
+        let lo = i * self.size;
+        let hi = (lo + self.size).min(self.slice.len());
+        &self.slice[lo..hi]
+    }
+}
+
+/// Mutable chunks source (`par_chunks_mut`).
+pub struct ChunksMutSource<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    size: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+unsafe impl<T: Send> Sync for ChunksMutSource<'_, T> {}
+unsafe impl<'a, T: Send> ParallelSource for ChunksMutSource<'a, T> {
+    type Item = &'a mut [T];
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.size)
+    }
+    unsafe fn get(&self, i: usize) -> &'a mut [T] {
+        let lo = i * self.size;
+        let hi = (lo + self.size).min(self.len);
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo) }
+    }
+}
+
+/// Index-range source (`(0..n).into_par_iter()`).
+pub struct RangeSource {
+    start: usize,
+    end: usize,
+}
+unsafe impl ParallelSource for RangeSource {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+    unsafe fn get(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+// --------------------------------------------------------------- adapters
+
+/// Item-transforming adapter.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+unsafe impl<B, F, R> ParallelSource for Map<B, F>
+where
+    B: ParallelSource,
+    F: Fn(B::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    unsafe fn get(&self, i: usize) -> R {
+        (self.f)(unsafe { self.base.get(i) })
+    }
+}
+
+/// Pairing adapter; length is the shorter of the two sources.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+unsafe impl<A: ParallelSource, B: ParallelSource> ParallelSource for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    unsafe fn get(&self, i: usize) -> (A::Item, B::Item) {
+        unsafe { (self.a.get(i), self.b.get(i)) }
+    }
+}
+
+/// Index-pairing adapter.
+pub struct Enumerate<B> {
+    base: B,
+}
+unsafe impl<B: ParallelSource> ParallelSource for Enumerate<B> {
+    type Item = (usize, B::Item);
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    unsafe fn get(&self, i: usize) -> (usize, B::Item) {
+        (i, unsafe { self.base.get(i) })
+    }
+}
+
+// ------------------------------------------------------------ entry points
+
+/// `par_iter` / `par_chunks` on shared slices (and anything derefing to
+/// them, e.g. `Vec`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel shared iteration.
+    fn par_iter(&self) -> SliceSource<'_, T>;
+    /// Parallel iteration over `⌈len/size⌉` contiguous chunks.
+    fn par_chunks(&self, size: usize) -> ChunksSource<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceSource<'_, T> {
+        SliceSource { slice: self }
+    }
+    fn par_chunks(&self, size: usize) -> ChunksSource<'_, T> {
+        assert!(size > 0, "chunk size must be nonzero");
+        ChunksSource { slice: self, size }
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` / `par_sort_unstable_by` on mutable
+/// slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel exclusive iteration.
+    fn par_iter_mut(&mut self) -> SliceMutSource<'_, T>;
+    /// Parallel iteration over contiguous mutable chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMutSource<'_, T>;
+    /// Sort by comparator (serial fallback; kept for API compatibility).
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> CmpOrdering + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> SliceMutSource<'_, T> {
+        SliceMutSource { ptr: self.as_mut_ptr(), len: self.len(), _marker: PhantomData }
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMutSource<'_, T> {
+        assert!(size > 0, "chunk size must be nonzero");
+        ChunksMutSource { ptr: self.as_mut_ptr(), len: self.len(), size, _marker: PhantomData }
+    }
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> CmpOrdering + Sync,
+    {
+        self.sort_unstable_by(|a, b| cmp(a, b));
+    }
+}
+
+/// `into_par_iter()` on index ranges.
+pub trait IntoParallelIterator {
+    /// The resulting parallel source.
+    type Source: ParallelSource;
+    /// Convert into a parallel source.
+    fn into_par_iter(self) -> Self::Source;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Source = RangeSource;
+    fn into_par_iter(self) -> RangeSource {
+        RangeSource { start: self.start, end: self.end }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_enumerate_for_each_mutates_all() {
+        let mut y = vec![0.0f64; 5000];
+        let x: Vec<f64> = (0..5000).map(|i| i as f64).collect();
+        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| *yi = 3.0 * xi);
+        for (i, v) in y.iter().enumerate() {
+            assert_eq!(*v, 3.0 * i as f64);
+        }
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let v: Vec<f64> = (0..100_000).map(|i| i as f64 * 0.5).collect();
+        let par: f64 = v.par_iter().map(|&x| x).sum();
+        let ser: f64 = v.iter().sum();
+        assert!((par - ser).abs() < 1e-6 * ser);
+    }
+
+    #[test]
+    fn chunks_mut_covers_whole_slice() {
+        let mut v = vec![0usize; 1003];
+        v.par_chunks_mut(100).enumerate().for_each(|(c, chunk)| {
+            for x in chunk {
+                *x = c + 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x > 0));
+        assert_eq!(v[1000], 11);
+    }
+
+    #[test]
+    fn range_into_par_iter_collects_in_order() {
+        let out: Vec<usize> = (5..5000).into_par_iter().map(|i| i).collect();
+        assert_eq!(out.first(), Some(&5));
+        assert_eq!(out.len(), 4995);
+        assert!(out.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn par_sort_sorts() {
+        let mut v = vec![3, 1, 2];
+        v.par_sort_unstable_by(|a, b| a.cmp(b));
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+}

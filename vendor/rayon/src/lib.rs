@@ -1,0 +1,25 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment has no network access and no vendored registry,
+//! so this workspace ships a minimal, real-parallel implementation of the
+//! rayon API surface it actually uses: `par_iter`/`par_iter_mut`,
+//! `par_chunks`/`par_chunks_mut`, `into_par_iter` on ranges, the
+//! `map`/`zip`/`enumerate` adapters with `for_each`/`collect`/`sum`
+//! terminals, plus `join` and `current_num_threads`. Work runs on a
+//! persistent thread pool; dropping real rayon back in requires no source
+//! changes.
+
+#![warn(missing_docs)]
+
+pub mod iter;
+pub mod pool;
+
+/// Glob-import target mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelSource, IntoParallelIterator, ParallelSlice, ParallelSliceMut,
+        ParallelSource,
+    };
+}
+
+pub use pool::{current_num_threads, join};

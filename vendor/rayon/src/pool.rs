@@ -1,0 +1,235 @@
+//! A persistent work queue shared by all parallel calls.
+//!
+//! Unlike a per-call `std::thread::scope`, workers are spawned once and
+//! reused, so fine-grained kernels (BLAS-1 over ~10⁴ elements) can afford
+//! to parallelize. Scoped (non-`'static`) closures are run by erasing
+//! their lifetime; soundness comes from `run_tasks` blocking until every
+//! submitted task has finished, so the borrows outlive the workers' use.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+static POOL: OnceLock<Arc<Shared>> = OnceLock::new();
+
+/// Number of threads parallel operations fan out to (including the
+/// calling thread). Respects `RAYON_NUM_THREADS` when set and nonzero.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+fn shared() -> &'static Arc<Shared> {
+    POOL.get_or_init(|| {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+        // The caller of every parallel op participates, so spawn one
+        // fewer worker than the thread budget.
+        for i in 1..current_num_threads() {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("mini-rayon-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("failed to spawn worker thread");
+        }
+        shared
+    })
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut queue = shared.queue.lock().unwrap();
+    loop {
+        if let Some(job) = queue.pop_front() {
+            drop(queue);
+            job();
+            queue = shared.queue.lock().unwrap();
+        } else {
+            queue = shared.available.wait(queue).unwrap();
+        }
+    }
+}
+
+struct Latch {
+    state: Mutex<(usize, bool)>, // (pending tasks, panicked)
+    done: Condvar,
+}
+
+/// Run `tasks` to completion, using the calling thread plus the pool.
+/// Panics in any task are re-raised on the caller once all tasks finish.
+///
+/// Safety contract (upheld internally): the non-`'static` borrows inside
+/// `tasks` stay valid because this function does not return until every
+/// task has run.
+pub fn run_tasks(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    let mut tasks = tasks;
+    if tasks.is_empty() {
+        return;
+    }
+    if tasks.len() == 1 {
+        (tasks.pop().unwrap())();
+        return;
+    }
+    let latch = Arc::new(Latch {
+        state: Mutex::new((tasks.len() - 1, false)),
+        done: Condvar::new(),
+    });
+    // The caller runs the first task itself; the rest go to the pool.
+    let own = tasks.remove(0);
+    let shared = shared();
+    {
+        let mut queue = shared.queue.lock().unwrap();
+        for task in tasks {
+            // Erase the borrow lifetime; `run_tasks` blocks on the latch
+            // until the job has executed, keeping the borrow alive.
+            let task: Box<dyn FnOnce() + Send + 'static> =
+                unsafe { std::mem::transmute(task) };
+            let latch = latch.clone();
+            queue.push_back(Box::new(move || {
+                let panicked = catch_unwind(AssertUnwindSafe(task)).is_err();
+                let mut st = latch.state.lock().unwrap();
+                st.0 -= 1;
+                st.1 |= panicked;
+                latch.done.notify_all();
+            }));
+        }
+        shared.available.notify_all();
+    }
+    let own_panic = catch_unwind(AssertUnwindSafe(own)).err();
+    // Help drain the queue while waiting: keeps nested parallel calls
+    // from deadlocking and puts the caller to work.
+    loop {
+        {
+            let st = latch.state.lock().unwrap();
+            if st.0 == 0 {
+                let panicked = st.1;
+                drop(st);
+                if let Some(p) = own_panic {
+                    std::panic::resume_unwind(p);
+                }
+                if panicked {
+                    panic!("a parallel task panicked");
+                }
+                return;
+            }
+        }
+        let job = shared.queue.lock().unwrap().pop_front();
+        match job {
+            Some(job) => job(),
+            None => {
+                let st = latch.state.lock().unwrap();
+                if st.0 > 0 {
+                    let _ = latch.done.wait_timeout(st, Duration::from_millis(1)).unwrap();
+                }
+            }
+        }
+    }
+}
+
+/// Execute two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut ra = None;
+    let mut rb = None;
+    run_tasks(vec![
+        Box::new(|| ra = Some(a())),
+        Box::new(|| rb = Some(b())),
+    ]);
+    (ra.unwrap(), rb.unwrap())
+}
+
+/// Split `0..len` into at most `current_num_threads()` contiguous chunks
+/// and run `body(chunk_index, lo, hi)` for each, in parallel. Returns the
+/// number of chunks used. Serial when `len` is small.
+pub fn run_chunked(len: usize, body: &(dyn Fn(usize, usize, usize) + Sync)) -> usize {
+    let threads = current_num_threads();
+    if threads <= 1 || len < 2 {
+        if len > 0 {
+            body(0, 0, len);
+        }
+        return usize::from(len > 0);
+    }
+    let chunks = threads.min(len);
+    let per = len.div_ceil(chunks);
+    let chunks = len.div_ceil(per);
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..chunks)
+        .map(|c| {
+            let lo = c * per;
+            let hi = (lo + per).min(len);
+            Box::new(move || body(c, lo, hi)) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    run_tasks(tasks);
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn chunks_cover_range_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let n = 10_000;
+        run_chunked(n, &|_, lo, hi| {
+            hits.fetch_add(hi - lo, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), n);
+    }
+
+    #[test]
+    fn nested_parallel_calls_do_not_deadlock() {
+        let total = AtomicUsize::new(0);
+        run_chunked(8, &|_, lo, hi| {
+            for _ in lo..hi {
+                run_chunked(64, &|_, l, h| {
+                    total.fetch_add(h - l, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 8 * 64);
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        let r = std::panic::catch_unwind(|| {
+            run_chunked(100, &|_, lo, _| {
+                if lo == 0 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(r.is_err());
+    }
+}
