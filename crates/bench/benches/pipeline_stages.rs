@@ -54,7 +54,7 @@ fn bench_stages(c: &mut Criterion) {
             bcs.set(n, Vec3::new(0.0, 0.0, -4.0 * (-((p.x - 72.0).powi(2) + (p.y - 72.0).powi(2)) / 800.0).exp()));
         }
         b.iter(|| {
-            let sol = solve_deformation(&mesh, &MaterialTable::homogeneous(), &bcs, &FemSolveConfig::default());
+            let sol = solve_deformation(&mesh, &MaterialTable::homogeneous(), &bcs, &FemSolveConfig::default()).expect("FEM solve rejected its inputs");
             assert!(sol.stats.converged());
             std::hint::black_box(sol.displacements.len())
         });

@@ -33,7 +33,7 @@ fn bench_warm_solve(c: &mut Criterion) {
     // The pre-context per-scan cost: everything from scratch.
     g.bench_function("cold_assemble_factor_solve", |b| {
         b.iter(|| {
-            let sol = solve_deformation(&p.mesh, &materials, &bcs, &cfg);
+            let sol = solve_deformation(&p.mesh, &materials, &bcs, &cfg).expect("FEM solve rejected its inputs");
             assert!(sol.stats.converged());
         });
     });
@@ -41,10 +41,10 @@ fn bench_warm_solve(c: &mut Criterion) {
     // Assembly, reduction and factorization hoisted out; solves still
     // start from zero (context reuse without warm starting).
     g.bench_function("context_reuse_zero_start", |b| {
-        let mut ctx = SolverContext::new(&p.mesh, &materials, &constrained, cfg.clone());
+        let mut ctx = SolverContext::new(&p.mesh, &materials, &constrained, cfg.clone()).expect("solver context build failed");
         b.iter(|| {
             ctx.reset_warm_start();
-            let sol = ctx.solve(&bcs);
+            let sol = ctx.solve(&bcs).expect("solve failed");
             assert!(sol.stats.converged());
         });
     });
@@ -54,15 +54,15 @@ fn bench_warm_solve(c: &mut Criterion) {
     // Alternating between two nearby scan states keeps every iteration a
     // genuine warm start (never a re-solve of an identical system).
     g.bench_function("context_warm_start", |b| {
-        let mut ctx = SolverContext::new(&p.mesh, &materials, &constrained, cfg.clone());
+        let mut ctx = SolverContext::new(&p.mesh, &materials, &constrained, cfg.clone()).expect("solver context build failed");
         let scan_a = scaled(&bcs, 0.95);
         let scan_b = &bcs;
-        ctx.solve(&scan_a); // prime the warm-start state
+        ctx.solve(&scan_a).expect("solve failed"); // prime the warm-start state
         let flip = Cell::new(false);
         b.iter(|| {
             let target = if flip.get() { &scan_a } else { scan_b };
             flip.set(!flip.get());
-            let sol = ctx.solve(target);
+            let sol = ctx.solve(target).expect("solve failed");
             assert!(sol.stats.converged());
         });
     });

@@ -39,8 +39,8 @@ fn main() {
     let blocks = 8;
 
     // --- Substitution (the paper). ---
-    let red = apply_dirichlet(&k, &vec![0.0; ndof], &p.bcs);
-    let pc = BlockJacobiPrecond::new(&red.matrix, blocks, BlockSolve::Ilu0);
+    let red = apply_dirichlet(&k, &vec![0.0; ndof], &p.bcs).expect("valid BC set");
+    let pc = BlockJacobiPrecond::new(&red.matrix, blocks, BlockSolve::Ilu0).expect("singular diagonal block");
     let mut x = vec![0.0; red.matrix.nrows()];
     let s_sub = gmres(&red.matrix, &pc, &red.rhs, &mut x, &opts);
     let sub_full = red.expand_solution(&x);
@@ -59,7 +59,7 @@ fn main() {
     for beta_factor in [1e4, 1e8] {
         let beta = kmax * beta_factor;
         let (kp, rhs) = penalty_system(&k, &p.bcs.dof_values(), beta);
-        let pc = BlockJacobiPrecond::new(&kp, blocks, BlockSolve::Ilu0);
+        let pc = BlockJacobiPrecond::new(&kp, blocks, BlockSolve::Ilu0).expect("singular diagonal block");
         let mut xp = vec![0.0; ndof];
         let sp = gmres(&kp, &pc, &rhs, &mut xp, &opts);
         // Accuracy vs the substitution solution on free DOFs.

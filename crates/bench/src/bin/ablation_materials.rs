@@ -44,7 +44,7 @@ fn main() {
             &case.preop.labels,
             &case.intraop.intensity,
             &PipelineConfig { skip_rigid: true, materials, ..Default::default() },
-        );
+        ).expect("pipeline failed");
         let fe = field_error(&res.forward_field, &case.gt_forward, 2.0);
         let warped_seg = warp_labels_backward(&case.preop.labels, &res.backward_field, labels::BACKGROUND);
         let vd = label_dice(&warped_seg, &case.intraop.labels, labels::VENTRICLE);
@@ -72,7 +72,7 @@ fn main() {
     }
     for materials in [MaterialTable::homogeneous(), MaterialTable::heterogeneous()] {
         let name = materials.name;
-        let sol = solve_deformation(&mesh, &materials, &bcs, &FemSolveConfig::default());
+        let sol = solve_deformation(&mesh, &materials, &bcs, &FemSolveConfig::default()).expect("FEM solve rejected its inputs");
         let field = displacement_field_from_mesh(&mesh, &sol.displacements, cfg.dims, cfg.spacing);
         let fe = field_error(&field, &case.gt_forward, 2.0);
         println!("{:<15} {:>9.2} mm {:>12.2}", name, fe.mean_error_mm, fe.relative_error);

@@ -19,7 +19,7 @@ fn main() {
     println!("## Ablation — native vs RCM node ordering\n");
     let p = problem_with_equations(30_000);
     let k = assemble_stiffness(&p.mesh, &MaterialTable::homogeneous());
-    let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &p.bcs);
+    let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &p.bcs).expect("valid BC set");
     let a = red.matrix;
     let rhs = red.rhs;
     println!("system: {} equations, {} nnz\n", a.nrows(), a.nnz());
@@ -32,7 +32,7 @@ fn main() {
 
     // Native ordering.
     let t0 = Instant::now();
-    let pc = BlockJacobiPrecond::new(&a, 8, BlockSolve::Ilu0);
+    let pc = BlockJacobiPrecond::new(&a, 8, BlockSolve::Ilu0).expect("singular diagonal block");
     let mut x_native = vec![0.0; a.nrows()];
     let s = gmres(&a, &pc, &rhs, &mut x_native, &opts);
     assert!(s.converged());
@@ -50,7 +50,7 @@ fn main() {
     let ap = permute_symmetric(&a, &perm);
     let rhs_p = permute_vec(&rhs, &perm);
     let t0 = Instant::now();
-    let pc = BlockJacobiPrecond::new(&ap, 8, BlockSolve::Ilu0);
+    let pc = BlockJacobiPrecond::new(&ap, 8, BlockSolve::Ilu0).expect("singular diagonal block");
     let mut xp = vec![0.0; ap.nrows()];
     let s = gmres(&ap, &pc, &rhs_p, &mut xp, &opts);
     assert!(s.converged());

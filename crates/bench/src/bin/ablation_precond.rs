@@ -18,7 +18,7 @@ fn main() {
     // A mid-size system so even the unpreconditioned run finishes.
     let p = problem_with_equations(30_000);
     let k = assemble_stiffness(&p.mesh, &MaterialTable::homogeneous());
-    let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &p.bcs);
+    let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &p.bcs).expect("valid BC set");
     println!(
         "system: {} equations ({} free), nnz {}\n",
         k.nrows(),
@@ -62,18 +62,18 @@ fn main() {
     let s = run_gmres(&JacobiPrecond::new(&red.matrix));
     report("gmres + jacobi", &s, red.matrix.nrows() as f64);
     for blocks in [4usize, 16] {
-        let pc = BlockJacobiPrecond::new(&red.matrix, blocks, BlockSolve::Ilu0);
+        let pc = BlockJacobiPrecond::new(&red.matrix, blocks, BlockSolve::Ilu0).expect("singular diagonal block");
         let s = run_gmres(&pc);
         report(&format!("gmres + block-jacobi/ilu0 x{blocks}"), &s, 4.0 * nnz);
     }
-    let pc = BlockJacobiPrecond::new(&red.matrix, 16, BlockSolve::Ilu0);
+    let pc = BlockJacobiPrecond::new(&red.matrix, 16, BlockSolve::Ilu0).expect("singular diagonal block");
     let mut x = vec![0.0; red.matrix.nrows()];
     let s = conjugate_gradient(&red.matrix, &pc, &red.rhs, &mut x, &opts);
     report("cg    + block-jacobi/ilu0 x16", &s, 4.0 * nnz);
     let mut x = vec![0.0; red.matrix.nrows()];
     let s = conjugate_gradient(&red.matrix, &JacobiPrecond::new(&red.matrix), &red.rhs, &mut x, &opts);
     report("cg    + jacobi", &s, red.matrix.nrows() as f64);
-    let pc = BlockJacobiPrecond::new(&red.matrix, 16, BlockSolve::Ilu0);
+    let pc = BlockJacobiPrecond::new(&red.matrix, 16, BlockSolve::Ilu0).expect("singular diagonal block");
     let mut x = vec![0.0; red.matrix.nrows()];
     let s = bicgstab(&red.matrix, &pc, &red.rhs, &mut x, &opts);
     // BiCGStab does 2 matvecs + 2 precond applies per iteration.

@@ -32,7 +32,7 @@ fn main() {
             &case.preop.labels,
             &case.intraop.intensity,
             &PipelineConfig { skip_rigid: true, ..Default::default() },
-        );
+        ).expect("pipeline failed");
         let fe = field_error(&res.forward_field, &case.gt_forward, 2.0);
         println!(
             "{:>10.1} {:>12} {:>7.2} mm {:>10.2} {:>7.2} mm {:>7.2} mm",

@@ -28,7 +28,7 @@ fn main() {
         "configuration", "mean err", "rel err", "peak rec", "surf res"
     );
     let run = |name: &str, pcfg: PipelineConfig| {
-        let res = run_pipeline(&case.preop.intensity, &case.preop.labels, &case.intraop.intensity, &pcfg);
+        let res = run_pipeline(&case.preop.intensity, &case.preop.labels, &case.intraop.intensity, &pcfg).expect("pipeline failed");
         let fe = field_error(&res.forward_field, &case.gt_forward, 2.0);
         println!(
             "{:<22} {:>7.2} mm {:>10.2} {:>7.2} mm {:>7.2} mm",

@@ -40,7 +40,7 @@ fn main() {
 
     // --- Volumetric FEM (the paper's method). ---
     let t0 = Instant::now();
-    let sol = solve_deformation(&mesh, &MaterialTable::homogeneous(), &bcs, &FemSolveConfig::default());
+    let sol = solve_deformation(&mesh, &MaterialTable::homogeneous(), &bcs, &FemSolveConfig::default()).expect("FEM solve rejected its inputs");
     let fem_time = t0.elapsed().as_secs_f64();
     let fem_field = displacement_field_from_mesh(&mesh, &sol.displacements, cfg.dims, cfg.spacing);
 

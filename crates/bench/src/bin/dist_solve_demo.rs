@@ -22,7 +22,7 @@ fn main() {
     println!("## distributed GMRES demo (real rank threads + message passing)\n");
     let p = problem_with_equations(equations);
     let k = assemble_stiffness(&p.mesh, &MaterialTable::homogeneous());
-    let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &p.bcs);
+    let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &p.bcs).expect("valid BC set");
     let n = red.matrix.nrows();
     println!("system: {} equations, {} free, {} nnz", k.nrows(), n, red.matrix.nnz());
     let opts = SolverOptions { tolerance: 1e-6, max_iterations: 5000, ..Default::default() };
@@ -37,7 +37,7 @@ fn main() {
         let t0 = Instant::now();
         let results = run_ranks(ranks, |comm| {
             let r = comm.rank();
-            let sys = LocalSystem::from_global(&red.matrix, offsets[r], offsets[r + 1]);
+            let sys = LocalSystem::from_global(&red.matrix, offsets[r], offsets[r + 1]).expect("valid row slice");
             distributed_gmres(comm, &sys, &red.rhs[offsets[r]..offsets[r + 1]], &opts)
         });
         let elapsed = t0.elapsed().as_secs_f64();

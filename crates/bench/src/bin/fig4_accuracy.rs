@@ -44,7 +44,7 @@ fn main() {
     println!("ground truth: {} equations, peak shift {:.1} mm", case.gt_equations, shift.peak_shift_mm);
 
     let pipe_cfg = PipelineConfig { skip_rigid: true, ..Default::default() };
-    let res = run_pipeline(&case.preop.intensity, &case.preop.labels, &case.intraop.intensity, &pipe_cfg);
+    let res = run_pipeline(&case.preop.intensity, &case.preop.labels, &case.intraop.intensity, &pipe_cfg).expect("pipeline failed");
     println!(
         "pipeline: mesh {} nodes / {} tets, FEM {} eqs ({} free), GMRES {} iters, converged: {}",
         res.mesh.num_nodes(),

@@ -27,7 +27,7 @@ fn main() {
         &case.preop.labels,
         &case.intraop.intensity,
         &PipelineConfig { skip_rigid: true, ..Default::default() },
-    );
+    ).expect("pipeline failed");
 
     // Surface-vertex displacements = FEM displacement at boundary nodes.
     let disp: Vec<(Vec3, Vec3)> = res

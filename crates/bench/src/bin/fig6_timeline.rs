@@ -34,7 +34,7 @@ fn main() {
         &case.preop.labels,
         &case.intraop.intensity,
         &PipelineConfig { skip_rigid: true, ..Default::default() },
-    );
+    ).expect("pipeline failed");
     let mut tl = Timeline::new();
     // Preoperative actions happen before the OR (long-running is fine).
     tl.record("preoperative MRI", 1200.0, false);

@@ -46,7 +46,7 @@ fn main() {
         &case.preop.labels,
         &case.intraop.intensity,
         &PipelineConfig { skip_rigid: true, ..Default::default() },
-    );
+    ).expect("pipeline failed");
     println!(
         "pipeline: FEM {} equations, {} iterations, surface residual {:.2} mm",
         res.fem.total_equations, res.fem.stats.iterations, res.surface_residual

@@ -51,7 +51,7 @@ fn main() {
     let mut cold_solutions = Vec::with_capacity(n_scans);
     for bcs in &scans {
         let t0 = Instant::now();
-        let sol = solve_deformation(&p.mesh, &materials, bcs, &cfg);
+        let sol = solve_deformation(&p.mesh, &materials, bcs, &cfg).expect("FEM solve rejected its inputs");
         cold_s.push(t0.elapsed().as_secs_f64());
         assert!(sol.stats.converged(), "cold solve did not converge");
         cold_iters.push(sol.stats.iterations);
@@ -60,14 +60,14 @@ fn main() {
 
     // ---- Persistent context: setup once, warm-started solves. ----
     let t0 = Instant::now();
-    let mut ctx = SolverContext::new(&p.mesh, &materials, &full_bcs.nodes_sorted(), cfg.clone());
+    let mut ctx = SolverContext::new(&p.mesh, &materials, &full_bcs.nodes_sorted(), cfg.clone()).expect("solver context build failed");
     let setup_s = t0.elapsed().as_secs_f64();
     let mut warm_s = Vec::with_capacity(n_scans);
     let mut warm_iters = Vec::with_capacity(n_scans);
     let mut max_dev = 0.0f64;
     for (i, bcs) in scans.iter().enumerate() {
         let t0 = Instant::now();
-        let sol = ctx.solve(bcs);
+        let sol = ctx.solve(bcs).expect("solve failed");
         warm_s.push(t0.elapsed().as_secs_f64());
         assert!(sol.stats.converged(), "warm solve did not converge");
         warm_iters.push(sol.stats.iterations);

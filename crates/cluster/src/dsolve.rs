@@ -10,7 +10,7 @@
 //! ran with MPI.
 
 use crate::comm::Comm;
-use brainshift_sparse::{CsrMatrix, Ilu0, SolveStats, SolverOptions, StopReason};
+use brainshift_sparse::{CsrMatrix, Ilu0, SolveStats, SolverOptions, SparseError, StopReason};
 
 /// One rank's share of a row-partitioned system.
 pub struct LocalSystem {
@@ -25,9 +25,14 @@ pub struct LocalSystem {
 }
 
 impl LocalSystem {
-    /// Slice rows `[lo, hi)` of a global matrix for one rank.
-    pub fn from_global(a: &CsrMatrix, lo: usize, hi: usize) -> LocalSystem {
-        assert!(lo < hi && hi <= a.nrows());
+    /// Slice rows `[lo, hi)` of a global matrix for one rank. An empty
+    /// range (`lo == hi`) is allowed — a rank beyond the clamped
+    /// effective partition simply owns no rows — but an out-of-bounds or
+    /// inverted range is reported instead of asserted.
+    pub fn from_global(a: &CsrMatrix, lo: usize, hi: usize) -> Result<LocalSystem, SparseError> {
+        if lo > hi || hi > a.nrows() {
+            return Err(SparseError::InvalidRange { lo, hi, nrows: a.nrows() });
+        }
         let mut indptr = Vec::with_capacity(hi - lo + 1);
         let mut indices = Vec::new();
         let mut values = Vec::new();
@@ -38,12 +43,13 @@ impl LocalSystem {
             values.extend_from_slice(vals);
             indptr.push(indices.len());
         }
-        LocalSystem {
-            rows: CsrMatrix::from_raw(hi - lo, a.ncols(), indptr, indices, values),
+        Ok(LocalSystem {
+            rows: CsrMatrix::from_raw(hi - lo, a.ncols(), indptr, indices, values)
+                .expect("rows sliced from a valid CSR matrix are valid"),
             row_begin: lo,
             row_end: hi,
             global_n: a.nrows(),
-        }
+        })
     }
 
     /// The diagonal block (rows ∩ columns of this rank), for the local
@@ -65,6 +71,7 @@ impl LocalSystem {
             indptr.push(indices.len());
         }
         CsrMatrix::from_raw(n, n, indptr, indices, values)
+            .expect("diagonal block of a valid CSR matrix is valid")
     }
 }
 
@@ -316,7 +323,7 @@ mod tests {
     #[test]
     fn local_system_slices_rows() {
         let a = laplace_3d_like(40);
-        let s = LocalSystem::from_global(&a, 10, 25);
+        let s = LocalSystem::from_global(&a, 10, 25).unwrap();
         assert_eq!(s.rows.nrows(), 15);
         assert_eq!(s.rows.get(0, 10), a.get(10, 10));
         assert_eq!(s.rows.get(0, 9), a.get(10, 9));
@@ -339,7 +346,7 @@ mod tests {
             let offsets = even_offsets(n, p);
             let results = run_ranks(p, |comm| {
                 let r = comm.rank();
-                let sys = LocalSystem::from_global(&a, offsets[r], offsets[r + 1]);
+                let sys = LocalSystem::from_global(&a, offsets[r], offsets[r + 1]).expect("valid row slice");
                 let b_local = &rhs[offsets[r]..offsets[r + 1]];
                 distributed_gmres(comm, &sys, b_local, &opts)
             });
@@ -369,7 +376,7 @@ mod tests {
             let offsets = even_offsets(n, p);
             let results = run_ranks(p, |comm| {
                 let r = comm.rank();
-                let sys = LocalSystem::from_global(&a, offsets[r], offsets[r + 1]);
+                let sys = LocalSystem::from_global(&a, offsets[r], offsets[r + 1]).expect("valid row slice");
                 distributed_gmres(comm, &sys, &rhs[offsets[r]..offsets[r + 1]], &opts)
             });
             assert!(results[0].1.converged());
@@ -385,7 +392,7 @@ mod tests {
         let results = run_ranks(2, |comm| {
             let offsets = even_offsets(n, 2);
             let r = comm.rank();
-            let sys = LocalSystem::from_global(&a, offsets[r], offsets[r + 1]);
+            let sys = LocalSystem::from_global(&a, offsets[r], offsets[r + 1]).expect("valid row slice");
             let rhs = vec![0.0; offsets[r + 1] - offsets[r]];
             distributed_gmres(comm, &sys, &rhs, &SolverOptions::default())
         });
@@ -579,7 +586,7 @@ mod ghost_tests {
             let offsets = even_offsets(n, p);
             let results = run_ranks(p, |comm| {
                 let r = comm.rank();
-                let sys = LocalSystem::from_global(&a, offsets[r], offsets[r + 1]);
+                let sys = LocalSystem::from_global(&a, offsets[r], offsets[r + 1]).expect("valid row slice");
                 let g = GhostedSystem::new(comm, sys, &offsets);
                 let mut y = vec![0.0; offsets[r + 1] - offsets[r]];
                 g.matvec(comm, &x[offsets[r]..offsets[r + 1]], &mut y);
@@ -606,12 +613,12 @@ mod ghost_tests {
         let offsets = even_offsets(n, p);
         let plain = run_ranks(p, |comm| {
             let r = comm.rank();
-            let sys = LocalSystem::from_global(&a, offsets[r], offsets[r + 1]);
+            let sys = LocalSystem::from_global(&a, offsets[r], offsets[r + 1]).expect("valid row slice");
             distributed_gmres(comm, &sys, &rhs[offsets[r]..offsets[r + 1]], &opts)
         });
         let ghosted = run_ranks(p, |comm| {
             let r = comm.rank();
-            let sys = LocalSystem::from_global(&a, offsets[r], offsets[r + 1]);
+            let sys = LocalSystem::from_global(&a, offsets[r], offsets[r + 1]).expect("valid row slice");
             let g = GhostedSystem::new(comm, sys, &offsets);
             distributed_gmres_ghosted(comm, &g, &rhs[offsets[r]..offsets[r + 1]], &opts)
         });
@@ -633,7 +640,7 @@ mod ghost_tests {
         let offsets = even_offsets(n, p);
         let counts = run_ranks(p, |comm| {
             let r = comm.rank();
-            let sys = LocalSystem::from_global(&a, offsets[r], offsets[r + 1]);
+            let sys = LocalSystem::from_global(&a, offsets[r], offsets[r + 1]).expect("valid row slice");
             GhostedSystem::new(comm, sys, &offsets).ghost_count()
         });
         for (r, &c) in counts.iter().enumerate() {

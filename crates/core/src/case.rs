@@ -126,7 +126,8 @@ pub fn generate_elastic_case(
             for &n in boundary_nodes(&gt_mesh).iter() {
                 bcs.set(n, cap_surface_displacement(gt_mesh.nodes[n], &model, shift));
             }
-            let sol = solve_deformation(&gt_mesh, &opts.materials, &bcs, &fem_cfg);
+            let sol = solve_deformation(&gt_mesh, &opts.materials, &bcs, &fem_cfg)
+                .expect("ground-truth FEM solve rejected its inputs");
             assert!(sol.stats.converged(), "ground-truth FEM failed to converge: {:?}", sol.stats.reason);
             sol.displacements
         }
@@ -165,12 +166,13 @@ pub fn generate_elastic_case(
                 f[3 * n + 1] = w.y * shares[n];
                 f[3 * n + 2] = w.z * shares[n];
             }
-            let red = apply_dirichlet(&k, &f, &bcs);
+            let red = apply_dirichlet(&k, &f, &bcs).expect("ground-truth BC set malformed");
             let pc = brainshift_sparse::BlockJacobiPrecond::new(
                 &red.matrix,
                 8,
                 brainshift_sparse::BlockSolve::Ilu0,
-            );
+            )
+            .expect("singular block in ground-truth preconditioner");
             let mut x = vec![0.0; red.matrix.nrows()];
             let stats = brainshift_sparse::gmres(&red.matrix, &pc, &red.rhs, &mut x, &fem_cfg.options);
             assert!(stats.converged(), "gravity ground truth failed: {:?}", stats.reason);

@@ -11,14 +11,19 @@
 #![warn(missing_docs)]
 
 pub mod case;
+pub mod error;
 pub mod metrics;
 pub mod pipeline;
 pub mod sequence;
 pub mod timeline;
 
 pub use case::{generate_elastic_case, ElasticCase, ElasticCaseOptions};
+pub use error::Error;
 pub use metrics::{field_error, intensity_residual, structure_overlaps, FieldErrorReport, ResidualReport};
-pub use sequence::{generate_scan_sequence, run_scan_sequence, ScanOutcome, ScanSequence, SequenceResult};
+pub use sequence::{
+    generate_scan_sequence, run_scan_sequence, run_scan_sequence_with_faults, FaultInjection,
+    ScanOutcome, ScanSequence, ScanStatus, SequenceResult,
+};
 pub use pipeline::{
     composite_warped, run_pipeline, run_pipeline_with_solver, PipelineConfig, PipelineResult,
     SurfaceForceKind,

@@ -7,6 +7,7 @@
 //!                     └▶ biomechanical FEM ──▶ volumetric deformation
 //!                             └▶ resampled ("warped") preoperative data
 
+use crate::error::Error;
 use crate::timeline::Timeline;
 use brainshift_fem::{
     displacement_field_from_mesh, ContextStats, DirichletBcs, FemSolveConfig, FemSolution,
@@ -113,12 +114,18 @@ pub struct PipelineResult {
 ///   data registered to it) with its trusted segmentation; this is the
 ///   "patient-specific atlas".
 /// * `intraop_intensity` — the later scan exhibiting brain shift.
+///
+/// Hard failures — an empty mesh, a singular preconditioner block, a
+/// malformed boundary-condition set — are returned as [`Error`]. A solver
+/// that merely fails to converge is *not* an error: inspect
+/// `result.fem.stats.converged()` and degrade at the call site (see
+/// [`crate::sequence::run_scan_sequence`]).
 pub fn run_pipeline(
     reference_intensity: &Volume<f32>,
     reference_seg: &Volume<u8>,
     intraop_intensity: &Volume<f32>,
     cfg: &PipelineConfig,
-) -> PipelineResult {
+) -> Result<PipelineResult, Error> {
     run_pipeline_with_solver(reference_intensity, reference_seg, intraop_intensity, cfg, &mut None)
 }
 
@@ -139,7 +146,7 @@ pub fn run_pipeline_with_solver(
     intraop_intensity: &Volume<f32>,
     cfg: &PipelineConfig,
     solver: &mut Option<SolverContext>,
-) -> PipelineResult {
+) -> Result<PipelineResult, Error> {
     let mut timeline = Timeline::new();
 
     // ── Rigid registration: bring the reference into the intraop frame. ──
@@ -186,7 +193,9 @@ pub fn run_pipeline_with_solver(
     let mesh = timeline.stage("mesh generation", true, || {
         mesh_labeled_volume(&ref_seg_aligned, &cfg.mesher)
     });
-    assert!(mesh.num_tets() > 0, "reference segmentation produced an empty mesh");
+    if mesh.num_tets() == 0 {
+        return Err(Error::Pipeline("reference segmentation produced an empty mesh".into()));
+    }
     let brain_surface = extract_boundary(&mesh);
 
     // ── Active surface: match reference brain surface to the intraop
@@ -238,7 +247,7 @@ pub fn run_pipeline_with_solver(
     //    data, FEM for the volume (Fig 1's last box). The solver context
     //    (assembly + reduction + preconditioner) persists across scans of
     //    a surgery; a scan whose mesh matches pays only the solve. ──
-    let fem = timeline.stage("biomechanical simulation", true, || {
+    let fem = timeline.stage("biomechanical simulation", true, || -> Result<FemSolution, Error> {
         let mut bcs = DirichletBcs::new();
         for (v, &node) in brain_surface.mesh_node.iter().enumerate() {
             bcs.set(node, surface_displacements[v]);
@@ -252,11 +261,12 @@ pub fn run_pipeline_with_solver(
                 &cfg.materials,
                 &brain_surface.mesh_node,
                 cfg.fem.clone(),
-            ));
+            )?);
         }
-        solver.as_mut().unwrap().solve(&bcs)
-    });
-    let solver_stats = solver.as_ref().unwrap().stats();
+        let ctx = solver.as_mut().expect("context installed above");
+        Ok(ctx.solve(&bcs)?)
+    })?;
+    let solver_stats = solver.as_ref().expect("context installed by the FEM stage").stats();
 
     // ── Dense deformation + resample (the ~0.5 s visualization step). ──
     let (forward_field, backward_field, warped_reference) = timeline.stage("visualization resample", true, || {
@@ -271,7 +281,7 @@ pub fn run_pipeline_with_solver(
         (fwd, bwd, warped)
     });
 
-    PipelineResult {
+    Ok(PipelineResult {
         rigid,
         intraop_seg,
         mesh,
@@ -283,7 +293,7 @@ pub fn run_pipeline_with_solver(
         warped_reference,
         timeline,
         solver_stats,
-    }
+    })
 }
 
 /// Composite the warped brain into the intraop scan background for
@@ -339,7 +349,7 @@ mod tests {
             &case.preop.labels,
             &case.intraop.intensity,
             &fast_cfg(),
-        );
+        ).expect("pipeline failed");
         assert!(res.fem.stats.converged(), "FEM did not converge");
         assert!(res.mesh.num_tets() > 100);
         // Recovered forward field should capture the deformation where it
@@ -388,7 +398,7 @@ mod tests {
             &case.preop.labels,
             &case.intraop.intensity,
             &fast_cfg(),
-        );
+        ).expect("pipeline failed");
         // Compare intensity difference in the brain region.
         let brain = case.intraop.labels.map(|&l| labels::is_brain_tissue(l));
         let diff = |a: &Volume<f32>| -> f64 {
@@ -415,7 +425,7 @@ mod tests {
             &case.preop.labels,
             &case.intraop.intensity,
             &fast_cfg(),
-        );
+        ).expect("pipeline failed");
         for stage in [
             "tissue classification",
             "mesh generation",
@@ -439,7 +449,7 @@ mod tests {
             &case.preop.labels,
             &case.intraop.intensity,
             &cfg,
-        );
+        ).expect("pipeline failed");
         assert!(res.fem.stats.converged());
         let peak = res.forward_field.max_magnitude();
         assert!(
@@ -463,7 +473,7 @@ mod tests {
             &case.intraop.intensity,
             &cfg,
             &mut solver,
-        );
+        ).expect("pipeline failed");
         assert_eq!(r1.solver_stats.assemblies, 1);
         assert_eq!(r1.solver_stats.factorizations, 1);
         assert_eq!(r1.solver_stats.warm_started_solves, 0);
@@ -473,7 +483,7 @@ mod tests {
             &case.intraop.intensity,
             &cfg,
             &mut solver,
-        );
+        ).expect("pipeline failed");
         assert!(r2.fem.stats.converged());
         assert_eq!(r2.solver_stats.assemblies, 1, "second scan reassembled");
         assert_eq!(r2.solver_stats.factorizations, 1, "second scan refactored");
@@ -493,7 +503,7 @@ mod tests {
             &case.preop.labels,
             &case.intraop.intensity,
             &fast_cfg(),
-        );
+        ).expect("pipeline failed");
         let comp = composite_warped(&res.warped_reference, &case.intraop.intensity, &res.intraop_seg);
         // Where the segmentation says background/skin, the composite must
         // equal the intraop scan exactly.

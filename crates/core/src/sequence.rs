@@ -11,11 +11,13 @@
 //! paper's automatic update does.
 
 use crate::case::{generate_elastic_case, ElasticCase, ElasticCaseOptions};
+use crate::error::Error;
 use crate::metrics::{field_error, FieldErrorReport};
 use crate::pipeline::PipelineConfig;
 use brainshift_fem::{
     displacement_field_from_mesh, ContextStats, DirichletBcs, SolverContext,
 };
+use brainshift_sparse::{EscalationPolicy, SolverOptions};
 use brainshift_imaging::phantom::{forward_warp_labels, render_intensity, BrainShiftConfig, PhantomConfig, PhantomScan};
 use brainshift_imaging::{labels, DisplacementField, Volume};
 use brainshift_mesh::{extract_boundary, mesh_labeled_volume};
@@ -77,12 +79,32 @@ pub fn generate_scan_sequence(
     ScanSequence { reference: preop, scans, gt_forward: fields, stages }
 }
 
+/// How the biomechanical solve of one scan concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanStatus {
+    /// The primary solver configuration converged.
+    Converged,
+    /// The solver converged, but only after walking the escalation
+    /// ladder (larger GMRES restarts and/or the BiCGStab fallback).
+    Escalated {
+        /// Total solver attempts made (≥ 2).
+        attempts: usize,
+    },
+    /// The solver did not converge within its budget even after
+    /// escalation: the scan's displacement field is the *previous*
+    /// scan's field carried forward (zero for the first scan), not a
+    /// solution for this scan's boundary conditions.
+    Degraded,
+}
+
 /// Outcome of registering one scan of the sequence.
 pub struct ScanOutcome {
     /// Index of the scan within the sequence.
     pub scan_index: usize,
     /// Fraction (0..1] of the full shift reached at this scan.
     pub stage: f64,
+    /// How the biomechanical solve concluded (see [`ScanStatus`]).
+    pub status: ScanStatus,
     /// Recovered-vs-truth deformation error report.
     pub field_error: FieldErrorReport,
     /// GMRES iterations of the biomechanical solve.
@@ -102,6 +124,18 @@ pub struct SequenceResult {
     /// persistent context these show exactly one assembly and one
     /// preconditioner factorization regardless of the scan count.
     pub solver_stats: ContextStats,
+    /// Scans that ended [`ScanStatus::Degraded`].
+    pub degraded_scans: usize,
+}
+
+/// Deterministic fault injection for failure-path testing: the listed
+/// scans are solved with a starved iteration budget and no escalation,
+/// forcing a genuine solver non-convergence at exactly those points of
+/// the sequence.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjection {
+    /// Scan indices whose FEM solve is starved (0-based).
+    pub fail_fem_scans: Vec<usize>,
 }
 
 /// Register every scan of the sequence against the reference, reusing the
@@ -109,9 +143,28 @@ pub struct SequenceResult {
 /// the prototype model across scans (the paper's once-per-surgery
 /// initialization). Each scan's FEM solve is warm-started from the
 /// previous scan's displacement field.
-pub fn run_scan_sequence(seq: &ScanSequence, cfg: &PipelineConfig) -> SequenceResult {
+///
+/// Hard failures (malformed mesh, singular preconditioner) are returned
+/// as [`Error`]; a scan whose solver merely fails to converge degrades
+/// gracefully — see [`ScanStatus::Degraded`].
+pub fn run_scan_sequence(seq: &ScanSequence, cfg: &PipelineConfig) -> Result<SequenceResult, Error> {
+    run_scan_sequence_with_faults(seq, cfg, &FaultInjection::default())
+}
+
+/// [`run_scan_sequence`] with deterministic fault injection: scans listed
+/// in `faults.fail_fem_scans` are solved with a starved iteration budget
+/// and no escalation. Used to exercise the degradation path; production
+/// callers use [`run_scan_sequence`].
+pub fn run_scan_sequence_with_faults(
+    seq: &ScanSequence,
+    cfg: &PipelineConfig,
+    faults: &FaultInjection,
+) -> Result<SequenceResult, Error> {
     // Built once per surgery:
     let mesh = mesh_labeled_volume(&seq.reference.labels, &cfg.mesher);
+    if mesh.num_tets() == 0 {
+        return Err(Error::Pipeline("reference segmentation produced an empty mesh".into()));
+    }
     let surface = extract_boundary(&mesh);
     let mut classes = seq.reference.labels.labels();
     classes.retain(|&c| c != labels::RESECTION);
@@ -122,9 +175,17 @@ pub fn run_scan_sequence(seq: &ScanSequence, cfg: &PipelineConfig) -> SequenceRe
     // The constrained node set is the mesh's brain surface for the whole
     // surgery — assemble K, split off K_ff/K_fc and factor the
     // preconditioner once, re-solve per scan.
-    let mut solver = SolverContext::new(&mesh, &cfg.materials, &surface.mesh_node, cfg.fem.clone());
+    let mut solver = SolverContext::new(&mesh, &cfg.materials, &surface.mesh_node, cfg.fem.clone())?;
+
+    // Options forcing genuine non-convergence on injected scans: zero
+    // Krylov iterations, no escalation.
+    let starved = SolverOptions { max_iterations: 0, ..cfg.fem.options.clone() };
+    let no_escalation = EscalationPolicy::none();
 
     let mut outcomes = Vec::with_capacity(seq.scans.len());
+    let mut degraded_scans = 0usize;
+    // The last *good* field, carried forward over degraded scans.
+    let mut last_field: Option<brainshift_imaging::DisplacementField> = None;
     for (i, scan) in seq.scans.iter().enumerate() {
         // Per-scan: classification with the UPDATED statistical model.
         let seg = segment_intraop_with_model(&scan.intensity, &seq.reference.labels, &model, &cfg.segment);
@@ -137,24 +198,51 @@ pub fn run_scan_sequence(seq: &ScanSequence, cfg: &PipelineConfig) -> SequenceRe
         for (v, &node) in surface.mesh_node.iter().enumerate() {
             bcs.set(node, evolved.positions[v] - snap.positions[v]);
         }
-        let sol = solver.solve(&bcs);
-        let field = displacement_field_from_mesh(
-            &mesh,
-            &sol.displacements,
-            scan.intensity.dims(),
-            scan.intensity.spacing(),
-        );
+        let sol = if faults.fail_fem_scans.contains(&i) {
+            solver.solve_with(&bcs, Some(&starved), Some(&no_escalation))?
+        } else {
+            solver.solve(&bcs)?
+        };
+        let (status, field) = if sol.stats.converged() {
+            let status = if sol.escalated {
+                ScanStatus::Escalated { attempts: sol.attempts }
+            } else {
+                ScanStatus::Converged
+            };
+            let field = displacement_field_from_mesh(
+                &mesh,
+                &sol.displacements,
+                scan.intensity.dims(),
+                scan.intensity.spacing(),
+            );
+            last_field = Some(field.clone());
+            (status, field)
+        } else {
+            // Graceful degradation: reuse the previous scan's field (the
+            // navigation display keeps showing the last trusted state)
+            // rather than trusting an unconverged iterate or aborting
+            // the surgery's registration stream.
+            degraded_scans += 1;
+            let field = last_field.clone().unwrap_or_else(|| {
+                brainshift_imaging::DisplacementField::zeros(
+                    scan.intensity.dims(),
+                    scan.intensity.spacing(),
+                )
+            });
+            (ScanStatus::Degraded, field)
+        };
         let fe = field_error(&field, &seq.gt_forward[i], 1.5);
         outcomes.push(ScanOutcome {
             scan_index: i,
             stage: seq.stages[i],
+            status,
             field_error: fe,
             fem_iterations: sol.stats.iterations,
             surface_residual: evolved.final_distance,
             peak_recovered_mm: field.max_magnitude(),
         });
     }
-    SequenceResult { outcomes, solver_stats: solver.stats() }
+    Ok(SequenceResult { outcomes, solver_stats: solver.stats(), degraded_scans })
 }
 
 /// Convenience: is the tumor present in a scan's labels?
@@ -229,7 +317,7 @@ mod tests {
         // ONE preconditioner factorization, with every scan after the
         // first warm-started.
         let seq = small_seq(3, 3);
-        let res = run_scan_sequence(&seq, &PipelineConfig { skip_rigid: true, ..Default::default() });
+        let res = run_scan_sequence(&seq, &PipelineConfig { skip_rigid: true, ..Default::default() }).expect("sequence failed");
         let s = res.solver_stats;
         assert_eq!(s.assemblies, 1, "stiffness reassembled mid-surgery");
         assert_eq!(s.factorizations, 1, "preconditioner refactored mid-surgery");
@@ -240,7 +328,7 @@ mod tests {
     #[test]
     fn sequence_registration_tracks_growing_shift() {
         let seq = small_seq(3, 3);
-        let outcomes = run_scan_sequence(&seq, &PipelineConfig { skip_rigid: true, ..Default::default() }).outcomes;
+        let outcomes = run_scan_sequence(&seq, &PipelineConfig { skip_rigid: true, ..Default::default() }).expect("sequence failed").outcomes;
         assert_eq!(outcomes.len(), 3);
         // Recovered peak deformation grows along the sequence.
         assert!(

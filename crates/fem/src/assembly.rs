@@ -32,7 +32,7 @@ pub fn assemble_stiffness(mesh: &TetMesh, materials: &MaterialTable) -> CsrMatri
                     mesh.nodes[tet[2]],
                     mesh.nodes[tet[3]],
                 ];
-                let Some(shape) = TetShape::new(p) else { continue };
+                let Ok(shape) = TetShape::new(p) else { continue };
                 let mat = materials.of(label);
                 let ke = stiffness_isotropic(&shape, &mat);
                 for (i, &ni) in tet.iter().enumerate() {

@@ -8,6 +8,7 @@
 //! exactly that substitution and exposes the per-rank free/constrained
 //! counts that drive the solve-phase imbalance in the simulated cluster.
 
+use crate::error::FemError;
 use brainshift_imaging::Vec3;
 use brainshift_sparse::{CsrMatrix, TripletBuilder};
 use std::collections::HashMap;
@@ -94,14 +95,18 @@ pub struct DirichletStructure {
 
 impl DirichletStructure {
     /// Split `k` along the DOFs of `constrained_nodes` (deduplicated;
-    /// order irrelevant).
-    pub fn new(k: &CsrMatrix, constrained_nodes: &[usize]) -> Self {
+    /// order irrelevant). Returns
+    /// [`FemError::ConstrainedNodeOutOfRange`] when a node index exceeds
+    /// the matrix's DOF count.
+    pub fn new(k: &CsrMatrix, constrained_nodes: &[usize]) -> Result<Self, FemError> {
         let ndof = k.nrows();
         let mut constrained = vec![false; ndof];
         for &node in constrained_nodes {
             for c in 0..3 {
                 let dof = 3 * node + c;
-                assert!(dof < ndof, "constrained node {node} out of range");
+                if dof >= ndof {
+                    return Err(FemError::ConstrainedNodeOutOfRange { node, ndof });
+                }
                 constrained[dof] = true;
             }
         }
@@ -133,13 +138,13 @@ impl DirichletStructure {
                 }
             }
         }
-        DirichletStructure {
+        Ok(DirichletStructure {
             matrix: bff.build(),
             coupling: bfc.build(),
             free_dofs,
             reduced_of_dof,
             constrained_dofs,
-        }
+        })
     }
 
     /// Number of free (solved-for) DOFs.
@@ -153,20 +158,26 @@ impl DirichletStructure {
     }
 
     /// Gather prescribed values from `bcs` into the compact constrained
-    /// vector `u_c`. Every constrained node must carry a value.
-    pub fn gather_constrained(&self, bcs: &DirichletBcs, u_c: &mut [f64]) {
-        assert_eq!(u_c.len(), self.constrained_dofs.len());
+    /// vector `u_c`. Returns [`FemError::BcSetMismatch`] when `u_c` has
+    /// the wrong length and [`FemError::MissingBcValue`] when a
+    /// constrained node carries no prescribed displacement.
+    pub fn gather_constrained(&self, bcs: &DirichletBcs, u_c: &mut [f64]) -> Result<(), FemError> {
+        if u_c.len() != self.constrained_dofs.len() {
+            return Err(FemError::BcSetMismatch {
+                expected: self.constrained_dofs.len(),
+                got: u_c.len(),
+            });
+        }
         for (ci, &dof) in self.constrained_dofs.iter().enumerate() {
             let node = dof / 3;
-            let u = bcs
-                .get(node)
-                .unwrap_or_else(|| panic!("node {node} is in the constrained set but has no value"));
+            let u = bcs.get(node).ok_or(FemError::MissingBcValue { node })?;
             u_c[ci] = match dof % 3 {
                 0 => u.x,
                 1 => u.y,
                 _ => u.z,
             };
         }
+        Ok(())
     }
 
     /// Reduced load vector for zero body force: `rhs = −K_fc·u_c`.
@@ -259,26 +270,34 @@ impl ReducedSystem {
 /// One-shot form of [`DirichletStructure`]: builds the structure for this
 /// BC set, computes the load vector, and discards the coupling block.
 /// Repeat solves over a fixed constrained set should hold a
-/// `DirichletStructure` (or a `SolverContext`) instead.
-pub fn apply_dirichlet(k: &CsrMatrix, f: &[f64], bcs: &DirichletBcs) -> ReducedSystem {
+/// `DirichletStructure` (or a `SolverContext`) instead. Returns
+/// [`FemError::MatrixShapeMismatch`] when `f` does not match the matrix
+/// and propagates structural errors from [`DirichletStructure::new`].
+pub fn apply_dirichlet(
+    k: &CsrMatrix,
+    f: &[f64],
+    bcs: &DirichletBcs,
+) -> Result<ReducedSystem, FemError> {
     let ndof = k.nrows();
-    assert_eq!(f.len(), ndof);
-    let structure = DirichletStructure::new(k, &bcs.nodes_sorted());
+    if f.len() != ndof {
+        return Err(FemError::MatrixShapeMismatch { rows: f.len(), equations: ndof });
+    }
+    let structure = DirichletStructure::new(k, &bcs.nodes_sorted())?;
     let mut u_c = vec![0.0; structure.num_constrained()];
-    structure.gather_constrained(bcs, &mut u_c);
+    structure.gather_constrained(bcs, &mut u_c)?;
     let mut rhs = vec![0.0; structure.num_free()];
     structure.reduced_rhs(f, &u_c, &mut rhs);
     let mut prescribed_values = vec![0.0; ndof];
     for (ci, &dof) in structure.constrained_dofs.iter().enumerate() {
         prescribed_values[dof] = u_c[ci];
     }
-    ReducedSystem {
+    Ok(ReducedSystem {
         matrix: structure.matrix,
         rhs,
         free_dofs: structure.free_dofs,
         reduced_of_dof: structure.reduced_of_dof,
         prescribed_values,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -304,7 +323,7 @@ mod tests {
             bcs.set(n, Vec3::ZERO);
         }
         let f = vec![0.0; k.nrows()];
-        let red = apply_dirichlet(&k, &f, &bcs);
+        let red = apply_dirichlet(&k, &f, &bcs).expect("valid BC set");
         assert_eq!(red.matrix.nrows(), k.nrows() - 3 * bcs.len());
         assert_eq!(red.free_dofs.len(), red.matrix.nrows());
     }
@@ -317,7 +336,7 @@ mod tests {
         for &n in boundary_nodes(&mesh).iter() {
             bcs.set(n, Vec3::ZERO);
         }
-        let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &bcs);
+        let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &bcs).expect("valid BC set");
         assert!(red.rhs.iter().all(|&v| v == 0.0));
         let full = red.expand_solution(&vec![0.0; red.free_dofs.len()]);
         assert!(full.iter().all(|&v| v == 0.0));
@@ -329,7 +348,7 @@ mod tests {
         let k = assemble_stiffness(&mesh, &MaterialTable::homogeneous());
         let mut bcs = DirichletBcs::new();
         bcs.set(0, Vec3::new(1.0, 2.0, 3.0));
-        let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &bcs);
+        let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &bcs).expect("valid BC set");
         let x = vec![0.5; red.free_dofs.len()];
         let full = red.expand_solution(&x);
         assert_eq!(full[0], 1.0);
@@ -348,7 +367,7 @@ mod tests {
                 bcs.set(n, Vec3::new(0.1, 0.0, 0.0));
             }
         }
-        let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &bcs);
+        let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &bcs).expect("valid BC set");
         assert!(red.matrix.asymmetry() < 1e-12);
     }
 
@@ -358,7 +377,7 @@ mod tests {
         let k = assemble_stiffness(&mesh, &MaterialTable::homogeneous());
         let mut bcs = DirichletBcs::new();
         bcs.set(0, Vec3::new(1.0, 0.0, 0.0));
-        let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &bcs);
+        let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &bcs).expect("valid BC set");
         let rhs_norm: f64 = red.rhs.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(rhs_norm > 0.0, "coupling to prescribed DOF must load the rhs");
     }
@@ -373,7 +392,7 @@ mod tests {
         for &n in boundary_nodes(&mesh).iter() {
             bcs.set(n, Vec3::ZERO);
         }
-        let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &bcs);
+        let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &bcs).expect("valid BC set");
         let offsets = brainshift_sparse::partition::even_offsets(k.nrows(), 4);
         let counts = red.rank_dof_counts(&offsets);
         let frees: Vec<usize> = counts.iter().map(|c| c.0).collect();
@@ -393,7 +412,7 @@ mod tests {
         let k = assemble_stiffness(&mesh, &MaterialTable::homogeneous());
         let ndof = k.nrows();
         let surface = boundary_nodes(&mesh);
-        let s = DirichletStructure::new(&k, &surface);
+        let s = DirichletStructure::new(&k, &surface).expect("valid constrained set");
         assert_eq!(s.num_free() + s.num_constrained(), ndof);
 
         let full: Vec<f64> = (0..ndof).map(|d| ((d as f64) * 0.37).sin()).collect();
@@ -422,11 +441,11 @@ mod tests {
         for (i, &n) in boundary_nodes(&mesh).iter().enumerate() {
             bcs.set(n, Vec3::new(0.1 * i as f64, -0.05, 0.02 * i as f64));
         }
-        let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &bcs);
+        let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &bcs).expect("valid BC set");
 
-        let s = DirichletStructure::new(&k, &bcs.nodes_sorted());
+        let s = DirichletStructure::new(&k, &bcs.nodes_sorted()).expect("valid constrained set");
         let mut u_c = vec![0.0; s.num_constrained()];
-        s.gather_constrained(&bcs, &mut u_c);
+        s.gather_constrained(&bcs, &mut u_c).expect("complete BC values");
         let mut rhs = vec![0.0; s.num_free()];
         s.reduced_rhs_zero_f(&u_c, &mut rhs);
         assert_eq!(rhs.len(), red.rhs.len());
@@ -440,7 +459,7 @@ mod tests {
         let mesh = block_mesh(3);
         let k = assemble_stiffness(&mesh, &MaterialTable::homogeneous());
         let surface = boundary_nodes(&mesh);
-        let s = DirichletStructure::new(&k, &surface);
+        let s = DirichletStructure::new(&k, &surface).expect("valid constrained set");
         let x: Vec<f64> = (0..s.num_free()).map(|i| i as f64).collect();
         let u: Vec<f64> = (0..s.num_constrained()).map(|i| -(i as f64)).collect();
         let mut full = vec![f64::NAN; k.nrows()];

@@ -27,15 +27,18 @@
 
 use crate::assembly::assemble_stiffness;
 use crate::bc::{DirichletBcs, DirichletStructure};
+use crate::error::FemError;
 use crate::material::MaterialTable;
 use crate::solver::{build_preconditioner, FemSolution, FemSolveConfig, KrylovKind};
 use brainshift_imaging::Vec3;
 use brainshift_mesh::TetMesh;
 use brainshift_sparse::{
-    conjugate_gradient, gmres_with_workspace, CsrMatrix, KrylovWorkspace, Preconditioner,
+    conjugate_gradient, solve_escalated, CsrMatrix, EscalationPolicy, KrylovWorkspace,
+    Preconditioner, SolverOptions,
 };
 
-/// Counters proving the assemble-once / re-solve-many contract.
+/// Counters proving the assemble-once / re-solve-many contract and
+/// recording how often the solver had to fight for convergence.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ContextStats {
     /// Global stiffness assemblies performed by this context.
@@ -46,6 +49,12 @@ pub struct ContextStats {
     pub solves: usize,
     /// Solves seeded from a previous solution instead of zero.
     pub warm_started_solves: usize,
+    /// Solves that needed at least one escalation rung beyond the
+    /// primary GMRES configuration.
+    pub escalations: usize,
+    /// Solves that did not converge even after the full escalation
+    /// ladder (the returned field is the best iterate, not a solution).
+    pub failed_solves: usize,
 }
 
 /// A per-surgery solver: fixed mesh, materials, and constrained node
@@ -70,17 +79,20 @@ pub struct SolverContext {
 impl SolverContext {
     /// Assemble the stiffness matrix for `mesh`/`materials`, reduce it
     /// along the DOFs of `constrained_nodes`, and factor the
-    /// preconditioner — the once-per-surgery setup.
+    /// preconditioner — the once-per-surgery setup. The mesh is
+    /// structurally validated first: a context built from an inverted or
+    /// degenerate mesh would fail intraoperatively, so it must fail here.
     pub fn new(
         mesh: &TetMesh,
         materials: &MaterialTable,
         constrained_nodes: &[usize],
         cfg: FemSolveConfig,
-    ) -> Self {
+    ) -> Result<Self, FemError> {
+        mesh.validate()?;
         let k = assemble_stiffness(mesh, materials);
-        let mut ctx = Self::with_matrix(k, mesh, constrained_nodes, cfg);
+        let mut ctx = Self::with_matrix(k, mesh, constrained_nodes, cfg)?;
         ctx.stats.assemblies = 1;
-        ctx
+        Ok(ctx)
     }
 
     /// Build a context around a pre-assembled stiffness matrix (no
@@ -90,18 +102,22 @@ impl SolverContext {
         mesh: &TetMesh,
         constrained_nodes: &[usize],
         cfg: FemSolveConfig,
-    ) -> Self {
-        assert_eq!(k.nrows(), mesh.num_equations());
-        assert!(
-            !constrained_nodes.is_empty(),
-            "unconstrained elastic body: singular system"
-        );
-        let structure = DirichletStructure::new(&k, constrained_nodes);
-        let precond = build_preconditioner(cfg.precond, &structure.matrix);
+    ) -> Result<Self, FemError> {
+        if k.nrows() != mesh.num_equations() {
+            return Err(FemError::MatrixShapeMismatch {
+                rows: k.nrows(),
+                equations: mesh.num_equations(),
+            });
+        }
+        if constrained_nodes.is_empty() {
+            return Err(FemError::Unconstrained);
+        }
+        let structure = DirichletStructure::new(&k, constrained_nodes)?;
+        let precond = build_preconditioner(cfg.precond, &structure.matrix)?;
         let nfree = structure.num_free();
         let nc = structure.num_constrained();
         let workspace = KrylovWorkspace::new(nfree, cfg.options.restart);
-        SolverContext {
+        Ok(SolverContext {
             cfg,
             num_nodes: mesh.num_nodes(),
             mesh_fingerprint: mesh_fingerprint(mesh),
@@ -115,22 +131,39 @@ impl SolverContext {
             u_c: vec![0.0; nc],
             rhs: vec![0.0; nfree],
             stats: ContextStats { factorizations: 1, ..Default::default() },
-        }
+        })
     }
 
     /// Solve for the displacement field under `bcs`. The constrained
     /// node set must equal the one the context was built for (only the
-    /// values may differ); panics otherwise.
+    /// values may differ); returns [`FemError::BcSetMismatch`] otherwise.
     ///
     /// The solve is warm-started from the previous scan's solution when
-    /// one exists (see [`Self::reset_warm_start`]).
-    pub fn solve(&mut self, bcs: &DirichletBcs) -> FemSolution {
-        assert_eq!(
-            3 * bcs.len(),
-            self.structure.num_constrained(),
-            "BC node set differs from the context's constrained set"
-        );
-        self.structure.gather_constrained(bcs, &mut self.u_c);
+    /// one exists (see [`Self::reset_warm_start`]). When the solver fails
+    /// to converge even after escalation, the pre-solve warm-start seed
+    /// is restored so one bad scan cannot poison the next scan's seed —
+    /// the unconverged iterate is still returned for the caller to judge.
+    pub fn solve(&mut self, bcs: &DirichletBcs) -> Result<FemSolution, FemError> {
+        self.solve_with(bcs, None, None)
+    }
+
+    /// [`Self::solve`] with per-call overrides of the solver options
+    /// and/or escalation policy (the context's configuration is used for
+    /// whichever is `None`). Used by fault-injection tests and by callers
+    /// that tighten the time budget for a specific scan.
+    pub fn solve_with(
+        &mut self,
+        bcs: &DirichletBcs,
+        opts_override: Option<&SolverOptions>,
+        escalation_override: Option<&EscalationPolicy>,
+    ) -> Result<FemSolution, FemError> {
+        if 3 * bcs.len() != self.structure.num_constrained() {
+            return Err(FemError::BcSetMismatch {
+                expected: self.structure.num_constrained(),
+                got: 3 * bcs.len(),
+            });
+        }
+        self.structure.gather_constrained(bcs, &mut self.u_c)?;
         self.structure.reduced_rhs_zero_f(&self.u_c, &mut self.rhs);
 
         // Warm start: seed from the previous scan's reduced solution.
@@ -138,39 +171,60 @@ impl SolverContext {
         if !warm {
             self.prev_x.iter_mut().for_each(|v| *v = 0.0);
         }
-        let stats = match self.cfg.krylov {
-            KrylovKind::Gmres => gmres_with_workspace(
-                &self.structure.matrix,
-                self.precond.as_ref(),
-                &self.rhs,
-                &mut self.prev_x,
-                &self.cfg.options,
-                &mut self.workspace,
-            ),
-            KrylovKind::ConjugateGradient => conjugate_gradient(
-                &self.structure.matrix,
-                self.precond.as_ref(),
-                &self.rhs,
-                &mut self.prev_x,
-                &self.cfg.options,
-            ),
+        let seed_snapshot = self.prev_x.clone();
+        let opts = opts_override.unwrap_or(&self.cfg.options).clone();
+        let escalation = escalation_override.unwrap_or(&self.cfg.escalation).clone();
+        let (stats, attempts, escalated) = match self.cfg.krylov {
+            KrylovKind::Gmres => {
+                let out = solve_escalated(
+                    &self.structure.matrix,
+                    self.precond.as_ref(),
+                    &self.rhs,
+                    &mut self.prev_x,
+                    &opts,
+                    &escalation,
+                    &mut self.workspace,
+                );
+                (out.stats, out.attempts, out.escalated)
+            }
+            KrylovKind::ConjugateGradient => {
+                let s = conjugate_gradient(
+                    &self.structure.matrix,
+                    self.precond.as_ref(),
+                    &self.rhs,
+                    &mut self.prev_x,
+                    &opts,
+                );
+                (s, 1, false)
+            }
         };
-        self.has_prev = true;
         self.stats.solves += 1;
         if warm {
             self.stats.warm_started_solves += 1;
+        }
+        if escalated {
+            self.stats.escalations += 1;
         }
 
         self.structure.expand_solution_into(&self.prev_x, &self.u_c, &mut self.full);
         let displacements = (0..self.num_nodes)
             .map(|n| Vec3::new(self.full[3 * n], self.full[3 * n + 1], self.full[3 * n + 2]))
             .collect();
-        FemSolution {
+        if stats.converged() {
+            self.has_prev = true;
+        } else {
+            // Roll back: the next solve seeds from the last *good* field.
+            self.stats.failed_solves += 1;
+            self.prev_x = seed_snapshot;
+        }
+        Ok(FemSolution {
             displacements,
             stats,
+            attempts,
+            escalated,
             reduced_equations: self.structure.num_free(),
             total_equations: self.k.nrows(),
-        }
+        })
     }
 
     /// Forget the previous solution; the next solve starts from zero.
@@ -287,11 +341,11 @@ mod tests {
         let mesh = block_mesh(4);
         let materials = MaterialTable::homogeneous();
         let surface = boundary_nodes(&mesh);
-        let mut ctx = SolverContext::new(&mesh, &materials, &surface, tight());
+        let mut ctx = SolverContext::new(&mesh, &materials, &surface, tight()).expect("context build failed");
         for stage in 1..=4 {
             let bcs = scan_bcs(&mesh, &surface, stage as f64);
-            let warm = ctx.solve(&bcs);
-            let cold = solve_deformation(&mesh, &materials, &bcs, &tight());
+            let warm = ctx.solve(&bcs).expect("solve failed");
+            let cold = solve_deformation(&mesh, &materials, &bcs, &tight()).expect("solve failed");
             assert!(warm.stats.converged() && cold.stats.converged());
             for (a, b) in warm.displacements.iter().zip(&cold.displacements) {
                 assert!((*a - *b).norm() < 1e-7, "stage {stage}: {a:?} vs {b:?}");
@@ -314,12 +368,12 @@ mod tests {
         let bcs1 = scan_bcs(&mesh, &surface, 1.0);
         let bcs2 = scan_bcs(&mesh, &surface, 1.1);
 
-        let mut warm_ctx = SolverContext::new(&mesh, &materials, &surface, cfg.clone());
-        warm_ctx.solve(&bcs1);
-        let warm = warm_ctx.solve(&bcs2);
+        let mut warm_ctx = SolverContext::new(&mesh, &materials, &surface, cfg.clone()).expect("context build failed");
+        warm_ctx.solve(&bcs1).expect("solve failed");
+        let warm = warm_ctx.solve(&bcs2).expect("solve failed");
 
-        let mut zero_ctx = SolverContext::new(&mesh, &materials, &surface, cfg);
-        let zero = zero_ctx.solve(&bcs2);
+        let mut zero_ctx = SolverContext::new(&mesh, &materials, &surface, cfg).expect("context build failed");
+        let zero = zero_ctx.solve(&bcs2).expect("solve failed");
 
         assert!(warm.stats.converged() && zero.stats.converged());
         assert!(
@@ -335,26 +389,28 @@ mod tests {
         let mesh = block_mesh(3);
         let materials = MaterialTable::homogeneous();
         let surface = boundary_nodes(&mesh);
-        let mut ctx = SolverContext::new(&mesh, &materials, &surface, tight());
+        let mut ctx = SolverContext::new(&mesh, &materials, &surface, tight()).expect("context build failed");
         let bcs = scan_bcs(&mesh, &surface, 1.0);
-        let first = ctx.solve(&bcs);
+        let first = ctx.solve(&bcs).expect("solve failed");
         ctx.reset_warm_start();
-        let second = ctx.solve(&bcs);
+        let second = ctx.solve(&bcs).expect("solve failed");
         assert_eq!(first.stats.iterations, second.stats.iterations);
         assert_eq!(ctx.stats().warm_started_solves, 0);
     }
 
     #[test]
-    #[should_panic]
     fn mismatched_bc_set_rejected() {
         let mesh = block_mesh(3);
         let surface = boundary_nodes(&mesh);
         let mut ctx =
-            SolverContext::new(&mesh, &MaterialTable::homogeneous(), &surface, tight());
+            SolverContext::new(&mesh, &MaterialTable::homogeneous(), &surface, tight()).expect("context build failed");
         // Prescribe only one node: not the context's constrained set.
         let mut bcs = DirichletBcs::new();
         bcs.set(surface[0], Vec3::ZERO);
-        ctx.solve(&bcs);
+        assert!(matches!(ctx.solve(&bcs), Err(FemError::BcSetMismatch { .. })));
+        // An unconstrained build is rejected too.
+        let r = SolverContext::new(&mesh, &MaterialTable::homogeneous(), &[], tight());
+        assert!(matches!(r, Err(FemError::Unconstrained)));
     }
 
     #[test]
@@ -362,11 +418,11 @@ mod tests {
         let mesh = block_mesh(4);
         let surface = boundary_nodes(&mesh);
         let mut ctx =
-            SolverContext::new(&mesh, &MaterialTable::homogeneous(), &surface, tight());
+            SolverContext::new(&mesh, &MaterialTable::homogeneous(), &surface, tight()).expect("context build failed");
         let bcs = scan_bcs(&mesh, &surface, 2.0);
-        ctx.solve(&bcs);
+        ctx.solve(&bcs).expect("solve failed");
         // Same boundary values again: the warm start *is* the solution.
-        let again = ctx.solve(&bcs);
+        let again = ctx.solve(&bcs).expect("solve failed");
         assert!(again.stats.converged());
         assert_eq!(again.stats.iterations, 0, "warm start should satisfy the system");
     }

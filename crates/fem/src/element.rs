@@ -5,6 +5,7 @@
 //! Taylor (the paper's ref [26], "pages 91–92"). The element stiffness is
 //! `Kᵉ = V Bᵀ D B` with the constant strain-displacement matrix `B`.
 
+use crate::error::FemError;
 use crate::material::Material;
 use brainshift_imaging::{Mat3, Vec3};
 
@@ -19,25 +20,25 @@ pub struct TetShape {
 }
 
 impl TetShape {
-    /// Compute gradients and volume from vertex positions. Returns `None`
-    /// for degenerate elements.
-    pub fn new(p: [Vec3; 4]) -> Option<TetShape> {
+    /// Compute gradients and volume from vertex positions. Returns
+    /// [`FemError::DegenerateElement`] for (near-)zero-volume elements.
+    pub fn new(p: [Vec3; 4]) -> Result<TetShape, FemError> {
         let e1 = p[1] - p[0];
         let e2 = p[2] - p[0];
         let e3 = p[3] - p[0];
         let volume = e1.cross(e2).dot(e3) / 6.0;
         if volume.abs() < 1e-30 {
-            return None;
+            return Err(FemError::DegenerateElement { volume });
         }
         // Barycentric gradient: [λ1 λ2 λ3]ᵀ = M⁻¹ (x − p0), with M columns
         // e1, e2, e3; so ∇λᵢ is the i-th ROW of M⁻¹.
         let m = Mat3::from_rows([e1.x, e2.x, e3.x], [e1.y, e2.y, e3.y], [e1.z, e2.z, e3.z]);
-        let inv = m.inverse()?;
+        let inv = m.inverse().ok_or(FemError::DegenerateElement { volume })?;
         let g1 = Vec3::new(inv.m[0][0], inv.m[0][1], inv.m[0][2]);
         let g2 = Vec3::new(inv.m[1][0], inv.m[1][1], inv.m[1][2]);
         let g3 = Vec3::new(inv.m[2][0], inv.m[2][1], inv.m[2][2]);
         let g0 = -(g1 + g2 + g3);
-        Some(TetShape { grads: [g0, g1, g2, g3], volume })
+        Ok(TetShape { grads: [g0, g1, g2, g3], volume })
     }
 
     /// Shape function values at point `x` (barycentric coordinates w.r.t.
@@ -181,7 +182,7 @@ mod tests {
             Vec3::new(2.0, 0.0, 0.0),
             Vec3::new(3.0, 0.0, 0.0),
         ];
-        assert!(TetShape::new(p).is_none());
+        assert!(matches!(TetShape::new(p), Err(FemError::DegenerateElement { .. })));
     }
 
     #[test]

@@ -9,11 +9,16 @@
 //! timing figures.
 
 #![warn(missing_docs)]
+// The FEM layer returns typed `FemError`s instead of panicking on bad
+// input. Test modules are exempt; descriptive `.expect()` on established
+// invariants remains allowed.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 pub mod assembly;
 pub mod bc;
 pub mod context;
 pub mod element;
+pub mod error;
 pub mod interpolate;
 pub mod loads;
 pub mod material;
@@ -25,6 +30,7 @@ pub use assembly::assemble_stiffness;
 pub use bc::{apply_dirichlet, DirichletBcs, DirichletStructure, ReducedSystem};
 pub use context::{ContextStats, SolverContext};
 pub use element::{stiffness_btdb, stiffness_isotropic, TetShape};
+pub use error::FemError;
 pub use interpolate::displacement_field_from_mesh;
 pub use loads::{assemble_body_force, assemble_gravity, gravity_load_density};
 pub use material::{Material, MaterialTable};

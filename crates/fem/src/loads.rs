@@ -104,7 +104,7 @@ mod tests {
                 bcs.set(n, Vec3::ZERO);
             }
         }
-        let red = apply_dirichlet(&k, &f, &bcs);
+        let red = apply_dirichlet(&k, &f, &bcs).expect("valid BC set");
         let mut x = vec![0.0; red.matrix.nrows()];
         let stats = gmres(
             &red.matrix,
@@ -160,7 +160,7 @@ mod tests {
         let solve_for = |rho: f64| -> f64 {
             let w = gravity_load_density(rho, standard_gravity());
             let f = assemble_body_force(&mesh, |_| w);
-            let red = apply_dirichlet(&k, &f, &bcs);
+            let red = apply_dirichlet(&k, &f, &bcs).expect("valid BC set");
             let mut x = vec![0.0; red.matrix.nrows()];
             let s = gmres(
                 &red.matrix,

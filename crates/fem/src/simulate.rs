@@ -97,7 +97,8 @@ impl SimProblem {
     /// set may not.
     pub fn new(mesh: &TetMesh, materials: &MaterialTable, bcs: &DirichletBcs) -> Self {
         let k = assemble_stiffness(mesh, materials);
-        let structure = DirichletStructure::new(&k, &bcs.nodes_sorted());
+        let structure = DirichletStructure::new(&k, &bcs.nodes_sorted())
+            .expect("BC node set out of range for the assembled mesh");
         SimProblem { k, structure }
     }
 
@@ -176,7 +177,7 @@ pub fn simulate_assemble_solve(
         0.0
     };
     let assemble_s = sim.record_phase("assemble", &asm_flops, asm_comm);
-    let assembly_imbalance = sim.phases().last().unwrap().imbalance();
+    let assembly_imbalance = sim.phases().last().expect("phase just recorded").imbalance();
 
     // ---- Real numerics: assemble + reduce + solve on the host. ----
     let owned_problem;
@@ -195,7 +196,9 @@ pub fn simulate_assemble_solve(
     );
     let nfree = structure.num_free();
     let mut u_c = vec![0.0; structure.num_constrained()];
-    structure.gather_constrained(bcs, &mut u_c);
+    structure
+        .gather_constrained(bcs, &mut u_c)
+        .expect("prescribed values cover the constrained set");
     let mut rhs = vec![0.0; nfree];
     structure.reduced_rhs_zero_f(&u_c, &mut rhs);
 
@@ -218,7 +221,8 @@ pub fn simulate_assemble_solve(
     red_offsets.dedup();
     let eff_blocks = red_offsets.len() - 1;
 
-    let precond = BlockJacobiPrecond::from_offsets(&structure.matrix, &red_offsets, opts.block_solve);
+    let precond = BlockJacobiPrecond::from_offsets(&structure.matrix, &red_offsets, opts.block_solve)
+        .expect("singular diagonal block in simulated preconditioner");
     let mut x = vec![0.0; nfree];
     let stats = gmres(&structure.matrix, &precond, &rhs, &mut x, &opts.solver);
     let mut full = vec![0.0; ndof];
@@ -270,7 +274,7 @@ pub fn simulate_assemble_solve(
     let mut flops_padded = per_rank_flops.clone();
     flops_padded.resize(cpus, 0.0);
     let solve_s = sim.record_phase("solve", &flops_padded, solve_comm);
-    let solve_imbalance = sim.phases().last().unwrap().imbalance();
+    let solve_imbalance = sim.phases().last().expect("phase just recorded").imbalance();
 
     // ---- Resample cost (the ~0.5 s display step). ----
     // ~40 ops per voxel (trilinear + field lookup).

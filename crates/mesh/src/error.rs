@@ -1,0 +1,90 @@
+//! Typed errors for mesh validation.
+//!
+//! A malformed mesh — inverted elements, slivers, dangling node indices —
+//! must be rejected when the FEM system is *built*, not discovered as a
+//! singular stiffness matrix (or a panic) during the intraoperative
+//! solve.
+
+use std::fmt;
+
+/// A structural or quality violation found in a [`TetMesh`](crate::TetMesh).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeshError {
+    /// `tet_labels` and `tets` have different lengths.
+    LabelCountMismatch {
+        /// Number of labels present.
+        labels: usize,
+        /// Number of tetrahedra present.
+        tets: usize,
+    },
+    /// A tetrahedron references a node index past the node array.
+    NodeOutOfRange {
+        /// Offending tetrahedron.
+        tet: usize,
+        /// Offending node index.
+        node: usize,
+        /// Number of nodes in the mesh.
+        num_nodes: usize,
+    },
+    /// A tetrahedron lists the same node more than once.
+    RepeatedNode {
+        /// Offending tetrahedron.
+        tet: usize,
+    },
+    /// A tetrahedron has non-positive signed volume (inverted or
+    /// collapsed element).
+    InvertedTet {
+        /// Offending tetrahedron.
+        tet: usize,
+        /// Its signed volume (mm³).
+        volume: f64,
+    },
+    /// A tetrahedron's radius ratio is below the requested quality floor
+    /// (a sliver: positive volume but numerically useless shape).
+    SliverTet {
+        /// Offending tetrahedron.
+        tet: usize,
+        /// Its radius ratio (3 · inradius / circumradius, 1 = regular).
+        radius_ratio: f64,
+        /// The floor it violated.
+        min_radius_ratio: f64,
+    },
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshError::LabelCountMismatch { labels, tets } => {
+                write!(f, "label count {labels} != tet count {tets}")
+            }
+            MeshError::NodeOutOfRange { tet, node, num_nodes } => {
+                write!(f, "tet {tet} references node {node} >= {num_nodes}")
+            }
+            MeshError::RepeatedNode { tet } => write!(f, "tet {tet} has repeated nodes"),
+            MeshError::InvertedTet { tet, volume } => {
+                write!(f, "tet {tet} has non-positive volume {volume}")
+            }
+            MeshError::SliverTet { tet, radius_ratio, min_radius_ratio } => {
+                write!(
+                    f,
+                    "tet {tet} is a sliver: radius ratio {radius_ratio:.3e} < {min_radius_ratio:.3e}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MeshError::InvertedTet { tet: 7, volume: -0.5 };
+        assert!(e.to_string().contains("tet 7"));
+        let e = MeshError::SliverTet { tet: 3, radius_ratio: 1e-4, min_radius_ratio: 1e-2 };
+        assert!(e.to_string().contains("sliver"));
+    }
+}

@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod generator;
 pub mod io;
 pub mod quality;
@@ -16,6 +17,7 @@ pub mod surface_extract;
 pub mod tetmesh;
 pub mod trisurface;
 
+pub use error::MeshError;
 pub use generator::{mesh_labeled_volume, mesh_with_target_nodes, MesherConfig};
 pub use io::{write_obj, write_vtk};
 pub use smooth::{smooth_interior, SmoothConfig, SmoothStats};

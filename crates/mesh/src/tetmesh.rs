@@ -96,30 +96,61 @@ impl TetMesh {
         self.node_adjacency().into_iter().map(|a| a.len()).collect()
     }
 
-    /// Validate structural invariants; returns a description of the first
-    /// violation, if any.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validate structural invariants; returns the first violation, if
+    /// any (label/tet count, node indices, repeated nodes, inverted
+    /// elements).
+    pub fn validate(&self) -> Result<(), crate::error::MeshError> {
+        use crate::error::MeshError;
         if self.tets.len() != self.tet_labels.len() {
-            return Err(format!(
-                "label count {} != tet count {}",
-                self.tet_labels.len(),
-                self.tets.len()
-            ));
+            return Err(MeshError::LabelCountMismatch {
+                labels: self.tet_labels.len(),
+                tets: self.tets.len(),
+            });
         }
         for (t, tet) in self.tets.iter().enumerate() {
             for &n in tet {
                 if n >= self.nodes.len() {
-                    return Err(format!("tet {t} references node {n} >= {}", self.nodes.len()));
+                    return Err(MeshError::NodeOutOfRange {
+                        tet: t,
+                        node: n,
+                        num_nodes: self.nodes.len(),
+                    });
                 }
             }
             let mut s = *tet;
             s.sort_unstable();
             if s.windows(2).any(|w| w[0] == w[1]) {
-                return Err(format!("tet {t} has repeated nodes {tet:?}"));
+                return Err(MeshError::RepeatedNode { tet: t });
             }
             let v = self.tet_volume(t);
             if v <= 0.0 {
-                return Err(format!("tet {t} has non-positive volume {v}"));
+                return Err(MeshError::InvertedTet { tet: t, volume: v });
+            }
+        }
+        Ok(())
+    }
+
+    /// [`validate`](Self::validate) plus an element-quality gate: reject
+    /// slivers whose radius ratio (3 · inradius / circumradius, 1 for a
+    /// regular tet) falls below `min_radius_ratio`. A sliver has positive
+    /// volume — so plain validation passes — but its near-singular shape
+    /// matrix poisons the assembled stiffness matrix.
+    pub fn validate_quality(&self, min_radius_ratio: f64) -> Result<(), crate::error::MeshError> {
+        self.validate()?;
+        for (t, tet) in self.tets.iter().enumerate() {
+            let [a, b, c, d] = *tet;
+            let q = crate::quality::tet_quality(
+                self.nodes[a],
+                self.nodes[b],
+                self.nodes[c],
+                self.nodes[d],
+            );
+            if q.radius_ratio < min_radius_ratio {
+                return Err(crate::error::MeshError::SliverTet {
+                    tet: t,
+                    radius_ratio: q.radius_ratio,
+                    min_radius_ratio,
+                });
             }
         }
         Ok(())
@@ -217,21 +248,41 @@ mod tests {
     fn negative_volume_detected() {
         let mut m = unit_tet();
         m.tets[0] = [1, 0, 2, 3]; // swapped → negative
-        assert!(m.validate().is_err());
+        assert!(matches!(m.validate(), Err(crate::error::MeshError::InvertedTet { tet: 0, .. })));
     }
 
     #[test]
     fn repeated_node_detected() {
         let mut m = unit_tet();
         m.tets[0] = [0, 0, 2, 3];
-        assert!(m.validate().is_err());
+        assert!(matches!(m.validate(), Err(crate::error::MeshError::RepeatedNode { tet: 0 })));
     }
 
     #[test]
     fn out_of_range_node_detected() {
         let mut m = unit_tet();
         m.tets[0] = [0, 1, 2, 9];
-        assert!(m.validate().is_err());
+        assert!(matches!(
+            m.validate(),
+            Err(crate::error::MeshError::NodeOutOfRange { tet: 0, node: 9, num_nodes: 4 })
+        ));
+    }
+
+    #[test]
+    fn sliver_detected_by_quality_gate() {
+        // Flatten the apex nearly into the base plane: positive volume
+        // (plain validate passes) but a terrible radius ratio.
+        let mut m = unit_tet();
+        m.nodes[3] = Vec3::new(0.33, 0.33, 1e-7);
+        assert!(m.validate().is_ok());
+        match m.validate_quality(1e-2) {
+            Err(crate::error::MeshError::SliverTet { tet: 0, radius_ratio, .. }) => {
+                assert!(radius_ratio < 1e-2);
+            }
+            other => panic!("expected SliverTet, got {other:?}"),
+        }
+        // A healthy tet passes the same gate.
+        assert!(unit_tet().validate_quality(1e-2).is_ok());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::dense::{axpy, dot, norm2};
 use crate::precond::Preconditioner;
-use crate::solver::{LinearOperator, SolveStats, SolverOptions, StopReason};
+use crate::solver::{Deadline, LinearOperator, SolveStats, SolverOptions, StopReason};
 
 /// Solve `A x = b` with right-preconditioned BiCGStab. `x` holds the
 /// initial guess on entry and the solution on exit. Convergence is the
@@ -23,10 +23,14 @@ pub fn bicgstab(
     let n = a.dim();
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
+    let deadline = Deadline::from_budget(opts.time_budget);
     let b_norm = norm2(b);
     let mut history = Vec::new();
     if b_norm == 0.0 {
         x.iter_mut().for_each(|v| *v = 0.0);
+        if opts.record_history {
+            history.push(0.0);
+        }
         return SolveStats { reason: StopReason::Converged, iterations: 0, relative_residual: 0.0, history };
     }
 
@@ -54,6 +58,17 @@ pub fn bicgstab(
     let mut t = vec![0.0; n];
 
     for it in 1..=opts.max_iterations {
+        if deadline.expired() {
+            if opts.record_history {
+                history.push(rel);
+            }
+            return SolveStats {
+                reason: StopReason::TimeBudget,
+                iterations: it - 1,
+                relative_residual: rel,
+                history,
+            };
+        }
         let rho = dot(&r0, &r);
         if rho.abs() < 1e-300 {
             return SolveStats { reason: StopReason::Breakdown, iterations: it, relative_residual: rel, history };
@@ -209,6 +224,27 @@ mod tests {
         let s = bicgstab(&a, &IdentityPrecond, &[0.0; 10], &mut x, &SolverOptions::default());
         assert!(s.converged());
         assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn time_budget_respected() {
+        let a = laplace_1d(400);
+        let b = vec![1.0; 400];
+        let mut x = vec![0.0; 400];
+        let s = bicgstab(
+            &a,
+            &IdentityPrecond,
+            &b,
+            &mut x,
+            &SolverOptions {
+                tolerance: 1e-15,
+                time_budget: Some(std::time::Duration::ZERO),
+                record_history: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(s.reason, StopReason::TimeBudget);
+        assert_eq!(s.history.last().copied(), Some(s.relative_residual));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! assembly produces triplets concurrently, which [`TripletBuilder`]
 //! compresses into CSR with duplicate summation.
 
+use crate::error::SparseError;
 use rayon::prelude::*;
 
 /// A sparse matrix in CSR format.
@@ -35,23 +36,44 @@ pub struct CsrMatrix {
 }
 
 impl CsrMatrix {
-    /// Construct from raw CSR arrays. Panics if the invariants don't hold
+    /// Construct from raw CSR arrays, validating the invariants
     /// (monotone indptr, in-range sorted unique column indices per row).
-    pub fn from_raw(nrows: usize, ncols: usize, indptr: Vec<usize>, indices: Vec<usize>, values: Vec<f64>) -> Self {
-        assert_eq!(indptr.len(), nrows + 1);
-        assert_eq!(*indptr.last().unwrap(), indices.len());
-        assert_eq!(indices.len(), values.len());
+    /// Returns [`SparseError::InvalidCsr`] if they don't hold.
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self, SparseError> {
+        let invalid = |reason: String| Err(SparseError::InvalidCsr { reason });
+        if indptr.len() != nrows + 1 {
+            return invalid(format!("indptr has length {}, expected {}", indptr.len(), nrows + 1));
+        }
+        let nnz = indptr[nrows];
+        if nnz != indices.len() {
+            return invalid(format!("indptr ends at {nnz} but {} indices given", indices.len()));
+        }
+        if indices.len() != values.len() {
+            return invalid(format!("{} indices but {} values", indices.len(), values.len()));
+        }
         for i in 0..nrows {
-            assert!(indptr[i] <= indptr[i + 1], "indptr must be monotone");
+            if indptr[i] > indptr[i + 1] {
+                return invalid(format!("indptr not monotone at row {i}"));
+            }
             let row = &indices[indptr[i]..indptr[i + 1]];
             for w in row.windows(2) {
-                assert!(w[0] < w[1], "row {i}: column indices must be sorted and unique");
+                if w[0] >= w[1] {
+                    return invalid(format!("row {i}: column indices must be sorted and unique"));
+                }
             }
             if let Some(&last) = row.last() {
-                assert!(last < ncols, "row {i}: column index out of range");
+                if last >= ncols {
+                    return invalid(format!("row {i}: column index {last} out of range"));
+                }
             }
         }
-        CsrMatrix { nrows, ncols, indptr, indices, values }
+        Ok(CsrMatrix { nrows, ncols, indptr, indices, values })
     }
 
     /// The `n × n` identity.
@@ -431,9 +453,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
     fn from_raw_rejects_unsorted_columns() {
-        CsrMatrix::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]);
+        let r = CsrMatrix::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]);
+        match r {
+            Err(crate::error::SparseError::InvalidCsr { reason }) => {
+                assert!(reason.contains("sorted"), "{reason}");
+            }
+            other => panic!("expected InvalidCsr, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_raw_rejects_bad_lengths_and_ranges() {
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(CsrMatrix::from_raw(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
+        assert!(CsrMatrix::from_raw(1, 2, vec![0, 1], vec![0], vec![1.0, 2.0]).is_err());
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn from_raw_accepts_valid_input() {
+        let m = CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![3.0, 4.0]).unwrap();
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.get(1, 1), 4.0);
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! Solver escalation under a real-time budget.
+//!
+//! The paper's solve runs *during* surgery: a solver that silently fails
+//! to converge (or hangs past the ~10 s intraoperative window) is
+//! clinically useless. This module implements an explicit escalation
+//! ladder — GMRES with the configured restart → GMRES with larger
+//! restart(s) → BiCGStab — where every rung is bounded by the caller's
+//! iteration budget and by the remaining share of an overall wall-clock
+//! budget. The caller decides what to do when the ladder is exhausted
+//! (the intraoperative pipeline degrades to the previous scan's field).
+
+use crate::bicgstab::bicgstab;
+use crate::gmres::{gmres_with_workspace, KrylovWorkspace};
+use crate::precond::Preconditioner;
+use crate::solver::{LinearOperator, SolveStats, SolverOptions, StopReason};
+use std::time::{Duration, Instant};
+
+/// What to try, in order, after the primary GMRES configuration fails to
+/// converge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EscalationPolicy {
+    /// Restart lengths for follow-up GMRES attempts (each strictly after
+    /// the primary attempt, typically larger — less restart stagnation
+    /// at the price of memory and orthogonalization work).
+    pub larger_restarts: Vec<usize>,
+    /// Whether to fall back to BiCGStab as the last rung.
+    pub bicgstab_fallback: bool,
+    /// Overall wall-clock budget shared by *all* rungs; `None` means
+    /// unbounded. Each attempt receives the remaining budget.
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for EscalationPolicy {
+    fn default() -> Self {
+        // GMRES(m) → GMRES(120) → BiCGStab, no wall-clock bound unless
+        // the caller sets one.
+        EscalationPolicy {
+            larger_restarts: vec![120],
+            bicgstab_fallback: true,
+            time_budget: None,
+        }
+    }
+}
+
+impl EscalationPolicy {
+    /// No escalation: the primary attempt's outcome is final.
+    pub fn none() -> Self {
+        EscalationPolicy { larger_restarts: Vec::new(), bicgstab_fallback: false, time_budget: None }
+    }
+}
+
+/// Result of [`solve_escalated`]: the final stats plus how far up the
+/// ladder the solve had to go.
+#[derive(Debug, Clone)]
+pub struct EscalationOutcome {
+    /// Stats of the last attempt (the one whose iterate is in `x`).
+    pub stats: SolveStats,
+    /// Total attempts made (1 = primary attempt sufficed).
+    pub attempts: usize,
+    /// True when any rung beyond the primary attempt ran.
+    pub escalated: bool,
+}
+
+/// Solve `A x = b`, escalating through the policy's ladder until an
+/// attempt converges, the ladder is exhausted, or the wall-clock budget
+/// expires. `x` holds the initial guess on entry and the best iterate on
+/// exit; each rung starts from the previous rung's partial progress.
+pub fn solve_escalated(
+    a: &dyn LinearOperator,
+    precond: &dyn Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &SolverOptions,
+    policy: &EscalationPolicy,
+    ws: &mut KrylovWorkspace,
+) -> EscalationOutcome {
+    let start = Instant::now();
+    let remaining = |start: Instant| -> Option<Duration> {
+        policy.time_budget.map(|total| total.saturating_sub(start.elapsed()))
+    };
+    let budgeted = |base: &SolverOptions, start: Instant| -> SolverOptions {
+        let mut o = base.clone();
+        // The tighter of the per-attempt budget and the ladder's
+        // remaining overall budget wins.
+        o.time_budget = match (o.time_budget, remaining(start)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        o
+    };
+
+    let mut attempts = 1usize;
+    let mut stats = gmres_with_workspace(a, precond, b, x, &budgeted(opts, start), ws);
+    if stats.converged() {
+        return EscalationOutcome { stats, attempts, escalated: false };
+    }
+
+    let out_of_time =
+        |s: &SolveStats| s.reason == StopReason::TimeBudget || remaining(start).is_some_and(|r| r.is_zero());
+
+    for &restart in &policy.larger_restarts {
+        if out_of_time(&stats) {
+            return EscalationOutcome { stats, attempts, escalated: attempts > 1 };
+        }
+        attempts += 1;
+        let rung = SolverOptions { restart, ..opts.clone() };
+        stats = gmres_with_workspace(a, precond, b, x, &budgeted(&rung, start), ws);
+        if stats.converged() {
+            return EscalationOutcome { stats, attempts, escalated: true };
+        }
+    }
+
+    if policy.bicgstab_fallback && !out_of_time(&stats) {
+        attempts += 1;
+        stats = bicgstab(a, precond, b, x, &budgeted(opts, start));
+    }
+    let escalated = attempts > 1;
+    EscalationOutcome { stats, attempts, escalated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::{CsrMatrix, TripletBuilder};
+    use crate::precond::IdentityPrecond;
+
+    fn laplace_1d(n: usize) -> CsrMatrix {
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, 2.0);
+            if i > 0 {
+                b.add(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.add(i, i + 1, -1.0);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn easy_system_stays_on_first_rung() {
+        let n = 60;
+        let a = laplace_1d(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let mut ws = KrylovWorkspace::new(n, 30);
+        let out = solve_escalated(
+            &a,
+            &IdentityPrecond,
+            &b,
+            &mut x,
+            &SolverOptions { tolerance: 1e-8, ..Default::default() },
+            &EscalationPolicy::default(),
+            &mut ws,
+        );
+        assert!(out.stats.converged());
+        assert_eq!(out.attempts, 1);
+        assert!(!out.escalated);
+    }
+
+    #[test]
+    fn restart_stagnation_is_rescued_by_larger_restart() {
+        // GMRES(2) stagnates on a 1-D Laplacian at tight tolerance within
+        // a small iteration budget; the ladder's larger restart converges.
+        let n = 120;
+        let a = laplace_1d(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let mut ws = KrylovWorkspace::new(n, 2);
+        let opts = SolverOptions { tolerance: 1e-10, restart: 2, max_iterations: 150, ..Default::default() };
+        let policy = EscalationPolicy { larger_restarts: vec![150], bicgstab_fallback: false, time_budget: None };
+        let out = solve_escalated(&a, &IdentityPrecond, &b, &mut x, &opts, &policy, &mut ws);
+        assert!(out.stats.converged(), "{:?}", out.stats);
+        assert!(out.escalated);
+        assert_eq!(out.attempts, 2);
+        let mut ax = vec![0.0; n];
+        a.spmv(&x, &mut ax);
+        let res: f64 = ax.iter().zip(&b).map(|(p, q)| (p - q).powi(2)).sum::<f64>().sqrt();
+        assert!(res / (n as f64).sqrt() < 1e-8);
+    }
+
+    #[test]
+    fn bicgstab_is_the_last_rung() {
+        // Starve every rung of iterations: the ladder must still walk
+        // GMRES(m) → GMRES(3) → BiCGStab before giving up.
+        let n = 120;
+        let a = laplace_1d(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let mut ws = KrylovWorkspace::new(n, 2);
+        let opts = SolverOptions { tolerance: 1e-14, restart: 2, max_iterations: 2, ..Default::default() };
+        let policy = EscalationPolicy { larger_restarts: vec![3], bicgstab_fallback: true, time_budget: None };
+        let out = solve_escalated(&a, &IdentityPrecond, &b, &mut x, &opts, &policy, &mut ws);
+        assert_eq!(out.attempts, 3);
+        assert!(out.escalated);
+        assert!(!out.stats.converged());
+    }
+
+    #[test]
+    fn exhausted_ladder_reports_last_attempt() {
+        let n = 200;
+        let a = laplace_1d(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let mut ws = KrylovWorkspace::new(n, 2);
+        let opts = SolverOptions { tolerance: 1e-14, restart: 2, max_iterations: 3, ..Default::default() };
+        let policy = EscalationPolicy { larger_restarts: vec![3], bicgstab_fallback: true, time_budget: None };
+        let out = solve_escalated(&a, &IdentityPrecond, &b, &mut x, &opts, &policy, &mut ws);
+        assert!(!out.stats.converged());
+        assert_eq!(out.attempts, 3);
+    }
+
+    #[test]
+    fn zero_budget_short_circuits_the_ladder() {
+        let n = 200;
+        let a = laplace_1d(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let mut ws = KrylovWorkspace::new(n, 30);
+        let opts = SolverOptions { tolerance: 1e-14, ..Default::default() };
+        let policy = EscalationPolicy {
+            larger_restarts: vec![100, 200],
+            bicgstab_fallback: true,
+            time_budget: Some(Duration::ZERO),
+        };
+        let out = solve_escalated(&a, &IdentityPrecond, &b, &mut x, &opts, &policy, &mut ws);
+        assert_eq!(out.stats.reason, StopReason::TimeBudget);
+        assert_eq!(out.attempts, 1, "no further rungs after the budget expired");
+    }
+}

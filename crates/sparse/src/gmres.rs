@@ -9,7 +9,7 @@
 
 use crate::dense::{axpy, norm2};
 use crate::precond::Preconditioner;
-use crate::solver::{LinearOperator, SolveStats, SolverOptions, StopReason};
+use crate::solver::{Deadline, LinearOperator, SolveStats, SolverOptions, StopReason};
 
 /// Preallocated scratch memory for restarted GMRES.
 ///
@@ -128,6 +128,7 @@ pub fn gmres_with_workspace(
     assert_eq!(x.len(), n);
     let m = opts.restart.max(1);
     ws.ensure(n, m);
+    let deadline = Deadline::from_budget(opts.time_budget);
 
     let mut history = Vec::new();
     let mut total_iters = 0usize;
@@ -138,8 +139,12 @@ pub fn gmres_with_workspace(
     let b_norm = norm2(&ws.zb).max(1e-300);
     let b_norm_raw = norm2(b);
     if b_norm_raw == 0.0 {
-        // b = 0 → x = 0.
+        // b = 0 → x = 0. Record the (zero) residual so the history
+        // contract holds on this exit too.
         x.iter_mut().for_each(|v| *v = 0.0);
+        if opts.record_history {
+            history.push(0.0);
+        }
         return SolveStats {
             reason: StopReason::Converged,
             iterations: 0,
@@ -179,8 +184,22 @@ pub fn gmres_with_workspace(
             inner_tol = inner_tol.min(needed).max(1e-30);
         }
         if total_iters >= opts.max_iterations {
+            if opts.record_history {
+                history.push(raw_rel);
+            }
             return SolveStats {
                 reason: StopReason::MaxIterations,
+                iterations: total_iters,
+                relative_residual: raw_rel,
+                history,
+            };
+        }
+        if deadline.expired() {
+            if opts.record_history {
+                history.push(raw_rel);
+            }
+            return SolveStats {
+                reason: StopReason::TimeBudget,
                 iterations: total_iters,
                 relative_residual: raw_rel,
                 history,
@@ -191,6 +210,11 @@ pub fn gmres_with_workspace(
         let beta = norm2(&ws.r);
         if beta < 1e-300 {
             // Preconditioner annihilated a nonzero residual: breakdown.
+            // Same SolveStats shape as the converged path — reason, true
+            // relative residual, and a history whose last entry matches.
+            if opts.record_history {
+                history.push(raw_rel);
+            }
             return SolveStats {
                 reason: StopReason::Breakdown,
                 iterations: total_iters,
@@ -211,7 +235,7 @@ pub fn gmres_with_workspace(
         let mut broke_down = false;
 
         for j in 0..m {
-            if total_iters >= opts.max_iterations {
+            if total_iters >= opts.max_iterations || deadline.expired() {
                 break;
             }
             total_iters += 1;
@@ -288,15 +312,19 @@ pub fn gmres_with_workspace(
         let _ = last_rel;
         if broke_down {
             // Best-effort iterate already applied; report honestly with
-            // the true residual.
+            // the true residual (and close the history with it).
             a.apply(x, &mut ws.work_ax);
             for i in 0..n {
                 ws.raw[i] = b[i] - ws.work_ax[i];
             }
+            let final_rel = norm2(&ws.raw) / b_norm_raw;
+            if opts.record_history {
+                history.push(final_rel);
+            }
             return SolveStats {
                 reason: StopReason::Breakdown,
                 iterations: total_iters,
-                relative_residual: norm2(&ws.raw) / b_norm_raw,
+                relative_residual: final_rel,
                 history,
             };
         }
@@ -404,7 +432,7 @@ mod tests {
         let opts = SolverOptions { tolerance: 1e-8, max_iterations: 5000, ..Default::default() };
         let mut iters = Vec::new();
         for nb in [1usize, 4, 16] {
-            let p = BlockJacobiPrecond::new(&a, nb, BlockSolve::DenseLu);
+            let p = BlockJacobiPrecond::new(&a, nb, BlockSolve::DenseLu).unwrap();
             let mut x = vec![0.0; n];
             let s = gmres(&a, &p, &b, &mut x, &opts);
             assert!(s.converged(), "nb={nb}: {s:?}");
@@ -545,6 +573,93 @@ mod tests {
         assert!(stats.converged());
         check_solution(&a, &b, &x, 1e-6);
         assert!(ws.bytes() >= (opts.restart + 1) * 80 * 8);
+    }
+
+    #[test]
+    fn zero_rhs_history_is_consistent_with_converged_path() {
+        let a = laplace_1d(10);
+        let b = vec![0.0; 10];
+        let mut x = vec![1.0; 10];
+        let opts = SolverOptions { record_history: true, ..Default::default() };
+        let stats = gmres(&a, &IdentityPrecond, &b, &mut x, &opts);
+        assert!(stats.converged());
+        assert_eq!(stats.history, vec![0.0]);
+        assert_eq!(stats.history.last().copied(), Some(stats.relative_residual));
+    }
+
+    #[test]
+    fn max_iterations_history_ends_with_final_residual() {
+        let n = 400;
+        let a = laplace_1d(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let stats = gmres(
+            &a,
+            &IdentityPrecond,
+            &b,
+            &mut x,
+            &SolverOptions {
+                tolerance: 1e-14,
+                max_iterations: 5,
+                record_history: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(stats.reason, StopReason::MaxIterations);
+        assert!(!stats.history.is_empty());
+        let last = *stats.history.last().unwrap();
+        assert!(
+            (last - stats.relative_residual).abs() <= 1e-12 * stats.relative_residual.max(1.0),
+            "history tail {last} vs relative_residual {}",
+            stats.relative_residual
+        );
+    }
+
+    #[test]
+    fn breakdown_history_ends_with_final_residual() {
+        // A rank-deficient preconditioner forces the annihilation
+        // breakdown path after the first corrective cycle.
+        struct Annihilator;
+        impl Preconditioner for Annihilator {
+            fn apply(&self, _r: &[f64], z: &mut [f64]) {
+                z.iter_mut().for_each(|v| *v = 0.0);
+            }
+            fn name(&self) -> &'static str {
+                "annihilator"
+            }
+        }
+        use crate::precond::Preconditioner;
+        let n = 20;
+        let a = laplace_1d(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let opts = SolverOptions { record_history: true, ..Default::default() };
+        let stats = gmres(&a, &Annihilator, &b, &mut x, &opts);
+        assert_eq!(stats.reason, StopReason::Breakdown);
+        assert!(!stats.history.is_empty());
+        assert_eq!(stats.history.last().copied(), Some(stats.relative_residual));
+    }
+
+    #[test]
+    fn zero_time_budget_stops_immediately_with_best_iterate() {
+        let n = 400;
+        let a = laplace_1d(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let stats = gmres(
+            &a,
+            &IdentityPrecond,
+            &b,
+            &mut x,
+            &SolverOptions {
+                tolerance: 1e-14,
+                time_budget: Some(std::time::Duration::ZERO),
+                record_history: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(stats.reason, StopReason::TimeBudget);
+        assert_eq!(stats.history.last().copied(), Some(stats.relative_residual));
     }
 
     #[test]

@@ -8,12 +8,19 @@
 //! the central subject of the paper's §3.2).
 
 #![warn(missing_docs)]
+// Numeric kernels must not panic on bad input: constructors return typed
+// `SparseError`s instead. Test modules are exempt (`#[cfg(test)]` code
+// compiles with `test` on); descriptive `.expect()` on established
+// invariants remains allowed.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 pub mod bicgstab;
 pub mod cg;
 pub mod csr;
 pub mod dense;
 pub mod eigen;
+pub mod error;
+pub mod escalate;
 pub mod gmres;
 pub mod ordering;
 pub mod partition;
@@ -24,6 +31,8 @@ pub use bicgstab::bicgstab;
 pub use cg::conjugate_gradient;
 pub use csr::{CsrMatrix, TripletBuilder};
 pub use eigen::{condition_estimate, largest_eigenvalue, smallest_eigenvalue};
+pub use error::SparseError;
+pub use escalate::{solve_escalated, EscalationOutcome, EscalationPolicy};
 pub use gmres::{gmres, gmres_with_workspace, KrylovWorkspace};
 pub use ordering::{bandwidth, permute_symmetric, reverse_cuthill_mckee};
 pub use precond::{BlockJacobiPrecond, BlockSolve, IdentityPrecond, Ilu0, JacobiPrecond, Preconditioner};

@@ -7,10 +7,17 @@
 //! improvement) so the ablation benchmark can compare them.
 
 /// Offsets of an even contiguous split of `n` rows into `p` parts:
-/// `p + 1` boundaries, first 0, last `n`. Earlier parts get the remainder.
+/// first boundary 0, last `n`. Earlier parts get the remainder.
+///
+/// When more parts than rows are requested (ranks exceed owned rows),
+/// the effective part count is clamped to `n` instead of panicking:
+/// the returned vector has `min(p, n).max(1) + 1` boundaries, so the
+/// caller can read the effective rank count from `offsets.len() - 1`.
 pub fn even_offsets(n: usize, p: usize) -> Vec<usize> {
-    assert!(p >= 1, "need at least one partition");
-    assert!(n >= p, "cannot split {n} rows into {p} non-empty parts");
+    let p = p.max(1).min(n.max(1));
+    if n == 0 {
+        return vec![0, 0];
+    }
     let base = n / p;
     let rem = n % p;
     let mut offsets = Vec::with_capacity(p + 1);
@@ -29,8 +36,12 @@ pub fn even_offsets(n: usize, p: usize) -> Vec<usize> {
 /// non-empty and later parts still get rows.
 pub fn weighted_offsets(weights: &[f64], p: usize) -> Vec<usize> {
     let n = weights.len();
-    assert!(p >= 1);
-    assert!(n >= p, "cannot split {n} rows into {p} non-empty parts");
+    // Clamp like `even_offsets`: the effective part count is reported via
+    // the offsets length instead of asserting when p exceeds the rows.
+    let p = p.max(1).min(n.max(1));
+    if n == 0 {
+        return vec![0, 0];
+    }
     let total: f64 = weights.iter().sum();
     let ideal = total / p as f64;
     let mut offsets = Vec::with_capacity(p + 1);
@@ -84,7 +95,7 @@ pub fn imbalance(weights: &[f64], offsets: &[usize]) -> f64 {
 
 /// Which part a row belongs to under the given offsets.
 pub fn part_of(offsets: &[usize], row: usize) -> usize {
-    debug_assert!(row < *offsets.last().unwrap());
+    debug_assert!(offsets.last().is_some_and(|&n| row < n));
     match offsets.binary_search(&row) {
         Ok(i) => i.min(offsets.len() - 2),
         Err(i) => i - 1,
@@ -162,8 +173,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn too_many_parts_panics() {
-        even_offsets(3, 5);
+    fn too_many_parts_clamps_to_row_count() {
+        // 5 parts requested over 3 rows: effective count is clamped to 3
+        // and reported through the offsets length, instead of panicking.
+        let o = even_offsets(3, 5);
+        assert_eq!(o, vec![0, 1, 2, 3]);
+        assert_eq!(o.len() - 1, 3);
+        let w = vec![1.0; 3];
+        let o = weighted_offsets(&w, 7);
+        assert_eq!(o, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_rows_yield_single_empty_part() {
+        assert_eq!(even_offsets(0, 4), vec![0, 0]);
+        assert_eq!(weighted_offsets(&[], 4), vec![0, 0]);
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::csr::CsrMatrix;
 use crate::dense::DenseLu;
+use crate::error::SparseError;
 use rayon::prelude::*;
 
 /// Application of `z = M⁻¹ r` for some preconditioning operator `M`.
@@ -256,47 +257,123 @@ pub struct BlockJacobiPrecond {
     /// Block row ranges `(lo, hi)`.
     ranges: Vec<(usize, usize)>,
     factors: Vec<BlockFactor>,
+    /// How many blocks needed a diagonal-shift retry to factorize.
+    shifted_blocks: usize,
+}
+
+impl std::fmt::Debug for BlockJacobiPrecond {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockJacobiPrecond")
+            .field("ranges", &self.ranges)
+            .field("shifted_blocks", &self.shifted_blocks)
+            .finish_non_exhaustive()
+    }
 }
 
 impl BlockJacobiPrecond {
     /// Build from explicit block boundaries. `offsets` must start at 0,
     /// end at `a.nrows()`, and be strictly increasing.
-    pub fn from_offsets(a: &CsrMatrix, offsets: &[usize], solve: BlockSolve) -> Self {
-        assert!(offsets.len() >= 2);
-        assert_eq!(offsets[0], 0);
-        assert_eq!(*offsets.last().unwrap(), a.nrows());
+    ///
+    /// A singular diagonal block surfaces as
+    /// [`SparseError::SingularBlock`]: a dense block that fails LU is
+    /// retried once with a small diagonal shift (reported via
+    /// [`num_shifted_blocks`](Self::num_shifted_blocks)); if the shifted
+    /// block still fails — or the block has a structurally zero row — the
+    /// error is returned instead of the historical silent identity
+    /// fallback, which masked singular systems behind a preconditioner
+    /// that quietly destroyed convergence.
+    pub fn from_offsets(
+        a: &CsrMatrix,
+        offsets: &[usize],
+        solve: BlockSolve,
+    ) -> Result<Self, SparseError> {
+        let invalid = |reason: String| SparseError::InvalidOffsets { reason };
+        if offsets.len() < 2 {
+            return Err(invalid(format!("need at least 2 offsets, got {}", offsets.len())));
+        }
+        if offsets[0] != 0 {
+            return Err(invalid(format!("offsets must start at 0, got {}", offsets[0])));
+        }
+        if offsets[offsets.len() - 1] != a.nrows() {
+            return Err(invalid(format!(
+                "offsets must end at nrows = {}, got {}",
+                a.nrows(),
+                offsets[offsets.len() - 1]
+            )));
+        }
         let ranges: Vec<(usize, usize)> = offsets.windows(2).map(|w| (w[0], w[1])).collect();
         for r in &ranges {
-            assert!(r.0 < r.1, "empty block {r:?}");
+            if r.0 >= r.1 {
+                return Err(invalid(format!("empty block {r:?}")));
+            }
         }
-        let factors: Vec<BlockFactor> = ranges
+        let factors: Vec<Result<(BlockFactor, bool), SparseError>> = ranges
             .par_iter()
-            .map(|&(lo, hi)| {
+            .enumerate()
+            .map(|(bi, &(lo, hi))| {
                 let block = a.principal_submatrix(lo, hi);
+                let singular = |shifted| SparseError::SingularBlock {
+                    block: bi,
+                    rows: (lo, hi),
+                    shifted,
+                };
+                // A structurally/numerically zero row makes the block
+                // singular regardless of the factorization used (ILU(0)'s
+                // pivot floors would otherwise paper over it).
+                let n = hi - lo;
+                for i in 0..n {
+                    let (_, vals) = block.row(i);
+                    if vals.iter().all(|v| v.abs() < 1e-300) {
+                        return Err(singular(false));
+                    }
+                }
                 match solve {
                     BlockSolve::DenseLu => {
-                        let n = hi - lo;
                         let mut dense = vec![0.0; n * n];
+                        let mut max_abs = 0.0f64;
                         for i in 0..n {
                             let (cols, vals) = block.row(i);
                             for (&c, &v) in cols.iter().zip(vals) {
                                 dense[i * n + c] = v;
+                                max_abs = max_abs.max(v.abs());
                             }
                         }
-                        let lu = DenseLu::factorize(&dense, n)
-                            .unwrap_or_else(|| DenseLu::factorize(&identity_dense(n), n).unwrap());
-                        BlockFactor::Dense(lu)
+                        if let Some(lu) = DenseLu::factorize(&dense, n) {
+                            return Ok((BlockFactor::Dense(lu), false));
+                        }
+                        // One retry with a relative diagonal shift, the
+                        // standard remedy for a numerically singular but
+                        // structurally sound block.
+                        let alpha = 1e-8 * max_abs;
+                        if alpha <= 0.0 {
+                            return Err(singular(false));
+                        }
+                        for i in 0..n {
+                            dense[i * n + i] += alpha;
+                        }
+                        match DenseLu::factorize(&dense, n) {
+                            Some(lu) => Ok((BlockFactor::Dense(lu), true)),
+                            None => Err(singular(true)),
+                        }
                     }
-                    BlockSolve::Ilu0 => BlockFactor::Ilu(Ilu0::new(&block)),
+                    BlockSolve::Ilu0 => Ok((BlockFactor::Ilu(Ilu0::new(&block)), false)),
                 }
             })
             .collect();
-        BlockJacobiPrecond { ranges, factors }
+        let mut shifted_blocks = 0;
+        let mut out = Vec::with_capacity(factors.len());
+        for f in factors {
+            let (factor, shifted) = f?;
+            shifted_blocks += usize::from(shifted);
+            out.push(factor);
+        }
+        Ok(BlockJacobiPrecond { ranges, factors: out, shifted_blocks })
     }
 
     /// Evenly split the rows into `nblocks` contiguous blocks (the paper's
-    /// "approximately equal numbers of mesh nodes to each CPU").
-    pub fn new(a: &CsrMatrix, nblocks: usize, solve: BlockSolve) -> Self {
+    /// "approximately equal numbers of mesh nodes to each CPU"). The block
+    /// count is clamped to the row count when it exceeds it.
+    pub fn new(a: &CsrMatrix, nblocks: usize, solve: BlockSolve) -> Result<Self, SparseError> {
         let offsets = crate::partition::even_offsets(a.nrows(), nblocks);
         Self::from_offsets(a, &offsets, solve)
     }
@@ -310,14 +387,12 @@ impl BlockJacobiPrecond {
     pub fn block_ranges(&self) -> &[(usize, usize)] {
         &self.ranges
     }
-}
 
-fn identity_dense(n: usize) -> Vec<f64> {
-    let mut m = vec![0.0; n * n];
-    for i in 0..n {
-        m[i * n + i] = 1.0;
+    /// How many blocks required a diagonal-shift retry during
+    /// factorization (0 for a cleanly factorizable matrix).
+    pub fn num_shifted_blocks(&self) -> usize {
+        self.shifted_blocks
     }
-    m
 }
 
 impl Preconditioner for BlockJacobiPrecond {
@@ -405,7 +480,7 @@ mod tests {
     #[test]
     fn block_jacobi_single_block_dense_is_exact() {
         let a = tridiag(10);
-        let p = BlockJacobiPrecond::new(&a, 1, BlockSolve::DenseLu);
+        let p = BlockJacobiPrecond::new(&a, 1, BlockSolve::DenseLu).unwrap();
         let x_true: Vec<f64> = (0..10).map(|i| i as f64 * 0.1).collect();
         let mut b = vec![0.0; 10];
         a.spmv(&x_true, &mut b);
@@ -419,8 +494,9 @@ mod tests {
     #[test]
     fn block_jacobi_many_blocks_is_approximate_but_spd_like() {
         let a = tridiag(16);
-        let p = BlockJacobiPrecond::new(&a, 4, BlockSolve::DenseLu);
+        let p = BlockJacobiPrecond::new(&a, 4, BlockSolve::DenseLu).unwrap();
         assert_eq!(p.num_blocks(), 4);
+        assert_eq!(p.num_shifted_blocks(), 0);
         let r = vec![1.0; 16];
         let mut z = vec![0.0; 16];
         p.apply(&r, &mut z);
@@ -431,14 +507,58 @@ mod tests {
     #[test]
     fn block_offsets_respected() {
         let a = tridiag(10);
-        let p = BlockJacobiPrecond::from_offsets(&a, &[0, 3, 10], BlockSolve::Ilu0);
+        let p = BlockJacobiPrecond::from_offsets(&a, &[0, 3, 10], BlockSolve::Ilu0).unwrap();
         assert_eq!(p.block_ranges(), &[(0, 3), (3, 10)]);
     }
 
     #[test]
-    #[should_panic]
-    fn bad_offsets_panic() {
+    fn bad_offsets_are_rejected() {
         let a = tridiag(4);
-        BlockJacobiPrecond::from_offsets(&a, &[0, 5], BlockSolve::Ilu0);
+        let e = BlockJacobiPrecond::from_offsets(&a, &[0, 5], BlockSolve::Ilu0);
+        assert!(matches!(e, Err(SparseError::InvalidOffsets { .. })), "{e:?}");
+        let e = BlockJacobiPrecond::from_offsets(&a, &[1, 4], BlockSolve::Ilu0);
+        assert!(matches!(e, Err(SparseError::InvalidOffsets { .. })));
+        let e = BlockJacobiPrecond::from_offsets(&a, &[0, 2, 2, 4], BlockSolve::Ilu0);
+        assert!(matches!(e, Err(SparseError::InvalidOffsets { .. })));
+    }
+
+    #[test]
+    fn singular_block_surfaces_as_error_not_identity() {
+        // Row 2 is entirely zero: block (2..4) is singular. Before the
+        // fix this produced a silent identity factor.
+        let mut b = TripletBuilder::new(4, 4);
+        b.add(0, 0, 2.0);
+        b.add(1, 1, 2.0);
+        b.add(2, 2, 0.0);
+        b.add(3, 3, 2.0);
+        let a = b.build();
+        for solve in [BlockSolve::DenseLu, BlockSolve::Ilu0] {
+            let e = BlockJacobiPrecond::from_offsets(&a, &[0, 2, 4], solve);
+            match e {
+                Err(SparseError::SingularBlock { block, rows, .. }) => {
+                    assert_eq!(block, 1);
+                    assert_eq!(rows, (2, 4));
+                }
+                other => panic!("expected SingularBlock, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn near_singular_dense_block_recovers_via_shift() {
+        // A rank-deficient 2×2 block (duplicate rows) that is dense-LU
+        // singular but has non-zero entries: the one-shot diagonal shift
+        // must rescue it and be reported.
+        let mut b = TripletBuilder::new(2, 2);
+        b.add(0, 0, 1.0);
+        b.add(0, 1, 1.0);
+        b.add(1, 0, 1.0);
+        b.add(1, 1, 1.0);
+        let a = b.build();
+        let p = BlockJacobiPrecond::from_offsets(&a, &[0, 2], BlockSolve::DenseLu).unwrap();
+        assert_eq!(p.num_shifted_blocks(), 1);
+        let mut z = vec![0.0; 2];
+        p.apply(&[1.0, 1.0], &mut z);
+        assert!(z.iter().all(|v| v.is_finite()));
     }
 }

@@ -13,7 +13,7 @@ pub trait LinearOperator: Sync {
 
 impl LinearOperator for CsrMatrix {
     fn dim(&self) -> usize {
-        assert_eq!(self.nrows(), self.ncols());
+        debug_assert_eq!(self.nrows(), self.ncols());
         self.nrows()
     }
     fn apply(&self, x: &[f64], y: &mut [f64]) {
@@ -31,9 +31,20 @@ pub enum StopReason {
     /// A breakdown (e.g. zero inner product) occurred; the best iterate so
     /// far was returned.
     Breakdown,
+    /// The wall-clock budget (`SolverOptions::time_budget`) expired; the
+    /// best iterate so far was returned. This is what bounds a single
+    /// solve inside the intraoperative real-time window.
+    TimeBudget,
 }
 
 /// Convergence statistics of one linear solve.
+///
+/// History contract (when `record_history` is on): the first entry is the
+/// initial relative residual, subsequent entries are per-iteration
+/// recurrence estimates; on every **non-converged** exit (budget,
+/// breakdown, time-out) the final entry is the true relative residual, so
+/// `history.last()` agrees with `relative_residual`. The history is never
+/// empty when recording is on — a zero-RHS solve records a single `0.0`.
 #[derive(Debug, Clone)]
 pub struct SolveStats {
     /// Why the solver stopped.
@@ -43,7 +54,7 @@ pub struct SolveStats {
     /// Final *relative* residual `‖b − A x‖ / ‖b‖` as estimated by the
     /// solver recurrence.
     pub relative_residual: f64,
-    /// Residual history (one entry per iteration), for convergence plots.
+    /// Residual history (per the contract above), for convergence plots.
     pub history: Vec<f64>,
 }
 
@@ -65,6 +76,10 @@ pub struct SolverOptions {
     pub restart: usize,
     /// Record per-iteration residuals in `SolveStats::history`.
     pub record_history: bool,
+    /// Wall-clock budget for one solve; `None` means unbounded. When the
+    /// budget expires mid-solve, the solver returns its best iterate with
+    /// [`StopReason::TimeBudget`].
+    pub time_budget: Option<std::time::Duration>,
 }
 
 impl Default for SolverOptions {
@@ -75,7 +90,22 @@ impl Default for SolverOptions {
             max_iterations: 2000,
             restart: 30,
             record_history: false,
+            time_budget: None,
         }
+    }
+}
+
+/// Deadline derived from a [`SolverOptions::time_budget`], checked inside
+/// the Krylov loops.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Deadline(Option<std::time::Instant>);
+
+impl Deadline {
+    pub(crate) fn from_budget(budget: Option<std::time::Duration>) -> Self {
+        Deadline(budget.map(|d| std::time::Instant::now() + d))
+    }
+    pub(crate) fn expired(&self) -> bool {
+        self.0.is_some_and(|t| std::time::Instant::now() >= t)
     }
 }
 

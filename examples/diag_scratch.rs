@@ -13,10 +13,10 @@ fn main() {
     let shift = BrainShiftConfig { peak_shift_mm: 8.0, resect_tumor: true, ..Default::default() };
     let bcs = cap_bcs(&mesh, &model, &shift);
     let k = assemble_stiffness(&mesh, &MaterialTable::heterogeneous());
-    let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &bcs);
+    let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &bcs).expect("valid BC set");
     println!("n={} nnz={}", red.matrix.nrows(), red.matrix.nnz());
     let opts = SolverOptions { tolerance: 1e-6, max_iterations: 1500, record_history: true, ..Default::default() };
-    let p = BlockJacobiPrecond::new(&red.matrix, 4, BlockSolve::Ilu0);
+    let p = BlockJacobiPrecond::new(&red.matrix, 4, BlockSolve::Ilu0).expect("singular diagonal block");
     let mut x = vec![0.0; red.matrix.nrows()];
     let s = gmres(&red.matrix, &p, &red.rhs, &mut x, &opts);
     println!("gmres bj-ilu0: {:?} iters {} rel {:.2e}", s.reason, s.iterations, s.relative_residual);

@@ -78,8 +78,8 @@ fn main() {
         f[3 * n + 2] = w.z * shares[n];
     }
 
-    let red = apply_dirichlet(&k, &f, &bcs);
-    let pc = BlockJacobiPrecond::new(&red.matrix, 8, BlockSolve::Ilu0);
+    let red = apply_dirichlet(&k, &f, &bcs).expect("valid BC set");
+    let pc = BlockJacobiPrecond::new(&red.matrix, 8, BlockSolve::Ilu0).expect("singular diagonal block");
     let mut x = vec![0.0; red.matrix.nrows()];
     let stats = gmres(
         &red.matrix,

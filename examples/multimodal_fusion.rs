@@ -51,7 +51,7 @@ fn main() {
         &case.preop.labels,
         &case.intraop.intensity,
         &PipelineConfig { skip_rigid: true, ..Default::default() },
-    );
+    ).expect("pipeline failed");
     println!(
         "pipeline: FEM {} equations, {} iterations, surface residual {:.2} mm",
         result.fem.total_equations, result.fem.stats.iterations, result.surface_residual

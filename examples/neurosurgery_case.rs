@@ -50,7 +50,7 @@ fn main() {
         &case.preop.labels,
         &moved.intensity,
         &PipelineConfig::default(),
-    );
+    ).expect("pipeline failed");
 
     if let Some(r) = &result.rigid {
         let (angle, trans) = r.transform.magnitude();

@@ -42,7 +42,7 @@ fn main() {
         &case.preop.labels,
         &case.intraop.intensity,
         &PipelineConfig { skip_rigid: true, ..Default::default() },
-    );
+    ).expect("pipeline failed");
 
     // 3. Report.
     println!("  mesh: {} nodes, {} tets", result.mesh.num_nodes(), result.mesh.num_tets());

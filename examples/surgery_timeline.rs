@@ -42,7 +42,7 @@ fn main() {
     }
 
     println!("\nregistering each scan to the reference (shared mesh + statistical model):");
-    let res = run_scan_sequence(&seq, &PipelineConfig { skip_rigid: true, ..Default::default() });
+    let res = run_scan_sequence(&seq, &PipelineConfig { skip_rigid: true, ..Default::default() }).expect("sequence failed");
     let outcomes = &res.outcomes;
     println!(
         "{:>6} {:>8} {:>12} {:>12} {:>12} {:>8}",

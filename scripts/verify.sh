@@ -5,4 +5,15 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+
+# Failure paths are part of the contract: run the injection suite
+# explicitly so a filtered test run can't silently skip it.
+cargo test -q --test failure_injection
+
 cargo clippy --all-targets -- -D warnings
+
+# The numeric kernels must not panic on bad input — constructors return
+# typed errors instead. The sparse and FEM crates deny
+# clippy::unwrap_used / clippy::panic in their non-test code (see the
+# cfg_attr in each crate's lib.rs); lint the libs to enforce it.
+cargo clippy -p brainshift-sparse -p brainshift-fem --lib -- -D warnings

@@ -40,7 +40,7 @@ fn full_chain_with_rigid_misalignment() {
         &case.preop.labels,
         &moved.intensity,
         &PipelineConfig::default(),
-    );
+    ).expect("pipeline failed");
     // Rigid stage ran and found a nontrivial transform.
     let rigid = res.rigid.as_ref().expect("rigid stage must run");
     let (angle, _) = rigid.transform.magnitude();
@@ -67,7 +67,7 @@ fn resection_case_mesh_excludes_cavity_target() {
         &case.preop.labels,
         &case.intraop.intensity,
         &PipelineConfig { skip_rigid: true, ..Default::default() },
-    );
+    ).expect("pipeline failed");
     // Mesh is built from the PREOP labels (tumor present).
     let has_tumor_tets = res.mesh.tet_labels.contains(&labels::TUMOR);
     assert!(has_tumor_tets, "preop mesh should include the tumor");
@@ -86,8 +86,8 @@ fn resection_case_mesh_excludes_cavity_target() {
 fn pipeline_is_deterministic() {
     let case = case();
     let cfg = PipelineConfig { skip_rigid: true, ..Default::default() };
-    let a = run_pipeline(&case.preop.intensity, &case.preop.labels, &case.intraop.intensity, &cfg);
-    let b = run_pipeline(&case.preop.intensity, &case.preop.labels, &case.intraop.intensity, &cfg);
+    let a = run_pipeline(&case.preop.intensity, &case.preop.labels, &case.intraop.intensity, &cfg).expect("pipeline failed");
+    let b = run_pipeline(&case.preop.intensity, &case.preop.labels, &case.intraop.intensity, &cfg).expect("pipeline failed");
     assert_eq!(a.fem.stats.iterations, b.fem.stats.iterations);
     for (x, y) in a.fem.displacements.iter().zip(&b.fem.displacements) {
         assert!((*x - *y).norm() < 1e-12);
@@ -113,7 +113,7 @@ fn pipeline_survives_garbage_intraop_scan() {
         &case.preop.labels,
         &noise,
         &PipelineConfig { skip_rigid: true, ..Default::default() },
-    );
+    ).expect("pipeline failed");
     assert!(res.forward_field.max_magnitude().is_finite());
     assert!(
         res.forward_field.max_magnitude() < 60.0,
@@ -139,7 +139,7 @@ fn pipeline_with_intensity_drift_needs_normalization() {
         &case.preop.labels,
         &drifted,
         &PipelineConfig { skip_rigid: true, normalize_intensity: true, ..Default::default() },
-    );
+    ).expect("pipeline failed");
     assert!(res.fem.stats.converged());
     let fe = brainshift_core::metrics::field_error(&res.forward_field, &case.gt_forward, 3.0);
     assert!(

@@ -22,7 +22,7 @@ fn small_reduced() -> (brainshift_sparse::CsrMatrix, Vec<f64>) {
         let p = mesh.nodes[n];
         bcs.set(n, Vec3::new(0.1 * p.z, -0.05 * p.x, 0.02 * p.y));
     }
-    let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &bcs);
+    let red = apply_dirichlet(&k, &vec![0.0; k.nrows()], &bcs).expect("valid BC set");
     (red.matrix, red.rhs)
 }
 
@@ -63,7 +63,7 @@ fn block_jacobi_block_count_does_not_change_solution() {
     let opts = SolverOptions { tolerance: 1e-11, max_iterations: 20_000, ..Default::default() };
     let mut reference: Option<Vec<f64>> = None;
     for blocks in [1usize, 2, 5] {
-        let pc = BlockJacobiPrecond::new(&a, blocks, BlockSolve::Ilu0);
+        let pc = BlockJacobiPrecond::new(&a, blocks, BlockSolve::Ilu0).expect("singular diagonal block");
         let mut x = vec![0.0; a.nrows()];
         let s = gmres(&a, &pc, &rhs, &mut x, &opts);
         assert!(s.converged(), "blocks={blocks}");
@@ -145,7 +145,7 @@ fn distributed_gmres_solves_fem_system() {
     let offsets = brainshift_sparse::partition::even_offsets(n, p);
     let results = run_ranks(p, |comm| {
         let r = comm.rank();
-        let sys = LocalSystem::from_global(&a, offsets[r], offsets[r + 1]);
+        let sys = LocalSystem::from_global(&a, offsets[r], offsets[r + 1]).expect("valid row slice");
         distributed_gmres(comm, &sys, &rhs[offsets[r]..offsets[r + 1]], &opts)
     });
     let x: Vec<f64> = results.iter().flat_map(|(xl, _)| xl.clone()).collect();

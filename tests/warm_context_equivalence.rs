@@ -46,7 +46,7 @@ proptest! {
         let materials = MaterialTable::homogeneous();
         let surface = boundary_nodes(&mesh);
         let cfg = tight();
-        let mut ctx = SolverContext::new(&mesh, &materials, &surface, cfg.clone());
+        let mut ctx = SolverContext::new(&mesh, &materials, &surface, cfg.clone()).expect("solver context build failed");
         for (ax, ay, az, freq) in scans {
             let mut bcs = DirichletBcs::new();
             for &n in &surface {
@@ -60,8 +60,8 @@ proptest! {
                     ),
                 );
             }
-            let warm = ctx.solve(&bcs);
-            let cold = solve_deformation(&mesh, &materials, &bcs, &cfg);
+            let warm = ctx.solve(&bcs).expect("solve failed");
+            let cold = solve_deformation(&mesh, &materials, &bcs, &cfg).expect("FEM solve rejected its inputs");
             prop_assert!(warm.stats.converged());
             prop_assert!(cold.stats.converged());
             for (a, b) in warm.displacements.iter().zip(&cold.displacements) {
@@ -111,11 +111,11 @@ fn warm_started_sequence_scans_converge_no_slower_than_zero_start() {
         })
         .collect();
 
-    let mut warm_ctx = SolverContext::new(&mesh, &cfg.materials, &surface.mesh_node, cfg.fem.clone());
+    let mut warm_ctx = SolverContext::new(&mesh, &cfg.materials, &surface.mesh_node, cfg.fem.clone()).expect("solver context build failed");
     let warm_iters: Vec<usize> = scan_bcs
         .iter()
         .map(|bcs| {
-            let sol = warm_ctx.solve(bcs);
+            let sol = warm_ctx.solve(bcs).expect("solve failed");
             assert!(sol.stats.converged());
             sol.stats.iterations
         })
@@ -123,12 +123,12 @@ fn warm_started_sequence_scans_converge_no_slower_than_zero_start() {
 
     // Zero-start baseline: a fresh warm-start state per scan (same
     // cached assembly, so only the seeding differs).
-    let mut zero_ctx = SolverContext::new(&mesh, &cfg.materials, &surface.mesh_node, cfg.fem.clone());
+    let mut zero_ctx = SolverContext::new(&mesh, &cfg.materials, &surface.mesh_node, cfg.fem.clone()).expect("solver context build failed");
     let zero_iters: Vec<usize> = scan_bcs
         .iter()
         .map(|bcs| {
             zero_ctx.reset_warm_start();
-            let sol = zero_ctx.solve(bcs);
+            let sol = zero_ctx.solve(bcs).expect("solve failed");
             assert!(sol.stats.converged());
             sol.stats.iterations
         })
