@@ -1,0 +1,173 @@
+//! Analytic elasticity oracles: constant-strain patch tests.
+//!
+//! For a homogeneous linear-elastic body, *any* displacement field with a
+//! constant gradient `u(p) = A·p` produces a constant stress, whose
+//! divergence vanishes — it is an exact equilibrium solution for zero
+//! body force, whatever `A` is. A conforming finite element with linear
+//! shape functions represents such a field exactly, so imposing it on
+//! the boundary must reproduce it at every interior node to solver
+//! precision. This is the classical patch test (Miller et al. use it as
+//! the admission gate for surgical simulation codes): failure here means
+//! the element, the assembly, or the Dirichlet reduction is wrong — not
+//! the mesh resolution.
+
+use brainshift_fem::{solve_deformation, DirichletBcs, FemSolveConfig, MaterialTable};
+use brainshift_imaging::volume::{Dims, Spacing, Volume};
+use brainshift_imaging::{labels, Mat3, Vec3};
+use brainshift_mesh::{boundary_nodes, mesh_labeled_volume, MesherConfig, TetMesh};
+use brainshift_sparse::SolverOptions;
+
+/// The linear field `u(p) = A·p`.
+pub fn linear_field(a: Mat3) -> impl Fn(Vec3) -> Vec3 {
+    move |p| a * p
+}
+
+/// Displacement gradient of a uniaxial stretch along `x` with lateral
+/// Poisson contraction: `u = (ε x, −ν ε y, −ν ε z)`. This is the exact
+/// displacement of a bar under uniaxial *stress*; as a linear field it is
+/// also an equilibrium state when imposed on the whole boundary.
+pub fn uniaxial_stretch_gradient(strain: f64, poisson: f64) -> Mat3 {
+    Mat3::from_rows(
+        [strain, 0.0, 0.0],
+        [0.0, -poisson * strain, 0.0],
+        [0.0, 0.0, -poisson * strain],
+    )
+}
+
+/// Displacement gradient of a pure (symmetric) shear in the x–z plane:
+/// `u = (γ/2 · z, 0, γ/2 · x)`, engineering shear strain `γ`.
+pub fn pure_shear_gradient(gamma: f64) -> Mat3 {
+    Mat3::from_rows([0.0, 0.0, gamma / 2.0], [0.0, 0.0, 0.0], [gamma / 2.0, 0.0, 0.0])
+}
+
+/// Result of one patch test.
+#[derive(Debug, Clone)]
+pub struct PatchResult {
+    /// Test label for reports.
+    pub name: String,
+    /// Whether the Krylov solve converged.
+    pub converged: bool,
+    /// max‖u_h − u*‖ / max‖u*‖ over all nodes.
+    pub max_rel_err: f64,
+    /// RMS nodal error over RMS of the exact field.
+    pub l2_rel_err: f64,
+    /// Equations in the solved system (before reduction).
+    pub equations: usize,
+}
+
+/// A unit-cube brain-tissue block mesh with `n` cells per edge, generated
+/// through the production mesher (so the patch test exercises the same
+/// element/assembly path as the intraoperative pipeline).
+pub fn unit_cube_mesh(n: usize) -> TetMesh {
+    let seg = Volume::from_fn(Dims::new(n, n, n), Spacing::iso(1.0 / n as f64), |_, _, _| {
+        labels::BRAIN
+    });
+    mesh_labeled_volume(&seg, &MesherConfig { step: 1, include: labels::is_deformable })
+}
+
+/// Impose `u(p) = grad·p` on the boundary of `mesh`, solve with the
+/// production FEM driver, and measure the nodal error against the exact
+/// field. A healthy discretization reports `max_rel_err` at the Krylov
+/// tolerance, orders of magnitude below any mesh-resolution effect.
+pub fn run_patch_test(
+    name: &str,
+    mesh: &TetMesh,
+    materials: &MaterialTable,
+    grad: Mat3,
+    tolerance: f64,
+) -> PatchResult {
+    let field = linear_field(grad);
+    let mut bcs = DirichletBcs::new();
+    for &n in boundary_nodes(mesh).iter() {
+        bcs.set(n, field(mesh.nodes[n]));
+    }
+    let cfg = FemSolveConfig {
+        options: SolverOptions { tolerance, max_iterations: 20_000, ..Default::default() },
+        ..Default::default()
+    };
+    let sol = match solve_deformation(mesh, materials, &bcs, &cfg) {
+        Ok(s) => s,
+        Err(_) => {
+            return PatchResult {
+                name: name.to_string(),
+                converged: false,
+                max_rel_err: f64::INFINITY,
+                l2_rel_err: f64::INFINITY,
+                equations: mesh.num_equations(),
+            }
+        }
+    };
+    let mut max_err = 0.0f64;
+    let mut max_exact = 0.0f64;
+    let mut sq_err = 0.0f64;
+    let mut sq_exact = 0.0f64;
+    for (n, &u) in sol.displacements.iter().enumerate() {
+        let exact = field(mesh.nodes[n]);
+        let e = (u - exact).norm();
+        max_err = max_err.max(e);
+        max_exact = max_exact.max(exact.norm());
+        sq_err += e * e;
+        sq_exact += exact.norm_sq();
+    }
+    let scale = max_exact.max(1e-300);
+    PatchResult {
+        name: name.to_string(),
+        converged: sol.stats.converged(),
+        max_rel_err: max_err / scale,
+        l2_rel_err: (sq_err / sq_exact.max(1e-300)).sqrt(),
+        equations: mesh.num_equations(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniaxial_stretch_reproduced_to_solver_precision() {
+        let mesh = unit_cube_mesh(4);
+        let grad = uniaxial_stretch_gradient(0.02, 0.45);
+        let r = run_patch_test("uniaxial", &mesh, &MaterialTable::homogeneous(), grad, 1e-12);
+        assert!(r.converged, "{r:?}");
+        assert!(r.max_rel_err <= 1e-8, "uniaxial patch error {:.3e}", r.max_rel_err);
+    }
+
+    #[test]
+    fn pure_shear_reproduced_to_solver_precision() {
+        let mesh = unit_cube_mesh(4);
+        let grad = pure_shear_gradient(0.03);
+        let r = run_patch_test("shear", &mesh, &MaterialTable::homogeneous(), grad, 1e-12);
+        assert!(r.converged, "{r:?}");
+        assert!(r.max_rel_err <= 1e-8, "shear patch error {:.3e}", r.max_rel_err);
+    }
+
+    #[test]
+    fn arbitrary_linear_field_including_rotation_part() {
+        // A general A (symmetric + antisymmetric parts): still equilibrium.
+        let mesh = unit_cube_mesh(3);
+        let a = Mat3::from_rows([0.011, 0.004, -0.002], [-0.003, -0.006, 0.005], [0.002, -0.001, 0.009]);
+        let r = run_patch_test("general-linear", &mesh, &MaterialTable::homogeneous(), a, 1e-12);
+        assert!(r.converged);
+        assert!(r.max_rel_err <= 1e-8, "{:.3e}", r.max_rel_err);
+    }
+
+    #[test]
+    fn heterogeneous_material_fails_gracefully_not_silently() {
+        // With *heterogeneous* materials a linear field is no longer an
+        // equilibrium state (stress jumps at material interfaces), so the
+        // patch error must be far above solver precision — guarding
+        // against an oracle that vacuously passes everything.
+        let seg = Volume::from_fn(Dims::new(4, 4, 4), Spacing::iso(0.25), |x, _, _| {
+            if x < 2 {
+                labels::BRAIN
+            } else {
+                labels::FALX
+            }
+        });
+        let mesh = mesh_labeled_volume(&seg, &MesherConfig { step: 1, include: labels::is_deformable });
+        let grad = uniaxial_stretch_gradient(0.02, 0.45);
+        let r = run_patch_test("hetero", &mesh, &MaterialTable::heterogeneous(), grad, 1e-12);
+        assert!(r.converged);
+        assert!(r.max_rel_err > 1e-6, "oracle cannot distinguish: {:.3e}", r.max_rel_err);
+    }
+}

@@ -1,0 +1,263 @@
+//! Golden-field regression: catch silent numerical drift between PRs.
+//!
+//! The first three oracle levels check the solver against *mathematics*;
+//! this one checks it against *itself over time*. A deterministic phantom
+//! case ([`brainshift_imaging::phantom::generate_case`] under a fixed
+//! seed) is meshed, driven by its analytic ground-truth shift, and
+//! solved; the resulting nodal displacement field is quantized to a
+//! tolerance-aware quantum and hashed. The hashes are checked in — any
+//! PR that changes assembly order, preconditioning, or arithmetic enough
+//! to move a node by more than the quantum flips the hash and fails the
+//! gate, forcing the change to be acknowledged by regenerating the
+//! goldens (`conformance_report --update-goldens`).
+
+use brainshift_fem::{solve_deformation, DirichletBcs, FemSolveConfig, MaterialTable};
+use brainshift_imaging::phantom::{generate_case, BrainShiftConfig, PhantomConfig};
+use brainshift_imaging::volume::{Dims, Spacing};
+use brainshift_imaging::{labels, Vec3};
+use brainshift_mesh::{boundary_nodes, mesh_labeled_volume, MesherConfig, TetMesh};
+use brainshift_sparse::SolverOptions;
+
+/// Quantization step (mm) applied to every displacement component before
+/// hashing. Set three orders of magnitude above the Krylov solve
+/// tolerance's field effect so legitimate run-to-run libm/reduction
+/// variance cannot flip a hash, yet five orders below any clinically
+/// visible change.
+pub const GOLDEN_QUANTUM_MM: f64 = 1e-6;
+
+/// The checked-in golden hashes (`name<TAB>fnv1a_hex` per line; `#`
+/// comments). Regenerate with `conformance_report --update-goldens`.
+pub const CHECKED_IN_GOLDENS: &str = include_str!("../goldens/golden_fields.tsv");
+
+/// One deterministic regression case.
+#[derive(Debug, Clone)]
+pub struct GoldenCase {
+    /// Stable name used as the golden key.
+    pub name: &'static str,
+    /// Phantom generation parameters (seed included).
+    pub phantom: PhantomConfig,
+    /// Ground-truth brain-shift parameters.
+    pub shift: BrainShiftConfig,
+    /// Mesher step over the preop label volume.
+    pub mesh_step: usize,
+    /// Krylov tolerance of the golden solve.
+    pub tolerance: f64,
+}
+
+/// Outcome of checking one case against the goldens.
+#[derive(Debug, Clone)]
+pub struct GoldenOutcome {
+    /// Case name.
+    pub name: String,
+    /// Hash computed in this run.
+    pub hash: u64,
+    /// The checked-in hash, if the case has one.
+    pub expected: Option<u64>,
+    /// `expected == Some(hash)`.
+    pub matches: bool,
+    /// Nodes in the solved mesh (context for drift triage).
+    pub nodes: usize,
+    /// Peak displacement magnitude of the solved field, mm.
+    pub max_shift_mm: f64,
+}
+
+/// The fixed regression suite. Small volumes — the point is determinism
+/// coverage of the phantom → mesh → assemble → solve chain, not scale.
+pub fn default_golden_cases() -> Vec<GoldenCase> {
+    let small = |seed: u64| PhantomConfig {
+        dims: Dims::new(28, 28, 22),
+        spacing: Spacing::iso(5.0),
+        seed,
+        ..Default::default()
+    };
+    vec![
+        GoldenCase {
+            name: "baseline-top-shift",
+            phantom: small(0xB12A_0001),
+            shift: BrainShiftConfig::default(),
+            mesh_step: 2,
+            tolerance: 1e-10,
+        },
+        GoldenCase {
+            name: "lateral-craniotomy",
+            phantom: small(0xB12A_0002),
+            shift: BrainShiftConfig {
+                craniotomy_dir: Vec3::new(1.0, 0.0, 0.3),
+                peak_shift_mm: 11.0,
+                surface_sigma_mm: 28.0,
+                resect_tumor: true,
+            },
+            mesh_step: 2,
+            tolerance: 1e-10,
+        },
+        GoldenCase {
+            name: "shallow-no-resection",
+            phantom: PhantomConfig {
+                tumor_center_frac: Vec3::new(-0.35, 0.2, 0.4),
+                tumor_radius: 7.0,
+                ..small(0xB12A_0003)
+            },
+            shift: BrainShiftConfig {
+                peak_shift_mm: 5.0,
+                surface_sigma_mm: 45.0,
+                resect_tumor: false,
+                ..Default::default()
+            },
+            mesh_step: 2,
+            tolerance: 1e-10,
+        },
+    ]
+}
+
+/// Generate the case, mesh its preoperative brain tissue, impose the
+/// analytic ground-truth shift on the mesh boundary, and solve — the
+/// same chain the registration pipeline runs. Returns the mesh and the
+/// solved per-node displacement field.
+pub fn golden_field(case: &GoldenCase) -> (TetMesh, Vec<Vec3>) {
+    let synth = generate_case(&case.phantom, &case.shift);
+    let mesh = mesh_labeled_volume(
+        &synth.preop.labels,
+        &MesherConfig { step: case.mesh_step, include: labels::is_brain_tissue },
+    );
+    let sp = case.phantom.spacing;
+    let mut bcs = DirichletBcs::new();
+    for &n in boundary_nodes(&mesh).iter() {
+        let p = mesh.nodes[n];
+        let p_vox = Vec3::new(p.x / sp.dx, p.y / sp.dy, p.z / sp.dz);
+        bcs.set(n, synth.gt_forward.sample(p_vox));
+    }
+    let cfg = FemSolveConfig {
+        options: SolverOptions {
+            tolerance: case.tolerance,
+            max_iterations: 20_000,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let sol = solve_deformation(&mesh, &MaterialTable::homogeneous(), &bcs, &cfg)
+        .expect("golden case must be solvable");
+    assert!(sol.stats.converged(), "golden solve did not converge: {:?}", sol.stats.reason);
+    (mesh, sol.displacements)
+}
+
+/// Quantize each component to `quantum` and FNV-1a-hash the resulting
+/// integer stream. Fields that differ by less than half a quantum at
+/// every component hash identically (away from rounding boundaries, which
+/// the quantum's margin over solver noise keeps us from straddling).
+pub fn quantized_field_hash(field: &[Vec3], quantum: f64) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |v: f64| {
+        let q = (v / quantum).round() as i64;
+        for b in q.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for u in field {
+        eat(u.x);
+        eat(u.y);
+        eat(u.z);
+    }
+    h
+}
+
+/// Parse a goldens file: `name<TAB>hex_hash` lines, `#` comments.
+/// Malformed lines are skipped (a truncated goldens file then reads as
+/// "missing golden", which `evaluate_goldens` reports as a mismatch).
+pub fn parse_goldens(text: &str) -> Vec<(String, u64)> {
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                return None;
+            }
+            let (name, hex) = line.split_once('\t')?;
+            let hash = u64::from_str_radix(hex.trim(), 16).ok()?;
+            Some((name.trim().to_string(), hash))
+        })
+        .collect()
+}
+
+/// Solve every case and compare against `checked_in` (the contents of the
+/// goldens file). A case without a checked-in hash reports
+/// `expected: None, matches: false` — absence is a failure, so forgetting
+/// to regenerate after adding a case cannot pass silently.
+pub fn evaluate_goldens(cases: &[GoldenCase], checked_in: &str) -> Vec<GoldenOutcome> {
+    let golden = parse_goldens(checked_in);
+    cases
+        .iter()
+        .map(|case| {
+            let (mesh, field) = golden_field(case);
+            let hash = quantized_field_hash(&field, GOLDEN_QUANTUM_MM);
+            let expected = golden.iter().find(|(n, _)| n == case.name).map(|&(_, h)| h);
+            GoldenOutcome {
+                name: case.name.to_string(),
+                hash,
+                expected,
+                matches: expected == Some(hash),
+                nodes: mesh.num_nodes(),
+                max_shift_mm: field.iter().fold(0.0f64, |m, u| m.max(u.norm())),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_stable_across_two_full_regenerations() {
+        let case = &default_golden_cases()[0];
+        let (_, f1) = golden_field(case);
+        let (_, f2) = golden_field(case);
+        assert_eq!(
+            quantized_field_hash(&f1, GOLDEN_QUANTUM_MM),
+            quantized_field_hash(&f2, GOLDEN_QUANTUM_MM),
+            "same case, same process, different hash — hidden nondeterminism"
+        );
+    }
+
+    #[test]
+    fn hash_reacts_to_super_quantum_motion() {
+        let field = vec![Vec3::new(1.0, 2.0, 3.0); 10];
+        let h0 = quantized_field_hash(&field, GOLDEN_QUANTUM_MM);
+        let mut moved = field.clone();
+        moved[7].y += 10.0 * GOLDEN_QUANTUM_MM;
+        assert_ne!(h0, quantized_field_hash(&moved, GOLDEN_QUANTUM_MM));
+    }
+
+    #[test]
+    fn parse_goldens_skips_comments_and_garbage() {
+        let text = "# header\nfoo\tdeadbeef\n\nbar\tnot_hex\nbaz 1234\nqux\t001a\n";
+        let g = parse_goldens(text);
+        assert_eq!(g, vec![("foo".to_string(), 0xdead_beef), ("qux".to_string(), 0x1a)]);
+    }
+
+    #[test]
+    fn checked_in_goldens_reproduce() {
+        // The headline regression gate: every default case must hash to
+        // its checked-in value. If this fails after an intentional
+        // numerical change, regenerate with
+        // `cargo run --bin conformance_report -- --update-goldens`.
+        let outcomes = evaluate_goldens(&default_golden_cases(), CHECKED_IN_GOLDENS);
+        assert!(!outcomes.is_empty());
+        for o in &outcomes {
+            assert!(
+                o.matches,
+                "golden drift in '{}': computed {:016x}, checked in {:?} (nodes {}, peak {:.3} mm)",
+                o.name, o.hash, o.expected.map(|h| format!("{h:016x}")), o.nodes, o.max_shift_mm
+            );
+        }
+    }
+
+    #[test]
+    fn golden_field_has_physically_sane_magnitude() {
+        let case = &default_golden_cases()[0];
+        let (_, field) = golden_field(case);
+        let peak = field.iter().fold(0.0f64, |m, u| m.max(u.norm()));
+        assert!(peak > 1.0 && peak < 30.0, "peak shift {peak:.2} mm out of range");
+    }
+}

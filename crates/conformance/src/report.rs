@@ -1,0 +1,193 @@
+//! Aggregate conformance report written to `bench_out/conformance.json`.
+//!
+//! JSON is hand-rolled (no serde in the build environment, matching the
+//! bench crate's trajectory writers).
+
+use crate::differential::DifferentialResult;
+use crate::golden::GoldenOutcome;
+use crate::mms::MmsResult;
+use crate::PatchResult;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Everything the four oracle levels produced in one run.
+#[derive(Debug, Clone)]
+pub struct ConformanceReport {
+    /// Patch-test results (level 1).
+    pub patch: Vec<PatchResult>,
+    /// MMS convergence study (level 2).
+    pub mms: MmsResult,
+    /// Differential harness outcome (level 3).
+    pub differential: DifferentialResult,
+    /// Golden-field outcomes (level 4).
+    pub goldens: Vec<GoldenOutcome>,
+}
+
+impl ConformanceReport {
+    /// True when every level passes its acceptance threshold: patch
+    /// ≤ 1e-8 relative, every MMS order ≥ 1.9, all solve paths pairwise
+    /// within 1e-6, and every golden hash matching.
+    pub fn all_pass(&self) -> bool {
+        self.patch.iter().all(|p| p.converged && p.max_rel_err <= 1e-8)
+            && self.mms.passes(1.9)
+            && self.differential.agrees_within(1e-6)
+            && !self.goldens.is_empty()
+            && self.goldens.iter().all(|g| g.matches)
+    }
+
+    /// Render the report as JSON.
+    pub fn to_json(&self) -> String {
+        let mut j = String::new();
+        let _ = writeln!(j, "{{");
+        let _ = writeln!(j, "  \"all_pass\": {},", self.all_pass());
+
+        let _ = writeln!(j, "  \"patch_tests\": [");
+        for (i, p) in self.patch.iter().enumerate() {
+            let comma = if i + 1 < self.patch.len() { "," } else { "" };
+            let _ = writeln!(
+                j,
+                "    {{\"name\": \"{}\", \"converged\": {}, \"max_rel_err\": {:.6e}, \"l2_rel_err\": {:.6e}, \"equations\": {}}}{comma}",
+                p.name, p.converged, p.max_rel_err, p.l2_rel_err, p.equations
+            );
+        }
+        let _ = writeln!(j, "  ],");
+
+        let _ = writeln!(j, "  \"mms\": {{");
+        let _ = writeln!(j, "    \"levels\": [");
+        for (i, l) in self.mms.levels.iter().enumerate() {
+            let comma = if i + 1 < self.mms.levels.len() { "," } else { "" };
+            let _ = writeln!(
+                j,
+                "      {{\"n\": {}, \"h\": {:.6}, \"l2_rel_err\": {:.6e}, \"equations\": {}, \"converged\": {}}}{comma}",
+                l.n, l.h, l.l2_rel_err, l.equations, l.converged
+            );
+        }
+        let _ = writeln!(j, "    ],");
+        let orders: Vec<String> = self.mms.orders.iter().map(|o| format!("{o:.4}")).collect();
+        let _ = writeln!(j, "    \"observed_orders\": [{}],", orders.join(", "));
+        let _ = writeln!(j, "    \"asymptotic_order\": {:.4}", self.mms.observed_order());
+        let _ = writeln!(j, "  }},");
+
+        let _ = writeln!(j, "  \"differential\": {{");
+        let _ = writeln!(j, "    \"paths\": [");
+        for (i, p) in self.differential.paths.iter().enumerate() {
+            let comma = if i + 1 < self.differential.paths.len() { "," } else { "" };
+            let _ = writeln!(
+                j,
+                "      {{\"name\": \"{}\", \"converged\": {}, \"iterations\": {}, \"relative_residual\": {:.6e}}}{comma}",
+                p.name, p.converged, p.iterations, p.relative_residual
+            );
+        }
+        let _ = writeln!(j, "    ],");
+        let _ = writeln!(j, "    \"pairwise\": [");
+        for (i, (a, b, d)) in self.differential.pairwise.iter().enumerate() {
+            let comma = if i + 1 < self.differential.pairwise.len() { "," } else { "" };
+            let _ = writeln!(j, "      {{\"a\": \"{a}\", \"b\": \"{b}\", \"max_rel_dev\": {d:.6e}}}{comma}");
+        }
+        let _ = writeln!(j, "    ],");
+        let _ = writeln!(
+            j,
+            "    \"max_pairwise_rel\": {:.6e}",
+            self.differential.max_pairwise_rel
+        );
+        let _ = writeln!(j, "  }},");
+
+        let _ = writeln!(j, "  \"goldens\": [");
+        for (i, g) in self.goldens.iter().enumerate() {
+            let comma = if i + 1 < self.goldens.len() { "," } else { "" };
+            let expected = match g.expected {
+                Some(h) => format!("\"{h:016x}\""),
+                None => "null".to_string(),
+            };
+            let _ = writeln!(
+                j,
+                "    {{\"name\": \"{}\", \"hash\": \"{:016x}\", \"expected\": {expected}, \"matches\": {}, \"nodes\": {}, \"max_shift_mm\": {:.4}}}{comma}",
+                g.name, g.hash, g.matches, g.nodes, g.max_shift_mm
+            );
+        }
+        let _ = writeln!(j, "  ]");
+        let _ = writeln!(j, "}}");
+        j
+    }
+}
+
+/// Write the report to `path`, creating parent directories as needed.
+pub fn write_json_report(report: &ConformanceReport, path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, report.to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::differential::PathField;
+    use crate::mms::{MmsLevel, MmsResult};
+
+    fn tiny_report(pass: bool) -> ConformanceReport {
+        let err = if pass { 1e-10 } else { 1e-3 };
+        ConformanceReport {
+            patch: vec![PatchResult {
+                name: "uniaxial".into(),
+                converged: true,
+                max_rel_err: err,
+                l2_rel_err: err,
+                equations: 81,
+            }],
+            mms: MmsResult {
+                levels: vec![
+                    MmsLevel { n: 4, h: 0.25, l2_rel_err: 4e-3, equations: 1, converged: true },
+                    MmsLevel { n: 8, h: 0.125, l2_rel_err: 1e-3, equations: 2, converged: true },
+                ],
+                orders: vec![2.0],
+            },
+            differential: DifferentialResult {
+                paths: vec![PathField {
+                    name: "gmres".into(),
+                    field: vec![],
+                    converged: true,
+                    iterations: 10,
+                    relative_residual: 1e-11,
+                }],
+                pairwise: vec![],
+                max_pairwise_rel: 1e-9,
+            },
+            goldens: vec![GoldenOutcome {
+                name: "baseline".into(),
+                hash: 0xabc,
+                expected: Some(0xabc),
+                matches: true,
+                nodes: 100,
+                max_shift_mm: 7.5,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_is_structurally_balanced_and_complete() {
+        let j = tiny_report(true).to_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        for key in ["patch_tests", "mms", "differential", "goldens", "all_pass", "asymptotic_order"] {
+            assert!(j.contains(key), "missing {key}");
+        }
+        assert!(j.contains("\"all_pass\": true"));
+    }
+
+    #[test]
+    fn all_pass_reflects_thresholds() {
+        assert!(tiny_report(true).all_pass());
+        assert!(!tiny_report(false).all_pass());
+    }
+
+    #[test]
+    fn report_round_trips_to_disk() {
+        let dir = std::env::temp_dir().join("conformance_report_test");
+        let path = dir.join("nested").join("conformance.json");
+        write_json_report(&tiny_report(true), &path).expect("write");
+        let back = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(back, tiny_report(true).to_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -53,7 +53,8 @@ impl EscalationPolicy {
 /// ladder the solve had to go.
 #[derive(Debug, Clone)]
 pub struct EscalationOutcome {
-    /// Stats of the last attempt (the one whose iterate is in `x`).
+    /// Stats of the attempt whose iterate is in `x` — the *best* attempt
+    /// by relative residual, not necessarily the last one to run.
     pub stats: SolveStats,
     /// Total attempts made (1 = primary attempt sufficed).
     pub attempts: usize,
@@ -65,6 +66,14 @@ pub struct EscalationOutcome {
 /// attempt converges, the ladder is exhausted, or the wall-clock budget
 /// expires. `x` holds the initial guess on entry and the best iterate on
 /// exit; each rung starts from the previous rung's partial progress.
+///
+/// The ladder never returns a worse residual than its best rung: every
+/// GMRES rung is monotone by construction (it warm-starts from the
+/// incumbent iterate and minimizes the residual over the new Krylov
+/// space), but the BiCGStab fallback is not — its recurrence can end
+/// farther from the solution than it started. The iterate/stats pair of
+/// the best rung is therefore snapshotted and restored whenever a later
+/// rung regresses.
 pub fn solve_escalated(
     a: &dyn LinearOperator,
     precond: &dyn Preconditioner,
@@ -98,9 +107,13 @@ pub fn solve_escalated(
     let out_of_time =
         |s: &SolveStats| s.reason == StopReason::TimeBudget || remaining(start).is_some_and(|r| r.is_zero());
 
+    // Best-rung snapshot: iterate + stats of the lowest residual so far.
+    let mut best_x = x.to_vec();
+    let mut best_stats = stats.clone();
+
     for &restart in &policy.larger_restarts {
         if out_of_time(&stats) {
-            return EscalationOutcome { stats, attempts, escalated: attempts > 1 };
+            return EscalationOutcome { stats: best_stats, attempts, escalated: attempts > 1 };
         }
         attempts += 1;
         let rung = SolverOptions { restart, ..opts.clone() };
@@ -108,14 +121,27 @@ pub fn solve_escalated(
         if stats.converged() {
             return EscalationOutcome { stats, attempts, escalated: true };
         }
+        if stats.relative_residual <= best_stats.relative_residual {
+            best_x.copy_from_slice(x);
+            best_stats = stats.clone();
+        }
     }
 
     if policy.bicgstab_fallback && !out_of_time(&stats) {
         attempts += 1;
         stats = bicgstab(a, precond, b, x, &budgeted(opts, start));
+        if stats.converged() {
+            return EscalationOutcome { stats, attempts, escalated: true };
+        }
+        if stats.relative_residual <= best_stats.relative_residual {
+            best_x.copy_from_slice(x);
+            best_stats = stats.clone();
+        }
     }
+    // No rung converged: hand back the best iterate seen, not the last.
+    x.copy_from_slice(&best_x);
     let escalated = attempts > 1;
-    EscalationOutcome { stats, attempts, escalated }
+    EscalationOutcome { stats: best_stats, attempts, escalated }
 }
 
 #[cfg(test)]

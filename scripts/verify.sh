@@ -10,6 +10,14 @@ cargo test -q
 # explicitly so a filtered test run can't silently skip it.
 cargo test -q --test failure_injection
 
+# Conformance stage: the oracle hierarchy (patch tests, MMS convergence,
+# differential solver harness, golden fields) at its acceptance
+# thresholds, then the report bin — which exits non-zero unless every
+# level passes — writing bench_out/conformance.json.
+cargo test -q --test conformance_gate
+cargo test -q -p brainshift-conformance
+cargo run -q --release -p brainshift-conformance --bin conformance_report
+
 cargo clippy --all-targets -- -D warnings
 
 # The numeric kernels must not panic on bad input — constructors return

@@ -18,6 +18,9 @@
 //! * [`fem`] — the linear-elastic tetrahedral FEM and the instrumented
 //!   parallel assembly/solve;
 //! * [`core`] — the intraoperative pipeline itself;
+//! * [`conformance`] — the correctness oracles: analytic patch tests,
+//!   manufactured-solution convergence, the differential solver harness,
+//!   and golden-field regression (DESIGN.md §10);
 //! * [`bench`] — the figure/table regeneration harness.
 //!
 //! Start with `examples/quickstart.rs`.
@@ -26,6 +29,7 @@
 
 pub use brainshift_bench as bench;
 pub use brainshift_cluster as cluster;
+pub use brainshift_conformance as conformance;
 pub use brainshift_core as core;
 pub use brainshift_fem as fem;
 pub use brainshift_imaging as imaging;

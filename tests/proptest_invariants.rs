@@ -6,7 +6,8 @@ use brainshift_imaging::{Mat3, Vec3};
 use brainshift_mesh::tetmesh::{barycentric_in, signed_volume};
 use brainshift_register::RigidTransform;
 use brainshift_sparse::{
-    conjugate_gradient, gmres, CsrMatrix, IdentityPrecond, JacobiPrecond, SolverOptions,
+    conjugate_gradient, gmres, partition::weighted_offsets, solve_escalated, CsrMatrix,
+    EscalationPolicy, IdentityPrecond, JacobiPrecond, KrylovWorkspace, SolverOptions,
     TripletBuilder,
 };
 use proptest::prelude::*;
@@ -57,6 +58,84 @@ proptest! {
         for i in 0..n {
             prop_assert!((xg[i] - x_true[i]).abs() < 1e-6 * scale, "gmres x[{}]: {} vs {}", i, xg[i], x_true[i]);
             prop_assert!((xc[i] - x_true[i]).abs() < 1e-6 * scale, "cg x[{}]: {} vs {}", i, xc[i], x_true[i]);
+        }
+    }
+
+    #[test]
+    fn escalation_ladder_never_worse_than_its_best_stage(
+        n in 8usize..48,
+        edges in prop::collection::vec((0usize..64, 0usize..64, -2.0f64..2.0), 0..140),
+        bs in prop::collection::vec(-2.0f64..2.0, 48),
+        max_iters in 2usize..8,
+    ) {
+        // Starve every rung of iterations so the ladder usually walks
+        // GMRES(2) → GMRES(3) → GMRES(5) → BiCGStab without converging.
+        // BiCGStab is non-monotone, so this exercises the best-iterate
+        // snapshot: the returned x must carry the *best* residual of any
+        // stage — in particular never worse than the primary attempt.
+        let a = spd_from_edges(n, &edges);
+        let b: Vec<f64> = bs.iter().take(n).cloned().collect();
+        prop_assume!(b.iter().any(|v| v.abs() > 1e-6));
+        let opts = SolverOptions {
+            tolerance: 1e-16,
+            max_iterations: max_iters,
+            restart: 2,
+            ..Default::default()
+        };
+        let ladder = EscalationPolicy {
+            larger_restarts: vec![3, 5],
+            bicgstab_fallback: true,
+            time_budget: None,
+        };
+        let mut x = vec![0.0; n];
+        let mut ws = KrylovWorkspace::new(n, opts.restart);
+        let out = solve_escalated(&a, &IdentityPrecond, &b, &mut x, &opts, &ladder, &mut ws);
+
+        // (1) The reported residual is the residual of the returned x.
+        let mut ax = vec![0.0; n];
+        a.spmv(&x, &mut ax);
+        let b_norm = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let actual = ax.iter().zip(&b).map(|(p, q)| (p - q).powi(2)).sum::<f64>().sqrt() / b_norm;
+        prop_assert!(
+            actual <= out.stats.relative_residual * 1.5 + 1e-12,
+            "returned iterate ({actual:.3e}) worse than reported ({:.3e})",
+            out.stats.relative_residual
+        );
+
+        // (2) Never worse than the first stage run on its own (the ladder
+        // contains that exact attempt and keeps the best).
+        let mut x1 = vec![0.0; n];
+        let mut ws1 = KrylovWorkspace::new(n, opts.restart);
+        let first = solve_escalated(
+            &a, &IdentityPrecond, &b, &mut x1, &opts, &EscalationPolicy::none(), &mut ws1,
+        );
+        prop_assert!(
+            out.stats.relative_residual <= first.stats.relative_residual * (1.0 + 1e-12),
+            "ladder ({:.3e}) regressed below its own primary stage ({:.3e})",
+            out.stats.relative_residual,
+            first.stats.relative_residual
+        );
+    }
+
+    #[test]
+    fn weighted_offsets_cover_rows_monotonically(
+        weights in prop::collection::vec(0.0f64..10.0, 0..200),
+        p in 1usize..24,
+    ) {
+        let o = weighted_offsets(&weights, p);
+        let n = weights.len();
+        // Boundaries pin the full range: coverage of [0, n) exactly.
+        prop_assert_eq!(o[0], 0);
+        prop_assert_eq!(*o.last().unwrap(), n);
+        if n == 0 {
+            prop_assert_eq!(o.clone(), vec![0, 0]);
+        } else {
+            // Strictly monotone ⇒ contiguous, disjoint, non-empty parts.
+            for w in o.windows(2) {
+                prop_assert!(w[0] < w[1], "empty or reversed part in {:?}", o.clone());
+            }
+            // Effective part count is the requested one clamped to n.
+            prop_assert_eq!(o.len() - 1, p.min(n));
         }
     }
 

@@ -13,6 +13,11 @@ use brainshift_sparse::{
     conjugate_gradient, gmres, BlockJacobiPrecond, BlockSolve, Ilu0, JacobiPrecond, SolverOptions,
 };
 
+fn small_mesh() -> brainshift_mesh::TetMesh {
+    let seg = Volume::from_fn(Dims::new(5, 5, 5), Spacing::iso(2.0), |_, _, _| labels::BRAIN);
+    mesh_labeled_volume(&seg, &MesherConfig { step: 1, include: labels::is_deformable })
+}
+
 fn small_reduced() -> (brainshift_sparse::CsrMatrix, Vec<f64>) {
     let seg = Volume::from_fn(Dims::new(5, 5, 5), Spacing::iso(2.0), |_, _, _| labels::BRAIN);
     let mesh = mesh_labeled_volume(&seg, &MesherConfig { step: 1, include: labels::is_deformable });
@@ -75,6 +80,55 @@ fn block_jacobi_block_count_does_not_change_solution() {
                 }
             }
         }
+    }
+}
+
+#[test]
+fn stiffness_matrix_is_symmetric_before_reduction() {
+    // The virtual-work bilinear form is symmetric; any asymmetry in the
+    // assembled K is an assembly or merge bug. Compare K against Kᵀ
+    // entrywise, relative to the largest stiffness entry.
+    let mesh = small_mesh();
+    let k = assemble_stiffness(&mesh, &MaterialTable::heterogeneous());
+    let kt = k.transpose();
+    let scale = (0..k.nrows())
+        .flat_map(|i| k.row(i).1.iter().copied())
+        .fold(0.0f64, |m, v| m.max(v.abs()));
+    assert!(scale > 0.0);
+    for i in 0..k.nrows() {
+        let (cols, vals) = k.row(i);
+        let (tcols, tvals) = kt.row(i);
+        assert_eq!(cols, tcols, "sparsity pattern asymmetric at row {i}");
+        for ((&c, &v), &tv) in cols.iter().zip(vals).zip(tvals) {
+            assert!(
+                (v - tv).abs() <= 1e-12 * scale,
+                "K[{i},{c}] = {v} vs Kᵀ = {tv} (scale {scale})"
+            );
+        }
+    }
+}
+
+#[test]
+fn reduced_system_is_positive_definite_on_random_vectors() {
+    // Elasticity with enough Dirichlet constraints to kill rigid-body
+    // modes: the reduced K_ff must satisfy xᵀKx > 0 for every x ≠ 0.
+    use rand::{Rng, SeedableRng};
+    let (a, _) = small_reduced();
+    let n = a.nrows();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5bd_c0de);
+    let mut ax = vec![0.0; n];
+    for trial in 0..50 {
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let norm_sq: f64 = x.iter().map(|v| v * v).sum();
+        a.spmv(&x, &mut ax);
+        let quad: f64 = x.iter().zip(&ax).map(|(p, q)| p * q).sum();
+        // Positive with a physically meaningful margin: the Rayleigh
+        // quotient is bounded below by the smallest eigenvalue, which is
+        // strictly positive for a constrained elastic body.
+        assert!(
+            quad > 1e-10 * norm_sq,
+            "trial {trial}: xᵀKx = {quad:.3e} for ‖x‖² = {norm_sq:.3e}"
+        );
     }
 }
 
