@@ -1,0 +1,281 @@
+//! Open-loop load generator for the intraoperative service: N concurrent
+//! phantom surgeries submit scans at a fixed cadence (deadline = cadence,
+//! as in an operating room: a registration is useless once the next scan
+//! has arrived), swept across worker-pool sizes, plus one run at half the
+//! context-cache memory budget. Writes latency percentiles, deadline-miss
+//! rate, shed rate, and cache hit rate to
+//! `bench_out/service_throughput.json`.
+//!
+//! ```bash
+//! cargo run --release --bin service_throughput_json -- [surgeries] [scans] [cadence_ms]
+//! ```
+
+use brainshift_core::{generate_scan_sequence, PipelineConfig, PreparedSurgery, ScanSequence, ScanStatus};
+use brainshift_imaging::phantom::{BrainShiftConfig, PhantomConfig};
+use brainshift_imaging::volume::{Dims, Spacing};
+use brainshift_service::{ScanJob, Service, ServiceConfig};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct RunResult {
+    workers: usize,
+    budget_bytes: usize,
+    submitted: usize,
+    rejected: usize,
+    completed: usize,
+    degraded: usize,
+    errors: usize,
+    deadline_misses: usize,
+    latencies_ms: Vec<f64>,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+}
+
+impl RunResult {
+    fn miss_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.completed as f64
+        }
+    }
+
+    fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// One open-loop run: every surgery submits its scans on schedule
+/// (staggered starts), regardless of completions — the backlog is the
+/// service's problem, which is the point.
+fn run_load(
+    surgeries: &[(Arc<PreparedSurgery>, ScanSequence)],
+    workers: usize,
+    budget_bytes: usize,
+    cadence: Duration,
+) -> RunResult {
+    let service = Service::start(ServiceConfig {
+        workers,
+        memory_budget_bytes: budget_bytes,
+        queue_capacity: 64,
+        ..Default::default()
+    });
+    // Preparations are shared across runs; sessions (and the context
+    // cache) start fresh per run.
+    let ids: Vec<u64> =
+        surgeries.iter().map(|(p, _)| service.open_session(Arc::clone(p))).collect();
+
+    let n_scans = surgeries[0].1.scans.len();
+    let stagger = cadence / surgeries.len() as u32;
+    // Submission schedule: (when, surgery, scan), time-sorted.
+    let mut schedule = Vec::new();
+    for (k, _) in surgeries.iter().enumerate() {
+        for i in 0..n_scans {
+            schedule.push((stagger * k as u32 + cadence * i as u32, k, i));
+        }
+    }
+    schedule.sort_by_key(|&(t, k, i)| (t, k, i));
+
+    let t0 = Instant::now();
+    let mut tickets = Vec::new();
+    let mut rejected = 0usize;
+    for (at, k, i) in schedule {
+        if let Some(wait) = at.checked_sub(t0.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        match service.submit(ScanJob {
+            session: ids[k],
+            intensity: surgeries[k].1.scans[i].intensity.clone(),
+            priority: 0,
+            deadline: cadence,
+        }) {
+            Ok(t) => tickets.push(t),
+            Err(_) => rejected += 1,
+        }
+    }
+
+    let submitted = tickets.len() + rejected;
+    let mut latencies_ms = Vec::new();
+    let (mut completed, mut degraded, mut errors, mut misses) = (0usize, 0usize, 0usize, 0usize);
+    for t in tickets {
+        match t.wait() {
+            Ok(out) => {
+                completed += 1;
+                if matches!(out.status, ScanStatus::Degraded) {
+                    degraded += 1;
+                }
+                if out.missed_deadline {
+                    misses += 1;
+                }
+                latencies_ms.push(out.latency.as_secs_f64() * 1e3);
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    let cache = service.cache_stats();
+    service.shutdown();
+    latencies_ms.sort_by(f64::total_cmp);
+    RunResult {
+        workers,
+        budget_bytes,
+        submitted,
+        rejected,
+        completed,
+        degraded,
+        errors,
+        deadline_misses: misses,
+        latencies_ms,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        cache_evictions: cache.evictions,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n_surgeries: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16).max(1);
+    let n_scans: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(12).max(1);
+    // Default cadence is sized for the host: one scan costs ~0.2 s of CPU
+    // on the 32³ phantom, so 16 surgeries need ≥ 3.2 CPU-seconds per
+    // period; 4 s keeps utilization ~75% on a single core.
+    let cadence_ms: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4000);
+    let cadence = Duration::from_millis(cadence_ms);
+
+    println!("preparing {n_surgeries} phantom surgeries × {n_scans} scans (cadence {cadence_ms} ms)...");
+    let surgeries: Vec<(Arc<PreparedSurgery>, ScanSequence)> = (0..n_surgeries)
+        .map(|k| {
+            // Vary the deformation so the surgeries are not clones.
+            let seq = generate_scan_sequence(
+                &PhantomConfig {
+                    dims: Dims::new(32, 32, 24),
+                    spacing: Spacing::iso(4.5),
+                    ..Default::default()
+                },
+                &BrainShiftConfig {
+                    peak_shift_mm: 4.0 + (k % 5) as f64,
+                    ..Default::default()
+                },
+                n_scans,
+                n_scans,
+            );
+            let cfg = PipelineConfig { skip_rigid: true, ..Default::default() };
+            let p = PreparedSurgery::new(&seq.reference.labels, cfg).expect("prepare surgery");
+            (Arc::new(p), seq)
+        })
+        .collect();
+    let ctx_bytes = surgeries[0]
+        .0
+        .build_solver_context()
+        .expect("probe context")
+        .memory_bytes();
+    let full_budget = ctx_bytes.saturating_mul(n_surgeries + 2);
+    let half_budget = (ctx_bytes * n_surgeries / 2).max(ctx_bytes);
+    println!("solver context: {:.1} MiB each\n", ctx_bytes as f64 / (1 << 20) as f64);
+
+    let worker_sweep = [1usize, 2, 4, 8];
+    let mut results = Vec::new();
+    for &w in &worker_sweep {
+        println!("run: {w} worker(s), full budget...");
+        let r = run_load(&surgeries, w, full_budget, cadence);
+        println!(
+            "  {}/{} completed ({} shed, {} degraded, {} late), p50 {:.0} ms p95 {:.0} ms, hit rate {:.1}%",
+            r.completed,
+            r.submitted,
+            r.rejected,
+            r.degraded,
+            r.deadline_misses,
+            percentile(&r.latencies_ms, 50.0),
+            percentile(&r.latencies_ms, 95.0),
+            r.hit_rate() * 100.0
+        );
+        results.push(r);
+    }
+    println!("run: {} worker(s), HALF budget ({:.1} MiB)...", worker_sweep[worker_sweep.len() - 1], half_budget as f64 / (1 << 20) as f64);
+    let half = run_load(&surgeries, worker_sweep[worker_sweep.len() - 1], half_budget, cadence);
+    println!(
+        "  {}/{} completed ({} shed, {} degraded, {} late), {} evictions, hit rate {:.1}%",
+        half.completed,
+        half.submitted,
+        half.rejected,
+        half.degraded,
+        half.deadline_misses,
+        half.cache_evictions,
+        half.hit_rate() * 100.0
+    );
+
+    // ---- Acceptance checks (at any scale where they are meaningful). ----
+    let best = &results[results.len() - 1];
+    assert_eq!(best.errors, 0, "typed execution errors under full budget");
+    assert_eq!(
+        best.deadline_misses, 0,
+        "{} deadline misses at {} workers / {} surgeries at default cadence",
+        best.deadline_misses, best.workers, n_surgeries
+    );
+    if n_scans >= 10 {
+        assert!(
+            best.hit_rate() >= 0.90,
+            "warm hit rate {:.3} < 0.90 with a budget that fits every session",
+            best.hit_rate()
+        );
+    }
+    assert_eq!(half.errors, 0, "half budget must degrade to cold solves, never to errors");
+    assert_eq!(
+        half.completed + half.rejected,
+        half.submitted,
+        "every admitted job completes under half budget"
+    );
+
+    // ---- Hand-rolled JSON (no serde in the build environment). ----
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"surgeries\": {n_surgeries},");
+    let _ = writeln!(json, "  \"scans_per_surgery\": {n_scans},");
+    let _ = writeln!(json, "  \"cadence_ms\": {cadence_ms},");
+    let _ = writeln!(json, "  \"context_bytes\": {ctx_bytes},");
+    let _ = writeln!(json, "  \"runs\": [");
+    let all: Vec<&RunResult> = results.iter().chain(std::iter::once(&half)).collect();
+    for (i, r) in all.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"workers\": {},", r.workers);
+        let _ = writeln!(json, "      \"budget_bytes\": {},", r.budget_bytes);
+        let _ = writeln!(json, "      \"submitted\": {},", r.submitted);
+        let _ = writeln!(json, "      \"rejected\": {},", r.rejected);
+        let _ = writeln!(json, "      \"completed\": {},", r.completed);
+        let _ = writeln!(json, "      \"degraded\": {},", r.degraded);
+        let _ = writeln!(json, "      \"errors\": {},", r.errors);
+        let _ = writeln!(json, "      \"deadline_misses\": {},", r.deadline_misses);
+        let _ = writeln!(json, "      \"deadline_miss_rate\": {:.6},", r.miss_rate());
+        let _ = writeln!(json, "      \"p50_latency_ms\": {:.3},", percentile(&r.latencies_ms, 50.0));
+        let _ = writeln!(json, "      \"p95_latency_ms\": {:.3},", percentile(&r.latencies_ms, 95.0));
+        let _ = writeln!(json, "      \"p99_latency_ms\": {:.3},", percentile(&r.latencies_ms, 99.0));
+        let _ = writeln!(json, "      \"cache_hits\": {},", r.cache_hits);
+        let _ = writeln!(json, "      \"cache_misses\": {},", r.cache_misses);
+        let _ = writeln!(json, "      \"cache_evictions\": {},", r.cache_evictions);
+        let _ = writeln!(json, "      \"cache_hit_rate\": {:.6}", r.hit_rate());
+        let _ = writeln!(json, "    }}{}", if i + 1 < all.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    let out_dir = PathBuf::from("bench_out");
+    std::fs::create_dir_all(&out_dir).expect("create bench_out/");
+    let path = out_dir.join("service_throughput.json");
+    std::fs::write(&path, json).expect("write service_throughput.json");
+    println!("\nwritten: {}", path.display());
+}

@@ -9,12 +9,17 @@
 //! (the measurable versions of Figures 4 and 5).
 
 #![warn(missing_docs)]
+// The intraoperative pipeline returns typed `Error`s instead of
+// panicking on bad input. Test modules are exempt; descriptive
+// `.expect()` on established invariants remains allowed.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 pub mod case;
 pub mod error;
 pub mod metrics;
 pub mod pipeline;
 pub mod sequence;
+pub mod surgery;
 pub mod timeline;
 
 pub use case::{generate_elastic_case, ElasticCase, ElasticCaseOptions};
@@ -28,4 +33,5 @@ pub use pipeline::{
     composite_warped, run_pipeline, run_pipeline_with_solver, PipelineConfig, PipelineResult,
     SurfaceForceKind,
 };
+pub use surgery::{PreparedSurgery, ScanRegistration};
 pub use timeline::Timeline;

@@ -95,7 +95,7 @@ pub fn intensity_residual(a: &Volume<f32>, b: &Volume<f32>, mask: &Volume<bool>)
     let n = diffs.len() as f64;
     let mean_abs = diffs.iter().sum::<f64>() / n;
     let rms = (diffs.iter().map(|d| d * d).sum::<f64>() / n).sqrt();
-    diffs.sort_by(|p, q| p.partial_cmp(q).unwrap());
+    diffs.sort_by(f64::total_cmp);
     let p95 = diffs[((diffs.len() - 1) as f64 * 0.95) as usize];
     ResidualReport { voxels: diffs.len(), mean_abs, rms, p95 }
 }

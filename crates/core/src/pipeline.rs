@@ -247,26 +247,35 @@ pub fn run_pipeline_with_solver(
     //    data, FEM for the volume (Fig 1's last box). The solver context
     //    (assembly + reduction + preconditioner) persists across scans of
     //    a surgery; a scan whose mesh matches pays only the solve. ──
-    let fem = timeline.stage("biomechanical simulation", true, || -> Result<FemSolution, Error> {
-        let mut bcs = DirichletBcs::new();
-        for (v, &node) in brain_surface.mesh_node.iter().enumerate() {
-            bcs.set(node, surface_displacements[v]);
-        }
-        let reusable = solver
-            .as_ref()
-            .is_some_and(|c| c.matches(&mesh, &brain_surface.mesh_node));
-        if !reusable {
-            *solver = Some(SolverContext::new(
-                &mesh,
-                &cfg.materials,
-                &brain_surface.mesh_node,
-                cfg.fem.clone(),
-            )?);
-        }
-        let ctx = solver.as_mut().expect("context installed above");
-        Ok(ctx.solve(&bcs)?)
-    })?;
-    let solver_stats = solver.as_ref().expect("context installed by the FEM stage").stats();
+    let (fem, solver_stats) = timeline.stage(
+        "biomechanical simulation",
+        true,
+        || -> Result<(FemSolution, ContextStats), Error> {
+            let mut bcs = DirichletBcs::new();
+            for (v, &node) in brain_surface.mesh_node.iter().enumerate() {
+                bcs.set(node, surface_displacements[v]);
+            }
+            let reusable = solver
+                .as_ref()
+                .is_some_and(|c| c.matches(&mesh, &brain_surface.mesh_node));
+            if !reusable {
+                *solver = Some(SolverContext::new(
+                    &mesh,
+                    &cfg.materials,
+                    &brain_surface.mesh_node,
+                    cfg.fem.clone(),
+                )?);
+            }
+            // Typed error, not a panic: the install above makes this
+            // unreachable, but the errors-vs-panics policy forbids
+            // `expect` on it in intraoperative code.
+            let ctx = solver
+                .as_mut()
+                .ok_or_else(|| Error::Pipeline("FEM solver context missing after installation".into()))?;
+            let solution = ctx.solve(&bcs)?;
+            Ok((solution, ctx.stats()))
+        },
+    )?;
 
     // ── Dense deformation + resample (the ~0.5 s visualization step). ──
     let (forward_field, backward_field, warped_reference) = timeline.stage("visualization resample", true, || {

@@ -14,15 +14,11 @@ use crate::case::{generate_elastic_case, ElasticCase, ElasticCaseOptions};
 use crate::error::Error;
 use crate::metrics::{field_error, FieldErrorReport};
 use crate::pipeline::PipelineConfig;
-use brainshift_fem::{
-    displacement_field_from_mesh, ContextStats, DirichletBcs, SolverContext,
-};
+use crate::surgery::PreparedSurgery;
+use brainshift_fem::ContextStats;
 use brainshift_sparse::{EscalationPolicy, SolverOptions};
 use brainshift_imaging::phantom::{forward_warp_labels, render_intensity, BrainShiftConfig, PhantomConfig, PhantomScan};
 use brainshift_imaging::{labels, DisplacementField, Volume};
-use brainshift_mesh::{extract_boundary, mesh_labeled_volume};
-use brainshift_segment::{largest_component, segment_intraop_with_model, PrototypeModel};
-use brainshift_surface::{evolve_surface, DistanceForce};
 
 /// A series of intraoperative scans with ground-truth deformations.
 pub struct ScanSequence {
@@ -160,22 +156,12 @@ pub fn run_scan_sequence_with_faults(
     cfg: &PipelineConfig,
     faults: &FaultInjection,
 ) -> Result<SequenceResult, Error> {
-    // Built once per surgery:
-    let mesh = mesh_labeled_volume(&seq.reference.labels, &cfg.mesher);
-    if mesh.num_tets() == 0 {
-        return Err(Error::Pipeline("reference segmentation produced an empty mesh".into()));
-    }
-    let surface = extract_boundary(&mesh);
-    let mut classes = seq.reference.labels.labels();
-    classes.retain(|&c| c != labels::RESECTION);
-    let model = PrototypeModel::sample(&seq.reference.labels, &classes, cfg.segment.per_class, cfg.segment.seed);
-    let ref_mask = largest_component(&seq.reference.labels.map(|&l| labels::is_brain_tissue(l)));
-    let force_ref = DistanceForce::from_mask(&ref_mask, cfg.surface_force_step);
-    let snap = evolve_surface(&surface, &force_ref, &cfg.active_surface);
-    // The constrained node set is the mesh's brain surface for the whole
-    // surgery — assemble K, split off K_ff/K_fc and factor the
+    // Built once per surgery: mesh, snapped boundary surface, prototype
+    // model (the per-surgery half of the job-ified pipeline), plus the
+    // solver context — assemble K, split off K_ff/K_fc and factor the
     // preconditioner once, re-solve per scan.
-    let mut solver = SolverContext::new(&mesh, &cfg.materials, &surface.mesh_node, cfg.fem.clone())?;
+    let prepared = PreparedSurgery::new(&seq.reference.labels, cfg.clone())?;
+    let mut solver = prepared.build_solver_context()?;
 
     // Options forcing genuine non-convergence on injected scans: zero
     // Krylov iterations, no escalation.
@@ -184,62 +170,33 @@ pub fn run_scan_sequence_with_faults(
 
     let mut outcomes = Vec::with_capacity(seq.scans.len());
     let mut degraded_scans = 0usize;
-    // The last *good* field, carried forward over degraded scans.
-    let mut last_field: Option<brainshift_imaging::DisplacementField> = None;
+    // The last *good* field, carried forward over degraded scans (the
+    // navigation display keeps showing the last trusted state rather than
+    // an unconverged iterate).
+    let mut last_field: Option<DisplacementField> = None;
     for (i, scan) in seq.scans.iter().enumerate() {
-        // Per-scan: classification with the UPDATED statistical model.
-        let seg = segment_intraop_with_model(&scan.intensity, &seq.reference.labels, &model, &cfg.segment);
-        let target = largest_component(&seg.map(|&l| labels::is_brain_tissue(l)));
-        let force = DistanceForce::from_mask(&target, cfg.surface_force_step);
-        let mut snapped = surface.clone();
-        snapped.vertices = snap.positions.clone();
-        let evolved = evolve_surface(&snapped, &force, &cfg.active_surface);
-        let mut bcs = DirichletBcs::new();
-        for (v, &node) in surface.mesh_node.iter().enumerate() {
-            bcs.set(node, evolved.positions[v] - snap.positions[v]);
-        }
-        let sol = if faults.fail_fem_scans.contains(&i) {
-            solver.solve_with(&bcs, Some(&starved), Some(&no_escalation))?
-        } else {
-            solver.solve(&bcs)?
-        };
-        let (status, field) = if sol.stats.converged() {
-            let status = if sol.escalated {
-                ScanStatus::Escalated { attempts: sol.attempts }
-            } else {
-                ScanStatus::Converged
-            };
-            let field = displacement_field_from_mesh(
-                &mesh,
-                &sol.displacements,
-                scan.intensity.dims(),
-                scan.intensity.spacing(),
-            );
-            last_field = Some(field.clone());
-            (status, field)
-        } else {
-            // Graceful degradation: reuse the previous scan's field (the
-            // navigation display keeps showing the last trusted state)
-            // rather than trusting an unconverged iterate or aborting
-            // the surgery's registration stream.
+        let injected = faults.fail_fem_scans.contains(&i);
+        let reg = prepared.register_scan(
+            &mut solver,
+            &scan.intensity,
+            last_field.as_ref(),
+            injected.then_some(&starved),
+            injected.then_some(&no_escalation),
+        )?;
+        if reg.status == ScanStatus::Degraded {
             degraded_scans += 1;
-            let field = last_field.clone().unwrap_or_else(|| {
-                brainshift_imaging::DisplacementField::zeros(
-                    scan.intensity.dims(),
-                    scan.intensity.spacing(),
-                )
-            });
-            (ScanStatus::Degraded, field)
-        };
-        let fe = field_error(&field, &seq.gt_forward[i], 1.5);
+        } else {
+            last_field = Some(reg.field.clone());
+        }
+        let fe = field_error(&reg.field, &seq.gt_forward[i], 1.5);
         outcomes.push(ScanOutcome {
             scan_index: i,
             stage: seq.stages[i],
-            status,
+            status: reg.status,
             field_error: fe,
-            fem_iterations: sol.stats.iterations,
-            surface_residual: evolved.final_distance,
-            peak_recovered_mm: field.max_magnitude(),
+            fem_iterations: reg.fem_iterations,
+            surface_residual: reg.surface_residual,
+            peak_recovered_mm: reg.field.max_magnitude(),
         });
     }
     Ok(SequenceResult { outcomes, solver_stats: solver.stats(), degraded_scans })

@@ -1,0 +1,270 @@
+//! Job-ification of the intraoperative pipeline: the per-surgery /
+//! per-scan split as an explicit API.
+//!
+//! [`run_pipeline_with_solver`](crate::pipeline::run_pipeline_with_solver)
+//! and [`run_scan_sequence`](crate::sequence::run_scan_sequence) bundle a
+//! whole surgery into one blocking call. A serving layer that multiplexes
+//! many concurrent surgeries needs the two halves separately:
+//!
+//! * [`PreparedSurgery`] — everything built **once per surgery** from the
+//!   reference scan: the tetrahedral mesh, its boundary surface snapped
+//!   onto the reference brain boundary, and the prototype-voxel
+//!   statistical model for intraoperative classification. Immutable and
+//!   shareable across scans (and across worker threads).
+//! * [`PreparedSurgery::register_scan`] — the **per-scan job**: classify
+//!   the new scan, evolve the active surface onto it, and run one
+//!   warm-started FEM solve against a caller-owned [`SolverContext`].
+//!   The context is deliberately *not* stored inside `PreparedSurgery`:
+//!   it is the mutable, memory-heavy half (assembled stiffness, factored
+//!   preconditioner, warm-start seed) that a service keeps in a budgeted
+//!   cache and may evict between scans.
+//!
+//! A scan whose solver fails to converge within its (possibly
+//! deadline-derived) budget is *not* an error: it degrades to the
+//! caller-provided carry-forward field, exactly as the sequence runner
+//! does — see [`ScanStatus::Degraded`].
+
+use crate::error::Error;
+use crate::pipeline::PipelineConfig;
+use crate::sequence::ScanStatus;
+use brainshift_fem::{displacement_field_from_mesh, DirichletBcs, SolverContext};
+use brainshift_imaging::{labels, DisplacementField, Vec3, Volume};
+use brainshift_mesh::{extract_boundary, mesh_labeled_volume, TetMesh, TriSurface};
+use brainshift_segment::{largest_component, segment_intraop_with_model, PrototypeModel};
+use brainshift_sparse::{EscalationPolicy, SolverOptions, StopReason};
+use brainshift_surface::{evolve_surface, DistanceForce};
+
+/// The once-per-surgery state: everything derived from the reference
+/// (first intraoperative) scan that later scans reuse unchanged.
+pub struct PreparedSurgery {
+    cfg: PipelineConfig,
+    reference_labels: Volume<u8>,
+    mesh: TetMesh,
+    surface: TriSurface,
+    /// Mesh boundary snapped onto the reference brain boundary (cancels
+    /// voxel-discretization bias; per-scan displacements are measured
+    /// from these positions).
+    snap_positions: Vec<Vec3>,
+    model: PrototypeModel,
+}
+
+/// Outcome of registering one intraoperative scan via
+/// [`PreparedSurgery::register_scan`].
+pub struct ScanRegistration {
+    /// How the biomechanical solve concluded.
+    pub status: ScanStatus,
+    /// Recovered forward deformation field on the scan grid. For a
+    /// [`ScanStatus::Degraded`] scan this is the carry-forward field
+    /// (zero when none was provided), not a solution for this scan.
+    pub field: DisplacementField,
+    /// Krylov iterations of the biomechanical solve.
+    pub fem_iterations: usize,
+    /// Solver attempts made (1 = primary configuration sufficed).
+    pub attempts: usize,
+    /// Why each escalation rung stopped, in ladder order — the record a
+    /// serving layer's event log keeps per scan.
+    pub rung_reasons: Vec<StopReason>,
+    /// Mean active-surface residual distance to the target (mm).
+    pub surface_residual: f64,
+}
+
+impl PreparedSurgery {
+    /// Build the per-surgery state from the reference segmentation: mesh
+    /// the brain, extract and snap its boundary surface, and sample the
+    /// prototype classification model. Fails with a typed [`Error`] when
+    /// the segmentation produces an empty mesh.
+    pub fn new(reference_labels: &Volume<u8>, cfg: PipelineConfig) -> Result<Self, Error> {
+        let mesh = mesh_labeled_volume(reference_labels, &cfg.mesher);
+        if mesh.num_tets() == 0 {
+            return Err(Error::Pipeline("reference segmentation produced an empty mesh".into()));
+        }
+        let surface = extract_boundary(&mesh);
+        let mut classes = reference_labels.labels();
+        classes.retain(|&c| c != labels::RESECTION);
+        let model = PrototypeModel::sample(
+            reference_labels,
+            &classes,
+            cfg.segment.per_class,
+            cfg.segment.seed,
+        );
+        let ref_mask = largest_component(&reference_labels.map(|&l| labels::is_brain_tissue(l)));
+        let force_ref = DistanceForce::from_mask(&ref_mask, cfg.surface_force_step);
+        let snap = evolve_surface(&surface, &force_ref, &cfg.active_surface);
+        Ok(PreparedSurgery {
+            cfg,
+            reference_labels: reference_labels.clone(),
+            mesh,
+            surface,
+            snap_positions: snap.positions,
+            model,
+        })
+    }
+
+    /// Build a fresh solver context for this surgery: stiffness assembly,
+    /// Dirichlet reduction along the brain surface, preconditioner
+    /// factorization. This is the expensive, cacheable object a service
+    /// owns per session — dropping it and calling this again is the
+    /// "cold reassemble" path after a cache eviction.
+    pub fn build_solver_context(&self) -> Result<SolverContext, Error> {
+        Ok(SolverContext::new(
+            &self.mesh,
+            &self.cfg.materials,
+            &self.surface.mesh_node,
+            self.cfg.fem.clone(),
+        )?)
+    }
+
+    /// The per-surgery tetrahedral mesh.
+    pub fn mesh(&self) -> &TetMesh {
+        &self.mesh
+    }
+
+    /// The pipeline configuration this surgery was prepared with.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Register one intraoperative scan: classification with the
+    /// per-surgery statistical model, active-surface correspondence, and
+    /// one warm-started FEM solve on `ctx` (which must have been built by
+    /// [`Self::build_solver_context`] or match this surgery's mesh).
+    ///
+    /// `solver_override` / `escalation_override` tighten the solve for
+    /// this scan only — a deadline-aware service derives the escalation
+    /// policy's `time_budget` from the job's remaining deadline. When the
+    /// solve fails to converge the scan degrades to `carry_forward`
+    /// (cloned; zero field when `None`) and the context's warm-start seed
+    /// rolls back, so one bad scan cannot poison the next.
+    pub fn register_scan(
+        &self,
+        ctx: &mut SolverContext,
+        intensity: &Volume<f32>,
+        carry_forward: Option<&DisplacementField>,
+        solver_override: Option<&SolverOptions>,
+        escalation_override: Option<&EscalationPolicy>,
+    ) -> Result<ScanRegistration, Error> {
+        let seg = segment_intraop_with_model(
+            intensity,
+            &self.reference_labels,
+            &self.model,
+            &self.cfg.segment,
+        );
+        let target = largest_component(&seg.map(|&l| labels::is_brain_tissue(l)));
+        let force = DistanceForce::from_mask(&target, self.cfg.surface_force_step);
+        let mut snapped = self.surface.clone();
+        snapped.vertices = self.snap_positions.clone();
+        let evolved = evolve_surface(&snapped, &force, &self.cfg.active_surface);
+        let mut bcs = DirichletBcs::new();
+        for (v, &node) in self.surface.mesh_node.iter().enumerate() {
+            bcs.set(node, evolved.positions[v] - self.snap_positions[v]);
+        }
+        let sol = ctx.solve_with(&bcs, solver_override, escalation_override)?;
+        let (status, field) = if sol.stats.converged() {
+            let status = if sol.escalated {
+                ScanStatus::Escalated { attempts: sol.attempts }
+            } else {
+                ScanStatus::Converged
+            };
+            let field = displacement_field_from_mesh(
+                &self.mesh,
+                &sol.displacements,
+                intensity.dims(),
+                intensity.spacing(),
+            );
+            (status, field)
+        } else {
+            // Graceful degradation: the navigation display keeps showing
+            // the last trusted state rather than an unconverged iterate.
+            let field = carry_forward.cloned().unwrap_or_else(|| {
+                DisplacementField::zeros(intensity.dims(), intensity.spacing())
+            });
+            (ScanStatus::Degraded, field)
+        };
+        Ok(ScanRegistration {
+            status,
+            field,
+            fem_iterations: sol.stats.iterations,
+            attempts: sol.attempts,
+            rung_reasons: sol.rung_reasons,
+            surface_residual: evolved.final_distance,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::generate_scan_sequence;
+    use brainshift_imaging::phantom::{BrainShiftConfig, PhantomConfig};
+    use brainshift_imaging::volume::{Dims, Spacing};
+
+    fn small_seq(n: usize) -> crate::sequence::ScanSequence {
+        generate_scan_sequence(
+            &PhantomConfig {
+                dims: Dims::new(32, 32, 24),
+                spacing: Spacing::iso(4.5),
+                ..Default::default()
+            },
+            &BrainShiftConfig { peak_shift_mm: 8.0, ..Default::default() },
+            n,
+            n,
+        )
+    }
+
+    #[test]
+    fn prepared_surgery_serves_scans_like_the_sequence_runner() {
+        let seq = small_seq(2);
+        let cfg = PipelineConfig { skip_rigid: true, ..Default::default() };
+        let prepared = PreparedSurgery::new(&seq.reference.labels, cfg.clone()).expect("prepare failed");
+        let mut ctx = prepared.build_solver_context().expect("context build failed");
+        let mut fields = Vec::new();
+        let mut last: Option<DisplacementField> = None;
+        for scan in &seq.scans {
+            let reg = prepared
+                .register_scan(&mut ctx, &scan.intensity, last.as_ref(), None, None)
+                .expect("register failed");
+            assert_ne!(reg.status, ScanStatus::Degraded);
+            last = Some(reg.field.clone());
+            fields.push(reg.field);
+        }
+        // Bitwise-identical to the monolithic sequence runner: both paths
+        // run the same stages in the same order on the same inputs.
+        let res = crate::sequence::run_scan_sequence(&seq, &cfg).expect("sequence failed");
+        assert_eq!(res.outcomes.len(), fields.len());
+        for (o, f) in res.outcomes.iter().zip(&fields) {
+            assert!((o.peak_recovered_mm - f.max_magnitude()).abs() < 1e-12);
+        }
+        let s = ctx.stats();
+        assert_eq!(s.assemblies, 1);
+        assert_eq!(s.factorizations, 1);
+        assert_eq!(s.solves, 2);
+    }
+
+    #[test]
+    fn starved_scan_degrades_to_carry_forward() {
+        let seq = small_seq(2);
+        let cfg = PipelineConfig { skip_rigid: true, ..Default::default() };
+        let prepared = PreparedSurgery::new(&seq.reference.labels, cfg.clone()).expect("prepare failed");
+        let mut ctx = prepared.build_solver_context().expect("context build failed");
+        let good = prepared
+            .register_scan(&mut ctx, &seq.scans[0].intensity, None, None, None)
+            .expect("register failed");
+        assert_ne!(good.status, ScanStatus::Degraded);
+        let starved = SolverOptions { max_iterations: 0, ..cfg.fem.options.clone() };
+        let reg = prepared
+            .register_scan(
+                &mut ctx,
+                &seq.scans[1].intensity,
+                Some(&good.field),
+                Some(&starved),
+                Some(&EscalationPolicy::none()),
+            )
+            .expect("register failed");
+        assert_eq!(reg.status, ScanStatus::Degraded);
+        // Carry-forward: the degraded scan's field IS the previous field.
+        for (a, b) in reg.field.data().iter().zip(good.field.data()) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(reg.rung_reasons.len(), reg.attempts);
+    }
+}

@@ -152,6 +152,15 @@ impl DirichletStructure {
         self.free_dofs.len()
     }
 
+    /// Heap footprint of the reduced blocks and DOF maps, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.matrix.memory_bytes()
+            + self.coupling.memory_bytes()
+            + std::mem::size_of_val(self.free_dofs.as_slice())
+            + std::mem::size_of_val(self.reduced_of_dof.as_slice())
+            + std::mem::size_of_val(self.constrained_dofs.as_slice())
+    }
+
     /// Number of constrained DOFs.
     pub fn num_constrained(&self) -> usize {
         self.constrained_dofs.len()

@@ -174,7 +174,7 @@ impl SolverContext {
         let seed_snapshot = self.prev_x.clone();
         let opts = opts_override.unwrap_or(&self.cfg.options).clone();
         let escalation = escalation_override.unwrap_or(&self.cfg.escalation).clone();
-        let (stats, attempts, escalated) = match self.cfg.krylov {
+        let (stats, attempts, escalated, rung_reasons) = match self.cfg.krylov {
             KrylovKind::Gmres => {
                 let out = solve_escalated(
                     &self.structure.matrix,
@@ -185,7 +185,7 @@ impl SolverContext {
                     &escalation,
                     &mut self.workspace,
                 );
-                (out.stats, out.attempts, out.escalated)
+                (out.stats, out.attempts, out.escalated, out.rung_reasons)
             }
             KrylovKind::ConjugateGradient => {
                 let s = conjugate_gradient(
@@ -195,7 +195,8 @@ impl SolverContext {
                     &mut self.prev_x,
                     &opts,
                 );
-                (s, 1, false)
+                let reasons = vec![s.reason];
+                (s, 1, false, reasons)
             }
         };
         self.stats.solves += 1;
@@ -222,6 +223,7 @@ impl SolverContext {
             stats,
             attempts,
             escalated,
+            rung_reasons,
             reduced_equations: self.structure.num_free(),
             total_equations: self.k.nrows(),
         })
@@ -235,6 +237,22 @@ impl SolverContext {
     /// Assembly / factorization / solve counters.
     pub fn stats(&self) -> ContextStats {
         self.stats
+    }
+
+    /// Approximate heap footprint of everything this context keeps alive
+    /// between scans: the assembled stiffness matrix, the reduced
+    /// `K_ff`/`K_fc` blocks and DOF maps, the factored preconditioner,
+    /// the Krylov workspace, and the warm-start/scratch vectors. This is
+    /// what a memory-budgeted context cache charges a surgery for.
+    pub fn memory_bytes(&self) -> usize {
+        self.k.memory_bytes()
+            + self.structure.memory_bytes()
+            + self.precond.memory_bytes()
+            + self.workspace.bytes()
+            + std::mem::size_of_val(self.prev_x.as_slice())
+            + std::mem::size_of_val(self.u_c.as_slice())
+            + std::mem::size_of_val(self.rhs.as_slice())
+            + std::mem::size_of_val(self.full.as_slice())
     }
 
     /// The cached full stiffness matrix.
@@ -396,6 +414,25 @@ mod tests {
         let second = ctx.solve(&bcs).expect("solve failed");
         assert_eq!(first.stats.iterations, second.stats.iterations);
         assert_eq!(ctx.stats().warm_started_solves, 0);
+    }
+
+    #[test]
+    fn memory_accounting_covers_the_cached_state() {
+        let mesh = block_mesh(4);
+        let surface = boundary_nodes(&mesh);
+        let ctx =
+            SolverContext::new(&mesh, &MaterialTable::homogeneous(), &surface, tight()).expect("context build failed");
+        let bytes = ctx.memory_bytes();
+        // At minimum the context holds K plus the reduced blocks — all
+        // three are CSR matrices with this mesh's sparsity.
+        let floor = ctx.matrix().memory_bytes() + ctx.structure().matrix.memory_bytes();
+        assert!(bytes >= floor, "{bytes} < {floor}");
+        // A larger mesh must account strictly more memory.
+        let mesh2 = block_mesh(6);
+        let surface2 = boundary_nodes(&mesh2);
+        let ctx2 =
+            SolverContext::new(&mesh2, &MaterialTable::homogeneous(), &surface2, tight()).expect("context build failed");
+        assert!(ctx2.memory_bytes() > bytes);
     }
 
     #[test]

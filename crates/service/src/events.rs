@@ -1,0 +1,222 @@
+//! The service's deterministic event log.
+//!
+//! Every scheduling decision — admission, start, escalation, degradation,
+//! eviction, completion — is recorded as one [`Event`] with a monotonic
+//! timestamp and the queue depth at that instant. The log is both the
+//! observability surface (a service operator replays it to understand a
+//! missed deadline) and the test oracle: for a fixed submission script the
+//! *sequence* of events (everything except wall-clock timestamps) is
+//! deterministic, which [`EventLog::script`] exposes by rendering the log
+//! without times.
+
+use crate::error::Rejected;
+use brainshift_sparse::StopReason;
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A job passed admission and entered the queue.
+    Enqueue {
+        /// Session the job belongs to.
+        session: u64,
+        /// Service-wide job id.
+        job: u64,
+        /// Absolute deadline (µs on the service clock).
+        deadline_us: u64,
+        /// Submission priority (higher = more urgent).
+        priority: u8,
+    },
+    /// A submission was refused at the admission gate.
+    Reject {
+        /// Session of the refused submission.
+        session: u64,
+        /// Why it was refused.
+        reason: Rejected,
+    },
+    /// A worker picked the job and began executing it.
+    Start {
+        /// Session the job belongs to.
+        session: u64,
+        /// Job id.
+        job: u64,
+        /// True when the session's solver context was served warm from
+        /// the cache (false = cold build / rebuild after eviction).
+        warm: bool,
+    },
+    /// The job's solve walked at least one escalation rung.
+    Escalate {
+        /// Session the job belongs to.
+        session: u64,
+        /// Job id.
+        job: u64,
+        /// Total solver attempts.
+        attempts: usize,
+        /// Why each rung stopped, in ladder order.
+        reasons: Vec<StopReason>,
+    },
+    /// The job's solve did not converge within its budget; the result is
+    /// the carry-forward field.
+    Degrade {
+        /// Session the job belongs to.
+        session: u64,
+        /// Job id.
+        job: u64,
+        /// Why each rung stopped, in ladder order.
+        reasons: Vec<StopReason>,
+    },
+    /// A session's solver context was evicted from the warm cache to
+    /// stay inside the memory budget.
+    Evict {
+        /// Session whose context was dropped.
+        session: u64,
+        /// Bytes returned to the budget.
+        freed_bytes: usize,
+    },
+    /// The job finished and its result was delivered.
+    Complete {
+        /// Session the job belongs to.
+        session: u64,
+        /// Job id.
+        job: u64,
+        /// True when it finished after its deadline.
+        missed_deadline: bool,
+    },
+    /// The service stopped admitting work and drained.
+    Shutdown,
+}
+
+/// One log entry: what happened, when, and how deep the queue was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Strictly increasing sequence number (the log's total order).
+    pub seq: u64,
+    /// Monotonic time of the event, µs since service start (logical time
+    /// in the deterministic simulator).
+    pub t_us: u64,
+    /// Queue depth immediately after the event.
+    pub queue_depth: usize,
+    /// The event itself.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// The deterministic rendering: everything except the timestamp.
+    pub fn script_line(&self) -> String {
+        let mut s = String::new();
+        match &self.kind {
+            EventKind::Enqueue { session, job, deadline_us, priority } => {
+                let _ = write!(s, "enqueue s{session} j{job} d{deadline_us} p{priority}");
+            }
+            EventKind::Reject { session, reason } => {
+                let tag = match reason {
+                    Rejected::QueueFull { .. } => "queue-full",
+                    Rejected::DeadlineInfeasible => "deadline-infeasible",
+                    Rejected::ShuttingDown => "shutting-down",
+                    Rejected::UnknownSession { .. } => "unknown-session",
+                    Rejected::SessionBacklogFull { .. } => "session-backlog",
+                };
+                let _ = write!(s, "reject s{session} {tag}");
+            }
+            EventKind::Start { session, job, warm } => {
+                let _ = write!(s, "start s{session} j{job} {}", if *warm { "warm" } else { "cold" });
+            }
+            EventKind::Escalate { session, job, attempts, reasons } => {
+                let _ = write!(s, "escalate s{session} j{job} a{attempts} {reasons:?}");
+            }
+            EventKind::Degrade { session, job, reasons } => {
+                let _ = write!(s, "degrade s{session} j{job} {reasons:?}");
+            }
+            EventKind::Evict { session, .. } => {
+                let _ = write!(s, "evict s{session}");
+            }
+            EventKind::Complete { session, job, missed_deadline } => {
+                let _ = write!(s, "complete s{session} j{job}{}", if *missed_deadline { " late" } else { "" });
+            }
+            EventKind::Shutdown => s.push_str("shutdown"),
+        }
+        let _ = write!(s, " q={}", self.queue_depth);
+        s
+    }
+}
+
+/// Append-only, thread-safe event log.
+#[derive(Default)]
+pub struct EventLog {
+    events: Mutex<Vec<Event>>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one event; the sequence number is assigned under the lock,
+    /// so the log's order is the service's observed total order.
+    pub fn record(&self, t_us: u64, queue_depth: usize, kind: EventKind) {
+        let mut ev = self.events.lock();
+        let seq = ev.len() as u64;
+        ev.push(Event { seq, t_us, queue_depth, kind });
+    }
+
+    /// Copy of the full log.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Entries recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The timestamp-free rendering used as the determinism oracle: two
+    /// runs of the same submission script must produce identical scripts.
+    pub fn script(&self) -> String {
+        let ev = self.events.lock();
+        let mut s = String::with_capacity(ev.len() * 24);
+        for e in ev.iter() {
+            s.push_str(&e.script_line());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_numbers_are_dense_and_ordered() {
+        let log = EventLog::new();
+        log.record(5, 1, EventKind::Enqueue { session: 1, job: 0, deadline_us: 100, priority: 0 });
+        log.record(9, 0, EventKind::Start { session: 1, job: 0, warm: false });
+        log.record(20, 0, EventKind::Complete { session: 1, job: 0, missed_deadline: false });
+        let ev = log.snapshot();
+        assert_eq!(ev.len(), 3);
+        for (i, e) in ev.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn script_omits_time_but_keeps_order_and_depths() {
+        let log = EventLog::new();
+        log.record(123, 2, EventKind::Enqueue { session: 7, job: 3, deadline_us: 900, priority: 1 });
+        log.record(456, 1, EventKind::Start { session: 7, job: 3, warm: true });
+        let s = log.script();
+        assert_eq!(s, "enqueue s7 j3 d900 p1 q=2\nstart s7 j3 warm q=1\n");
+        // Same events at different wall-clock times → identical script.
+        let log2 = EventLog::new();
+        log2.record(999, 2, EventKind::Enqueue { session: 7, job: 3, deadline_us: 900, priority: 1 });
+        log2.record(1999, 1, EventKind::Start { session: 7, job: 3, warm: true });
+        assert_eq!(log2.script(), s);
+    }
+}

@@ -1,0 +1,45 @@
+//! brainshift-service: the intraoperative serving layer.
+//!
+//! The paper's pipeline registers one scan for one surgery; a deployed
+//! guidance system serves *several operating rooms at once* from shared
+//! compute, under each scanner's cadence. This crate is that layer:
+//!
+//! * [`SurgerySession`] — one surgery's case state: the immutable
+//!   once-per-surgery preparation ([`brainshift_core::PreparedSurgery`]),
+//!   a mesh fingerprint, and the carry-forward field between scans.
+//! * [`DeadlineQueue`] — bounded admission with explicit backpressure
+//!   ([`Rejected::QueueFull`], [`Rejected::DeadlineInfeasible`]) and
+//!   earliest-deadline-first ordering with an aging term that bounds
+//!   starvation.
+//! * [`ContextCache`] — warm [`SolverContext`](brainshift_fem::SolverContext)s
+//!   under a byte budget; memory pressure evicts LRU sessions to *cold*
+//!   (reassemble on next touch), never to OOM and never to an error.
+//! * [`Service`] — a fixed worker pool executing jobs, deriving each
+//!   solve's escalation `time_budget` from the job's remaining deadline:
+//!   a late job returns [`ScanStatus::Degraded`](brainshift_core::ScanStatus)
+//!   with the carry-forward field instead of blocking the queue.
+//! * [`EventLog`] — every enqueue/start/escalate/degrade/evict/complete
+//!   with monotonic timestamps and queue depths; its timestamp-free
+//!   [`script`](EventLog::script) is the determinism oracle.
+//! * [`simulate`] — a logical-clock discrete-event simulator over the
+//!   *same* queue and cache code, for property tests of the scheduling
+//!   contracts that the threaded service cannot check deterministically.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
+pub mod cache;
+pub mod error;
+pub mod events;
+pub mod scheduler;
+pub mod service;
+pub mod session;
+pub mod sim;
+
+pub use cache::{CacheStats, ContextCache};
+pub use error::{Rejected, ServiceError};
+pub use events::{Event, EventKind, EventLog};
+pub use scheduler::{DeadlineQueue, QueuedJob, SchedulerPolicy};
+pub use service::{JobOutcome, JobTicket, ScanJob, Service, ServiceConfig};
+pub use session::{MeshFingerprint, SessionStats, SurgerySession};
+pub use sim::{simulate, SimConfig, SimJob, SimOutcome, SimReport};

@@ -1,0 +1,536 @@
+//! The threaded intraoperative service: a fixed worker pool executing
+//! deadline-queued scan jobs against cached warm solver contexts.
+//!
+//! Lifecycle: [`Service::start`] spawns the workers; [`Service::open_session`]
+//! registers a prepared surgery; [`Service::submit`] admits a [`ScanJob`]
+//! through the bounded deadline queue (explicit [`Rejected`] backpressure)
+//! and returns a [`JobTicket`] the caller blocks on with
+//! [`JobTicket::wait`]; [`Service::shutdown`] stops admissions, drains the
+//! queue, and joins the workers.
+//!
+//! Execution of one job: the worker claims the earliest-effective-deadline
+//! job whose session is idle, checks the session's [`SolverContext`] out
+//! of the memory-budgeted cache (warm hit) or rebuilds it (cold miss after
+//! eviction — a latency cost, never an error), derives the escalation
+//! ladder's `time_budget` from the job's *remaining* deadline, and runs
+//! [`PreparedSurgery::register_scan`]. A job that exhausts its budget
+//! comes back [`ScanStatus::Degraded`] with the session's carry-forward
+//! field — the session keeps its slot and its next scan proceeds from the
+//! last good state. Every decision lands in the [`EventLog`].
+
+use crate::cache::{CacheStats, ContextCache};
+use crate::error::{Rejected, ServiceError};
+use crate::events::{Event, EventKind, EventLog};
+use crate::scheduler::{DeadlineQueue, QueuedJob, SchedulerPolicy};
+use crate::session::{SessionStats, SurgerySession};
+use brainshift_core::{Error as CoreError, PreparedSurgery, ScanStatus};
+use brainshift_fem::SolverContext;
+use brainshift_imaging::{DisplacementField, Volume};
+use brainshift_sparse::StopReason;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service-wide knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Bounded ready-queue capacity (admission backpressure).
+    pub queue_capacity: usize,
+    /// Byte budget for resident warm solver contexts; exceeding it evicts
+    /// least-recently-used sessions to cold.
+    pub memory_budget_bytes: usize,
+    /// Aging weight of the deadline queue (see
+    /// [`SchedulerPolicy::aging_weight`]).
+    pub aging_weight: f64,
+    /// Admission floor: deadlines closer than this are
+    /// [`Rejected::DeadlineInfeasible`].
+    pub min_service_us: u64,
+    /// Effective-deadline boost per priority level, µs.
+    pub priority_boost_us: u64,
+    /// Max jobs one session may have queued at once.
+    pub max_session_backlog: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            memory_budget_bytes: 256 << 20,
+            aging_weight: 1.0,
+            min_service_us: 0,
+            priority_boost_us: 1_000_000,
+            max_session_backlog: 8,
+        }
+    }
+}
+
+/// One intraoperative scan to register.
+pub struct ScanJob {
+    /// Session (from [`Service::open_session`]) the scan belongs to.
+    pub session: u64,
+    /// The intraoperative intensity volume.
+    pub intensity: Volume<f32>,
+    /// Priority (higher = more urgent; boosts the effective deadline).
+    pub priority: u8,
+    /// Deadline relative to submission — typically the scanner cadence:
+    /// the result is useless once the next scan has arrived.
+    pub deadline: Duration,
+}
+
+/// Result of one completed scan job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Service-wide job id.
+    pub job: u64,
+    /// Session the job belonged to.
+    pub session: u64,
+    /// How the solve concluded (a `Degraded` job carries the previous
+    /// field forward; it is not an error).
+    pub status: ScanStatus,
+    /// The volumetric deformation field for this scan.
+    pub field: DisplacementField,
+    /// Krylov iterations of the biomechanical solve.
+    pub fem_iterations: usize,
+    /// Solver attempts (1 = primary configuration sufficed).
+    pub attempts: usize,
+    /// Why each escalation rung stopped, ladder order.
+    pub rung_reasons: Vec<StopReason>,
+    /// Mean active-surface residual to the scan's boundary (mm).
+    pub surface_residual: f64,
+    /// True when the job finished after its deadline.
+    pub missed_deadline: bool,
+    /// True when the solver context came warm from the cache.
+    pub warm: bool,
+    /// Submission-to-completion latency.
+    pub latency: Duration,
+}
+
+/// Handle to one admitted job.
+pub struct JobTicket {
+    job: u64,
+    rx: Receiver<Result<JobOutcome, ServiceError>>,
+}
+
+impl JobTicket {
+    /// The service-wide job id.
+    pub fn id(&self) -> u64 {
+        self.job
+    }
+
+    /// Block until the job completes (or fails).
+    pub fn wait(self) -> Result<JobOutcome, ServiceError> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(ServiceError::JobLost),
+        }
+    }
+
+    /// Non-blocking poll; `None` while the job is still in flight.
+    pub fn try_wait(&self) -> Option<Result<JobOutcome, ServiceError>> {
+        self.rx.try_recv()
+    }
+}
+
+/// Payload + reply channel of an admitted job, keyed by job id until a
+/// worker claims it.
+struct Pending {
+    intensity: Volume<f32>,
+    submitted_us: u64,
+    tx: Sender<Result<JobOutcome, ServiceError>>,
+}
+
+struct Inner {
+    queue: DeadlineQueue,
+    cache: ContextCache<SolverContext>,
+    sessions: HashMap<u64, Arc<SurgerySession>>,
+    /// Sessions currently executing on a worker (their queued jobs are
+    /// ineligible; their contexts are checked out and uncacheable).
+    running: HashSet<u64>,
+    pending: HashMap<u64, Pending>,
+    shutting_down: bool,
+    next_session: u64,
+    next_job: u64,
+}
+
+struct Shared {
+    epoch: Instant,
+    log: EventLog,
+    inner: Mutex<Inner>,
+}
+
+impl Shared {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+/// The running service. Dropping it without [`Service::shutdown`] detaches
+/// the workers, which drain the queue and exit.
+pub struct Service {
+    shared: Arc<Shared>,
+    wake: Vec<Sender<()>>,
+    handles: Vec<JoinHandle<()>>,
+    max_session_backlog: usize,
+}
+
+impl Service {
+    /// Spawn the worker pool and start serving.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            epoch: Instant::now(),
+            log: EventLog::new(),
+            inner: Mutex::new(Inner {
+                queue: DeadlineQueue::new(SchedulerPolicy {
+                    queue_capacity: cfg.queue_capacity,
+                    aging_weight: cfg.aging_weight,
+                    min_service_us: cfg.min_service_us,
+                    priority_boost_us: cfg.priority_boost_us,
+                }),
+                cache: ContextCache::new(cfg.memory_budget_bytes),
+                sessions: HashMap::new(),
+                running: HashSet::new(),
+                pending: HashMap::new(),
+                shutting_down: false,
+                next_session: 1,
+                next_job: 0,
+            }),
+        });
+        let mut wake = Vec::new();
+        let mut handles = Vec::new();
+        for w in 0..cfg.workers.max(1) {
+            let (tx, rx) = unbounded();
+            wake.push(tx);
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("brainshift-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    // Spawn failure at startup is resource exhaustion;
+                    // there is no service to run without its workers.
+                    .expect("spawn service worker"),
+            );
+        }
+        Service { shared, wake, handles, max_session_backlog: cfg.max_session_backlog }
+    }
+
+    /// Register a prepared surgery; returns its session id. The
+    /// preparation is shared (`Arc`) — one build can back sessions on
+    /// several services, e.g. a failover pair. The first scan of the
+    /// session is necessarily a cold build (cache miss).
+    pub fn open_session(&self, prepared: Arc<PreparedSurgery>) -> u64 {
+        let mut inner = self.shared.inner.lock();
+        let id = inner.next_session;
+        inner.next_session += 1;
+        inner.sessions.insert(id, Arc::new(SurgerySession::new(id, prepared)));
+        id
+    }
+
+    /// Forget a session: drops its warm context (if resident) and its
+    /// carry-forward state. Queued jobs of the session fail with
+    /// [`ServiceError::JobLost`]-style pipeline errors when claimed.
+    pub fn close_session(&self, session: u64) -> bool {
+        let mut inner = self.shared.inner.lock();
+        if let Some(freed) = inner.cache.discard(session) {
+            let depth = inner.queue.len();
+            self.shared
+                .log
+                .record(self.shared.now_us(), depth, EventKind::Evict { session, freed_bytes: freed });
+        }
+        inner.sessions.remove(&session).is_some()
+    }
+
+    /// Admit one scan job. Rejections are immediate and typed; an `Ok`
+    /// ticket is a promise the job will run (or fail with a typed
+    /// execution error), never be silently dropped.
+    pub fn submit(&self, job: ScanJob) -> Result<JobTicket, Rejected> {
+        let ScanJob { session, intensity, priority, deadline } = job;
+        let now = self.shared.now_us();
+        let deadline_us = now.saturating_add(deadline.as_micros() as u64);
+        let mut inner = self.shared.inner.lock();
+        let verdict = self.admit(&mut inner, session, intensity, priority, now, deadline_us);
+        match verdict {
+            Ok(ticket) => {
+                let depth = inner.queue.len();
+                self.shared.log.record(
+                    now,
+                    depth,
+                    EventKind::Enqueue { session, job: ticket.job, deadline_us, priority },
+                );
+                drop(inner);
+                for tx in &self.wake {
+                    let _ = tx.send(());
+                }
+                Ok(ticket)
+            }
+            Err(reason) => {
+                let depth = inner.queue.len();
+                self.shared
+                    .log
+                    .record(now, depth, EventKind::Reject { session, reason: reason.clone() });
+                Err(reason)
+            }
+        }
+    }
+
+    fn admit(
+        &self,
+        inner: &mut Inner,
+        session: u64,
+        intensity: Volume<f32>,
+        priority: u8,
+        now: u64,
+        deadline_us: u64,
+    ) -> Result<JobTicket, Rejected> {
+        if inner.shutting_down {
+            return Err(Rejected::ShuttingDown);
+        }
+        if !inner.sessions.contains_key(&session) {
+            return Err(Rejected::UnknownSession { session });
+        }
+        let backlog = inner.queue.iter().filter(|q| q.session == session).count();
+        if backlog >= self.max_session_backlog {
+            return Err(Rejected::SessionBacklogFull { session });
+        }
+        let id = inner.next_job;
+        inner.queue.push(id, session, deadline_us, priority, now)?;
+        inner.next_job += 1;
+        let (tx, rx) = unbounded();
+        inner.pending.insert(id, Pending { intensity, submitted_us: now, tx });
+        Ok(JobTicket { job: id, rx })
+    }
+
+    /// Jobs currently queued (not yet claimed by a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.inner.lock().queue.len()
+    }
+
+    /// Cache counters (hits / misses / evictions).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.inner.lock().cache.stats()
+    }
+
+    /// Counters of one session, if it exists.
+    pub fn session_stats(&self, session: u64) -> Option<SessionStats> {
+        self.shared.inner.lock().sessions.get(&session).map(|s| s.stats())
+    }
+
+    /// Snapshot of the event log so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.shared.log.snapshot()
+    }
+
+    /// The timestamp-free event script (determinism/debug surface).
+    pub fn script(&self) -> String {
+        self.shared.log.script()
+    }
+
+    /// Stop admitting work, drain every queued job, join the workers, and
+    /// return the final event log.
+    pub fn shutdown(self) -> Vec<Event> {
+        self.shared.inner.lock().shutting_down = true;
+        // Dropping the wake senders is the shutdown signal: each worker's
+        // recv fails, switching it into drain mode.
+        drop(self.wake);
+        for h in self.handles {
+            let _ = h.join();
+        }
+        let depth = self.shared.inner.lock().queue.len();
+        self.shared.log.record(self.shared.now_us(), depth, EventKind::Shutdown);
+        self.shared.log.snapshot()
+    }
+}
+
+/// What a worker pulled out of the shared state for one job.
+struct Claim {
+    q: QueuedJob,
+    pending: Pending,
+    session: Option<Arc<SurgerySession>>,
+    ctx: Option<SolverContext>,
+    warm: bool,
+}
+
+fn claim_next(shared: &Shared) -> Option<Claim> {
+    let mut guard = shared.inner.lock();
+    let inner = &mut *guard;
+    let running = &inner.running;
+    let q = inner.queue.pop_next(|j| !running.contains(&j.session))?;
+    let pending = inner.pending.remove(&q.job)?;
+    let session = inner.sessions.get(&q.session).cloned();
+    let (ctx, warm) = if session.is_some() {
+        let ctx = inner.cache.take(q.session);
+        let warm = ctx.is_some();
+        (ctx, warm)
+    } else {
+        (None, false)
+    };
+    inner.running.insert(q.session);
+    let depth = inner.queue.len();
+    shared
+        .log
+        .record(shared.now_us(), depth, EventKind::Start { session: q.session, job: q.job, warm });
+    Some(Claim { q, pending, session, ctx, warm })
+}
+
+fn finish(shared: &Shared, session: u64, ctx: Option<SolverContext>, job: u64, missed: bool) {
+    let mut inner = shared.inner.lock();
+    if let Some(ctx) = ctx {
+        let bytes = ctx.memory_bytes();
+        inner.cache.insert(session, ctx, bytes);
+        let evicted = inner.cache.drain_evicted();
+        let depth = inner.queue.len();
+        for (sess, freed) in evicted {
+            shared
+                .log
+                .record(shared.now_us(), depth, EventKind::Evict { session: sess, freed_bytes: freed });
+        }
+    }
+    inner.running.remove(&session);
+    let depth = inner.queue.len();
+    shared
+        .log
+        .record(shared.now_us(), depth, EventKind::Complete { session, job, missed_deadline: missed });
+}
+
+fn execute(shared: &Shared, claim: Claim) {
+    let Claim { q, pending, session, ctx, warm } = claim;
+    let Some(session) = session else {
+        // Session closed while the job was queued.
+        finish(shared, q.session, None, q.job, shared.now_us() > q.deadline_us);
+        let _ = pending.tx.send(Err(ServiceError::Pipeline(CoreError::Pipeline(format!(
+            "session {} closed before job {} ran",
+            q.session, q.job
+        )))));
+        return;
+    };
+    let prepared = Arc::clone(session.prepared());
+
+    // Cold path: rebuild the context evicted (or never built) for this
+    // session. This is the designed degradation mode of the memory
+    // budget — slower, never wrong.
+    let mut ctx = match ctx {
+        Some(c) => c,
+        None => match prepared.build_solver_context() {
+            Ok(c) => c,
+            Err(e) => {
+                finish(shared, q.session, None, q.job, shared.now_us() > q.deadline_us);
+                let _ = pending.tx.send(Err(ServiceError::Pipeline(e)));
+                return;
+            }
+        },
+    };
+
+    // The escalation ladder's wall-clock budget is whatever deadline
+    // headroom remains *now*, after queueing and any cold rebuild. A job
+    // already past its deadline gets a token budget and degrades fast.
+    let remaining = q.deadline_us.saturating_sub(shared.now_us()).max(1);
+    let mut policy = prepared.config().fem.escalation.clone();
+    policy.time_budget = Some(match policy.time_budget {
+        Some(existing) => existing.min(Duration::from_micros(remaining)),
+        None => Duration::from_micros(remaining),
+    });
+
+    let mut state = session.state.lock();
+    let carry = state.carry_forward.clone();
+    let result = prepared.register_scan(&mut ctx, &pending.intensity, carry.as_ref(), None, Some(&policy));
+    let now = shared.now_us();
+    let missed = now > q.deadline_us;
+    match result {
+        Ok(reg) => {
+            match &reg.status {
+                ScanStatus::Converged => {}
+                ScanStatus::Escalated { attempts } => {
+                    state.stats.escalated += 1;
+                    shared.log.record(
+                        now,
+                        shared.inner.lock().queue.len(),
+                        EventKind::Escalate {
+                            session: q.session,
+                            job: q.job,
+                            attempts: *attempts,
+                            reasons: reg.rung_reasons.clone(),
+                        },
+                    );
+                }
+                ScanStatus::Degraded => {
+                    state.stats.degraded += 1;
+                    shared.log.record(
+                        now,
+                        shared.inner.lock().queue.len(),
+                        EventKind::Degrade {
+                            session: q.session,
+                            job: q.job,
+                            reasons: reg.rung_reasons.clone(),
+                        },
+                    );
+                }
+            }
+            if !matches!(reg.status, ScanStatus::Degraded) {
+                state.carry_forward = Some(reg.field.clone());
+            }
+            state.stats.completed += 1;
+            if missed {
+                state.stats.deadline_misses += 1;
+            }
+            if warm {
+                state.stats.warm_starts += 1;
+            }
+            drop(state);
+            finish(shared, q.session, Some(ctx), q.job, missed);
+            let _ = pending.tx.send(Ok(JobOutcome {
+                job: q.job,
+                session: q.session,
+                status: reg.status,
+                field: reg.field,
+                fem_iterations: reg.fem_iterations,
+                attempts: reg.attempts,
+                rung_reasons: reg.rung_reasons,
+                surface_residual: reg.surface_residual,
+                missed_deadline: missed,
+                warm,
+                latency: Duration::from_micros(now.saturating_sub(pending.submitted_us)),
+            }));
+        }
+        Err(e) => {
+            // A typed pipeline failure poisons neither the session (its
+            // carry-forward state is untouched) nor the context cache
+            // (the context is dropped; next scan rebuilds cold).
+            state.stats.completed += 1;
+            drop(state);
+            finish(shared, q.session, None, q.job, missed);
+            let _ = pending.tx.send(Err(ServiceError::Pipeline(e)));
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, wake: &Receiver<()>) {
+    let mut draining = false;
+    loop {
+        if !draining {
+            match wake.recv() {
+                Ok(()) => {}
+                Err(_) => draining = true,
+            }
+        }
+        // Serve everything claimable right now. Re-checking after each
+        // job matters: completing a session's job makes its next queued
+        // job eligible, and no new wake token announces that.
+        while let Some(claim) = claim_next(shared) {
+            execute(shared, claim);
+        }
+        if draining {
+            // Jobs can remain queued but ineligible (their session busy
+            // on another worker). Spin-yield until the queue is truly
+            // empty, then exit.
+            if shared.inner.lock().queue.is_empty() {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Deterministic discrete-event simulator of the serving layer.
+//!
+//! The threaded [`Service`](crate::service::Service) is nondeterministic
+//! by nature (OS scheduling decides which worker wins a wake token), so
+//! its contracts — deadline ordering, starvation bounds, cache-budget
+//! safety, event-log shape — are verified here instead, on a logical
+//! clock driving the *same* [`DeadlineQueue`] and [`ContextCache`] code
+//! the real service runs. For a fixed submission script the simulation is
+//! bit-deterministic: same admissions, same scheduling order, same
+//! evictions, same [`EventLog::script`]. Property tests fuzz submission
+//! scripts through this simulator; what they prove holds for the
+//! production policy code because it *is* the production policy code.
+//!
+//! Modeling choices (all deterministic): workers are slots, job cost is
+//! given per job in logical µs, and when a completion and a submission
+//! coincide the completion is processed first (capacity frees before the
+//! admission check, matching the real service's admission-under-lock).
+
+use crate::cache::{CacheStats, ContextCache};
+use crate::events::{EventKind, EventLog};
+use crate::scheduler::{DeadlineQueue, SchedulerPolicy};
+
+/// One scripted submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimJob {
+    /// Session the job belongs to.
+    pub session: u64,
+    /// Submission time, logical µs.
+    pub submit_us: u64,
+    /// Absolute deadline, logical µs.
+    pub deadline_us: u64,
+    /// Priority (higher = more urgent).
+    pub priority: u8,
+    /// Service time on a worker, logical µs.
+    pub cost_us: u64,
+    /// Bytes the session's solver context charges against the cache
+    /// budget when checked back in.
+    pub ctx_bytes: usize,
+}
+
+/// Simulator parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Worker slots.
+    pub workers: usize,
+    /// Queue policy (capacity, aging, admission floor).
+    pub policy: SchedulerPolicy,
+    /// Warm-context cache budget in bytes.
+    pub budget_bytes: usize,
+}
+
+/// Per-job outcome of a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOutcome {
+    /// Index of the job in the submission script.
+    pub script_index: usize,
+    /// Session it belonged to.
+    pub session: u64,
+    /// When it started on a worker (µs), or `None` if rejected.
+    pub started_us: Option<u64>,
+    /// When it completed (µs), or `None` if rejected.
+    pub completed_us: Option<u64>,
+    /// Whether it completed after its deadline.
+    pub missed_deadline: bool,
+    /// Whether its context came warm from the cache.
+    pub warm: bool,
+}
+
+/// Everything a property test wants to assert on.
+pub struct SimReport {
+    /// Outcomes indexed like the submission script.
+    pub outcomes: Vec<SimOutcome>,
+    /// Completion order as script indices.
+    pub completion_order: Vec<usize>,
+    /// The full event log.
+    pub log: EventLog,
+    /// Cache counters at the end.
+    pub cache: CacheStats,
+    /// Largest resident-byte total ever observed (must stay ≤ budget).
+    pub peak_resident_bytes: usize,
+    /// Largest queue depth ever observed (must stay ≤ capacity).
+    pub peak_queue_depth: usize,
+}
+
+#[derive(Clone, Copy)]
+struct Running {
+    script_index: usize,
+    session: u64,
+    deadline_us: u64,
+    done_us: u64,
+}
+
+/// Run the script to completion and report.
+///
+/// Jobs are submitted in script order; the scheduler's own ordering and
+/// admission rules decide everything else. All queued work is drained
+/// even past the last submission (the real service's shutdown drain).
+pub fn simulate(cfg: &SimConfig, jobs: &[SimJob]) -> SimReport {
+    let mut queue = DeadlineQueue::new(cfg.policy.clone());
+    // The sim stores the script index as the "context"; bytes drive the
+    // eviction policy exactly as real contexts would.
+    let mut cache: ContextCache<u64> = ContextCache::new(cfg.budget_bytes);
+    let log = EventLog::new();
+    let mut outcomes: Vec<SimOutcome> = (0..jobs.len())
+        .map(|i| SimOutcome {
+            script_index: i,
+            session: jobs[i].session,
+            started_us: None,
+            completed_us: None,
+            missed_deadline: false,
+            warm: false,
+        })
+        .collect();
+    let mut completion_order = Vec::new();
+    let mut workers: Vec<Option<Running>> = vec![None; cfg.workers.max(1)];
+    let mut next_submit = 0usize;
+    let mut peak_resident = 0usize;
+    let mut peak_depth = 0usize;
+
+    loop {
+        let busy_min = workers.iter().flatten().map(|r| r.done_us).min();
+        let submit_t = jobs.get(next_submit).map(|j| j.submit_us);
+        // Next instant: earliest completion or submission; completions at
+        // a tied instant are processed first.
+        let now = match (busy_min, submit_t) {
+            (None, None) => break,
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (Some(a), Some(b)) => a.min(b),
+        };
+
+        // 1. Completions at `now`.
+        for slot in workers.iter_mut() {
+            let Some(r) = *slot else { continue };
+            if r.done_us != now {
+                continue;
+            }
+            *slot = None;
+            cache.insert(r.session, r.script_index as u64, jobs[r.script_index].ctx_bytes);
+            peak_resident = peak_resident.max(cache.resident_bytes());
+            for (sess, freed) in cache.drain_evicted() {
+                log.record(now, queue.len(), EventKind::Evict { session: sess, freed_bytes: freed });
+            }
+            let missed = now > r.deadline_us;
+            outcomes[r.script_index].completed_us = Some(now);
+            outcomes[r.script_index].missed_deadline = missed;
+            completion_order.push(r.script_index);
+            log.record(
+                now,
+                queue.len(),
+                EventKind::Complete {
+                    session: r.session,
+                    job: r.script_index as u64,
+                    missed_deadline: missed,
+                },
+            );
+        }
+
+        // 2. Submissions at `now` (script order).
+        while next_submit < jobs.len() && jobs[next_submit].submit_us == now {
+            let j = &jobs[next_submit];
+            let id = next_submit as u64;
+            match queue.push(id, j.session, j.deadline_us, j.priority, now) {
+                Ok(()) => {
+                    peak_depth = peak_depth.max(queue.len());
+                    log.record(
+                        now,
+                        queue.len(),
+                        EventKind::Enqueue {
+                            session: j.session,
+                            job: id,
+                            deadline_us: j.deadline_us,
+                            priority: j.priority,
+                        },
+                    );
+                }
+                Err(reason) => {
+                    log.record(now, queue.len(), EventKind::Reject { session: j.session, reason });
+                }
+            }
+            next_submit += 1;
+        }
+
+        // 3. Dispatch: fill free workers with eligible jobs, lowest key
+        // first, skipping sessions already running.
+        while let Some(free) = workers.iter().position(Option::is_none) {
+            let running: Vec<u64> = workers.iter().flatten().map(|r| r.session).collect();
+            let Some(q) = queue.pop_next(|j| !running.contains(&j.session)) else { break };
+            let idx = q.job as usize;
+            let warm = cache.take(q.session).is_some();
+            outcomes[idx].started_us = Some(now);
+            outcomes[idx].warm = warm;
+            workers[free] = Some(Running {
+                script_index: idx,
+                session: q.session,
+                deadline_us: q.deadline_us,
+                done_us: now + jobs[idx].cost_us.max(1),
+            });
+            log.record(now, queue.len(), EventKind::Start { session: q.session, job: q.job, warm });
+        }
+    }
+
+    log.record(
+        outcomes.iter().filter_map(|o| o.completed_us).max().unwrap_or(0),
+        queue.len(),
+        EventKind::Shutdown,
+    );
+    SimReport {
+        outcomes,
+        completion_order,
+        cache: cache.stats(),
+        peak_resident_bytes: peak_resident,
+        peak_queue_depth: peak_depth,
+        log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(workers: usize, capacity: usize, aging: f64, budget: usize) -> SimConfig {
+        SimConfig {
+            workers,
+            policy: SchedulerPolicy {
+                queue_capacity: capacity,
+                aging_weight: aging,
+                min_service_us: 0,
+                priority_boost_us: 0,
+            },
+            budget_bytes: budget,
+        }
+    }
+
+    fn job(session: u64, submit: u64, deadline: u64) -> SimJob {
+        SimJob {
+            session,
+            submit_us: submit,
+            deadline_us: deadline,
+            priority: 0,
+            cost_us: 10,
+            ctx_bytes: 100,
+        }
+    }
+
+    #[test]
+    fn single_worker_serves_in_deadline_order() {
+        // All submitted at t=0; one worker → strict EDF order.
+        let jobs = vec![job(1, 0, 300), job(2, 0, 100), job(3, 0, 200)];
+        let r = simulate(&cfg(1, 8, 0.0, 10_000), &jobs);
+        assert_eq!(r.completion_order, vec![1, 2, 0]);
+        assert!(r.outcomes.iter().all(|o| !o.missed_deadline));
+    }
+
+    #[test]
+    fn same_session_jobs_never_overlap() {
+        // Two jobs of session 1, two workers: the second must wait.
+        let jobs = vec![job(1, 0, 100), job(1, 0, 200)];
+        let r = simulate(&cfg(2, 8, 0.0, 10_000), &jobs);
+        let first_done = r.outcomes[0].completed_us.expect("ran");
+        let second_start = r.outcomes[1].started_us.expect("ran");
+        assert!(second_start >= first_done, "session serialized");
+        assert!(r.outcomes[1].warm, "second scan reuses the warm context");
+    }
+
+    #[test]
+    fn identical_scripts_produce_identical_logs() {
+        let jobs: Vec<SimJob> = (0u64..12)
+            .map(|i| job(1 + i % 3, i * 7, i * 7 + 120))
+            .collect();
+        let a = simulate(&cfg(2, 6, 1.0, 250), &jobs);
+        let b = simulate(&cfg(2, 6, 1.0, 250), &jobs);
+        assert_eq!(a.log.script(), b.log.script());
+        assert_eq!(a.completion_order, b.completion_order);
+    }
+
+    #[test]
+    fn queue_overflow_is_rejected_not_lost() {
+        // Capacity 2, 4 simultaneous submissions: admission happens at
+        // submit time (before any worker claims), so two fill the queue
+        // and two bounce off the full queue.
+        let jobs = vec![job(1, 0, 900), job(2, 0, 900), job(3, 0, 900), job(4, 0, 900)];
+        let r = simulate(&cfg(1, 2, 0.0, 10_000), &jobs);
+        let rejected = r.outcomes.iter().filter(|o| o.completed_us.is_none()).count();
+        assert_eq!(rejected, 2);
+        assert!(r.log.script().contains("reject s3 queue-full"));
+        assert!(r.log.script().contains("reject s4 queue-full"));
+        assert_eq!(r.peak_queue_depth, 2);
+    }
+}

@@ -1,0 +1,211 @@
+//! End-to-end tests of the threaded service on real (small) phantom
+//! surgeries, including fault injection: a session forced to degrade
+//! mid-sequence keeps its slot, carries its previous field forward, and
+//! does not poison the other sessions' solver contexts.
+
+use brainshift_core::{PipelineConfig, PreparedSurgery, ScanStatus};
+use brainshift_core::generate_scan_sequence;
+use brainshift_imaging::phantom::{BrainShiftConfig, PhantomConfig};
+use brainshift_imaging::volume::{Dims, Spacing};
+use brainshift_service::{EventKind, Rejected, ScanJob, Service, ServiceConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn small_seq(n: usize, peak_shift_mm: f64) -> brainshift_core::ScanSequence {
+    generate_scan_sequence(
+        &PhantomConfig {
+            dims: Dims::new(32, 32, 24),
+            spacing: Spacing::iso(4.5),
+            ..Default::default()
+        },
+        &BrainShiftConfig { peak_shift_mm, ..Default::default() },
+        n,
+        n,
+    )
+}
+
+fn prepared(seq: &brainshift_core::ScanSequence) -> Arc<PreparedSurgery> {
+    let cfg = PipelineConfig { skip_rigid: true, ..Default::default() };
+    Arc::new(PreparedSurgery::new(&seq.reference.labels, cfg).expect("prepare surgery"))
+}
+
+#[test]
+fn two_sessions_complete_their_scan_sequences() {
+    let seq_a = small_seq(2, 8.0);
+    let seq_b = small_seq(2, 5.0);
+    let service = Service::start(ServiceConfig { workers: 2, ..Default::default() });
+    let a = service.open_session(prepared(&seq_a));
+    let b = service.open_session(prepared(&seq_b));
+
+    let mut tickets = Vec::new();
+    for (session, seq) in [(a, &seq_a), (b, &seq_b)] {
+        for scan in &seq.scans {
+            tickets.push(
+                service
+                    .submit(ScanJob {
+                        session,
+                        intensity: scan.intensity.clone(),
+                        priority: 0,
+                        deadline: Duration::from_secs(300),
+                    })
+                    .expect("admit"),
+            );
+        }
+    }
+    for t in tickets {
+        let out = t.wait().expect("job executes");
+        assert_ne!(out.status, ScanStatus::Degraded);
+        assert!(!out.missed_deadline, "5-minute deadline missed on a 32³ phantom");
+        assert!(out.field.max_magnitude() > 0.0, "recovered a non-trivial field");
+    }
+    // Each session: first scan cold, second warm (budget fits both).
+    let stats = service.cache_stats();
+    assert_eq!(stats.hits, 2);
+    assert_eq!(stats.misses, 2);
+    assert_eq!(stats.evictions, 0);
+    for s in [a, b] {
+        let st = service.session_stats(s).expect("session exists");
+        assert_eq!(st.completed, 2);
+        assert_eq!(st.warm_starts, 1);
+        assert_eq!(st.degraded, 0);
+    }
+    let events = service.shutdown();
+    assert!(matches!(events.last().map(|e| &e.kind), Some(EventKind::Shutdown)));
+    let starts = events.iter().filter(|e| matches!(e.kind, EventKind::Start { .. })).count();
+    let completes = events.iter().filter(|e| matches!(e.kind, EventKind::Complete { .. })).count();
+    assert_eq!((starts, completes), (4, 4), "every admitted job started and completed");
+}
+
+#[test]
+fn degrading_session_keeps_slot_and_does_not_poison_others() {
+    let seq_a = small_seq(3, 8.0);
+    let seq_b = small_seq(3, 5.0);
+    let service = Service::start(ServiceConfig { workers: 2, ..Default::default() });
+    let a = service.open_session(prepared(&seq_a));
+    let b = service.open_session(prepared(&seq_b));
+
+    let submit = |session, intensity: &brainshift_imaging::Volume<f32>, deadline| {
+        service
+            .submit(ScanJob { session, intensity: intensity.clone(), priority: 0, deadline })
+            .expect("admit")
+            .wait()
+            .expect("execute")
+    };
+
+    // Scan 0 on both sessions: healthy.
+    let a0 = submit(a, &seq_a.scans[0].intensity, Duration::from_secs(300));
+    let b0 = submit(b, &seq_b.scans[0].intensity, Duration::from_secs(300));
+    assert_ne!(a0.status, ScanStatus::Degraded);
+    assert_ne!(b0.status, ScanStatus::Degraded);
+
+    // Fault: session A's scan 1 gets a deadline so tight the escalation
+    // ladder's derived time budget cannot converge — the service-level
+    // analogue of core's FaultInjection starved-solver scans.
+    let a1 = submit(a, &seq_a.scans[1].intensity, Duration::from_micros(1));
+    assert_eq!(a1.status, ScanStatus::Degraded, "starved job must degrade, not error");
+    assert!(a1.missed_deadline);
+    // Carry-forward: the degraded result IS scan 0's field, bit for bit.
+    assert_eq!(a1.field.data().len(), a0.field.data().len());
+    for (x, y) in a1.field.data().iter().zip(a0.field.data()) {
+        assert_eq!(x, y);
+    }
+
+    // The session kept its slot: scan 2 with a sane deadline recovers.
+    let a2 = submit(a, &seq_a.scans[2].intensity, Duration::from_secs(300));
+    assert_ne!(a2.status, ScanStatus::Degraded, "session recovers after a degraded scan");
+
+    // And session B was never poisoned: its remaining scans stay healthy
+    // and warm.
+    let b1 = submit(b, &seq_b.scans[1].intensity, Duration::from_secs(300));
+    let b2 = submit(b, &seq_b.scans[2].intensity, Duration::from_secs(300));
+    assert_ne!(b1.status, ScanStatus::Degraded);
+    assert_ne!(b2.status, ScanStatus::Degraded);
+    assert!(b1.warm && b2.warm, "B's context stayed cached throughout");
+
+    let st_a = service.session_stats(a).expect("session a");
+    assert_eq!(st_a.completed, 3);
+    assert_eq!(st_a.degraded, 1);
+    let st_b = service.session_stats(b).expect("session b");
+    assert_eq!(st_b.degraded, 0);
+
+    let events = service.shutdown();
+    assert!(
+        events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::Degrade { session, .. } if session == a
+        )),
+        "the degradation is visible in the event log"
+    );
+}
+
+#[test]
+fn half_budget_runs_cold_but_completes_everything() {
+    // A budget that fits only one of two contexts: sessions evict each
+    // other (ping-pong), every scan still completes without error.
+    let seq_a = small_seq(2, 8.0);
+    let seq_b = small_seq(2, 5.0);
+    let probe = prepared(&seq_a);
+    let ctx_bytes = probe.build_solver_context().expect("probe context").memory_bytes();
+    let probe_a = Arc::clone(&probe);
+
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        memory_budget_bytes: ctx_bytes + ctx_bytes / 2,
+        ..Default::default()
+    });
+    let a = service.open_session(probe_a);
+    let b = service.open_session(prepared(&seq_b));
+
+    for i in 0..2 {
+        for (session, seq) in [(a, &seq_a), (b, &seq_b)] {
+            let out = service
+                .submit(ScanJob {
+                    session,
+                    intensity: seq.scans[i].intensity.clone(),
+                    priority: 0,
+                    deadline: Duration::from_secs(300),
+                })
+                .expect("admit")
+                .wait()
+                .expect("execute");
+            assert_ne!(out.status, ScanStatus::Degraded);
+            assert!(!out.warm, "interleaved sessions under half budget always run cold");
+        }
+    }
+    let stats = service.cache_stats();
+    assert_eq!(stats.hits, 0);
+    assert!(stats.evictions >= 2, "sessions evicted each other");
+    let events = service.shutdown();
+    assert!(events.iter().any(|e| matches!(e.kind, EventKind::Evict { .. })));
+}
+
+#[test]
+fn admission_rejections_are_typed() {
+    let seq = small_seq(1, 8.0);
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        min_service_us: 1_000_000,
+        ..Default::default()
+    });
+    let s = service.open_session(prepared(&seq));
+
+    // Unknown session.
+    let r = service.submit(ScanJob {
+        session: s + 999,
+        intensity: seq.scans[0].intensity.clone(),
+        priority: 0,
+        deadline: Duration::from_secs(300),
+    });
+    assert!(matches!(r.err(), Some(Rejected::UnknownSession { .. })));
+
+    // Deadline inside the admission floor.
+    let r = service.submit(ScanJob {
+        session: s,
+        intensity: seq.scans[0].intensity.clone(),
+        priority: 0,
+        deadline: Duration::from_micros(10),
+    });
+    assert!(matches!(r.err(), Some(Rejected::DeadlineInfeasible)));
+
+    service.shutdown();
+}

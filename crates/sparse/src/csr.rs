@@ -105,6 +105,14 @@ impl CsrMatrix {
         self.values.len()
     }
 
+    /// Heap footprint of the stored arrays (indptr + indices + values),
+    /// in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of_val(self.indptr.as_slice())
+            + std::mem::size_of_val(self.indices.as_slice())
+            + std::mem::size_of_val(self.values.as_slice())
+    }
+
     /// Row `i` as `(columns, values)` slices.
     #[inline]
     pub fn row(&self, i: usize) -> (&[usize], &[f64]) {

@@ -109,6 +109,11 @@ impl DenseLu {
         Some(DenseLu { n, lu, piv })
     }
 
+    /// Heap footprint of the stored factors, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of_val(self.lu.as_slice()) + std::mem::size_of_val(self.piv.as_slice())
+    }
+
     /// Solve `A x = b`, writing x into `out`.
     pub fn solve(&self, b: &[f64], out: &mut [f64]) {
         let n = self.n;

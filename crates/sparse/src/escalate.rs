@@ -60,6 +60,11 @@ pub struct EscalationOutcome {
     pub attempts: usize,
     /// True when any rung beyond the primary attempt ran.
     pub escalated: bool,
+    /// Why each rung stopped, in ladder order (`rung_reasons.len() ==
+    /// attempts`). This is the observability record a serving layer logs:
+    /// it distinguishes "ran out of iterations twice, then the wall-clock
+    /// budget expired" from "breakdown on the fallback".
+    pub rung_reasons: Vec<StopReason>,
 }
 
 /// Solve `A x = b`, escalating through the policy's ladder until an
@@ -99,9 +104,11 @@ pub fn solve_escalated(
     };
 
     let mut attempts = 1usize;
+    let mut rung_reasons = Vec::with_capacity(2 + policy.larger_restarts.len());
     let mut stats = gmres_with_workspace(a, precond, b, x, &budgeted(opts, start), ws);
+    rung_reasons.push(stats.reason);
     if stats.converged() {
-        return EscalationOutcome { stats, attempts, escalated: false };
+        return EscalationOutcome { stats, attempts, escalated: false, rung_reasons };
     }
 
     let out_of_time =
@@ -113,13 +120,14 @@ pub fn solve_escalated(
 
     for &restart in &policy.larger_restarts {
         if out_of_time(&stats) {
-            return EscalationOutcome { stats: best_stats, attempts, escalated: attempts > 1 };
+            return EscalationOutcome { stats: best_stats, attempts, escalated: attempts > 1, rung_reasons };
         }
         attempts += 1;
         let rung = SolverOptions { restart, ..opts.clone() };
         stats = gmres_with_workspace(a, precond, b, x, &budgeted(&rung, start), ws);
+        rung_reasons.push(stats.reason);
         if stats.converged() {
-            return EscalationOutcome { stats, attempts, escalated: true };
+            return EscalationOutcome { stats, attempts, escalated: true, rung_reasons };
         }
         if stats.relative_residual <= best_stats.relative_residual {
             best_x.copy_from_slice(x);
@@ -130,8 +138,9 @@ pub fn solve_escalated(
     if policy.bicgstab_fallback && !out_of_time(&stats) {
         attempts += 1;
         stats = bicgstab(a, precond, b, x, &budgeted(opts, start));
+        rung_reasons.push(stats.reason);
         if stats.converged() {
-            return EscalationOutcome { stats, attempts, escalated: true };
+            return EscalationOutcome { stats, attempts, escalated: true, rung_reasons };
         }
         if stats.relative_residual <= best_stats.relative_residual {
             best_x.copy_from_slice(x);
@@ -141,7 +150,7 @@ pub fn solve_escalated(
     // No rung converged: hand back the best iterate seen, not the last.
     x.copy_from_slice(&best_x);
     let escalated = attempts > 1;
-    EscalationOutcome { stats: best_stats, attempts, escalated }
+    EscalationOutcome { stats: best_stats, attempts, escalated, rung_reasons }
 }
 
 #[cfg(test)]
@@ -183,6 +192,7 @@ mod tests {
         assert!(out.stats.converged());
         assert_eq!(out.attempts, 1);
         assert!(!out.escalated);
+        assert_eq!(out.rung_reasons, vec![StopReason::Converged]);
     }
 
     #[test]
@@ -221,6 +231,9 @@ mod tests {
         assert_eq!(out.attempts, 3);
         assert!(out.escalated);
         assert!(!out.stats.converged());
+        // One stop reason per rung, none of them Converged.
+        assert_eq!(out.rung_reasons.len(), 3);
+        assert!(out.rung_reasons.iter().all(|r| *r != StopReason::Converged));
     }
 
     #[test]

@@ -11,11 +11,17 @@ use crate::error::SparseError;
 use rayon::prelude::*;
 
 /// Application of `z = M⁻¹ r` for some preconditioning operator `M`.
-pub trait Preconditioner: Sync {
+pub trait Preconditioner: Send + Sync {
     /// Apply `z = M⁻¹ r`.
     fn apply(&self, r: &[f64], z: &mut [f64]);
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
+    /// Approximate heap footprint of the factored operator, in bytes.
+    /// Drives the serving layer's memory-budgeted context cache; the
+    /// default (0) is correct for stateless operators.
+    fn memory_bytes(&self) -> usize {
+        0
+    }
 }
 
 /// No preconditioning (`M = I`).
@@ -59,6 +65,9 @@ impl Preconditioner for JacobiPrecond {
     }
     fn name(&self) -> &'static str {
         "jacobi"
+    }
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of_val(self.inv_diag.as_slice())
     }
 }
 
@@ -232,6 +241,11 @@ impl Preconditioner for Ilu0 {
     }
     fn name(&self) -> &'static str {
         "ilu0"
+    }
+    fn memory_bytes(&self) -> usize {
+        self.lu.memory_bytes()
+            + std::mem::size_of_val(self.diag_pos.as_slice())
+            + std::mem::size_of_val(self.scale.as_slice())
     }
 }
 
@@ -419,6 +433,17 @@ impl Preconditioner for BlockJacobiPrecond {
     }
     fn name(&self) -> &'static str {
         "block-jacobi"
+    }
+    fn memory_bytes(&self) -> usize {
+        let factors: usize = self
+            .factors
+            .iter()
+            .map(|f| match f {
+                BlockFactor::Dense(lu) => lu.memory_bytes(),
+                BlockFactor::Ilu(ilu) => ilu.memory_bytes(),
+            })
+            .sum();
+        factors + std::mem::size_of_val(self.ranges.as_slice())
     }
 }
 

@@ -18,10 +18,18 @@ cargo test -q --test conformance_gate
 cargo test -q -p brainshift-conformance
 cargo run -q --release -p brainshift-conformance --bin conformance_report
 
+# Service stage: scheduler/cache property tests + threaded fault
+# injection, then a small-scale smoke of the open-loop load generator
+# (3 surgeries × 3 scans, 1.5 s cadence — ~40% utilization on one CPU)
+# — it asserts zero deadline misses at 8 workers and no errors at half
+# memory budget internally.
+cargo test -q -p brainshift-service
+cargo run -q --release -p brainshift-bench --bin service_throughput_json -- 3 3 1500
+
 cargo clippy --all-targets -- -D warnings
 
 # The numeric kernels must not panic on bad input — constructors return
-# typed errors instead. The sparse and FEM crates deny
+# typed errors instead. The sparse, FEM, core and service crates deny
 # clippy::unwrap_used / clippy::panic in their non-test code (see the
 # cfg_attr in each crate's lib.rs); lint the libs to enforce it.
-cargo clippy -p brainshift-sparse -p brainshift-fem --lib -- -D warnings
+cargo clippy -p brainshift-sparse -p brainshift-fem -p brainshift-core -p brainshift-service --lib -- -D warnings
