@@ -27,7 +27,7 @@ use brainshift_core::{Error as CoreError, PreparedSurgery, ScanStatus};
 use brainshift_fem::SolverContext;
 use brainshift_imaging::{DisplacementField, Volume};
 use brainshift_sparse::StopReason;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -131,9 +131,15 @@ impl JobTicket {
         }
     }
 
-    /// Non-blocking poll; `None` while the job is still in flight.
+    /// Non-blocking poll; `None` while the job is still in flight. A
+    /// disconnected reply channel (worker died, service torn down)
+    /// surfaces as [`ServiceError::JobLost`], same as [`JobTicket::wait`].
     pub fn try_wait(&self) -> Option<Result<JobOutcome, ServiceError>> {
-        self.rx.try_recv()
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Err(ServiceError::JobLost)),
+        }
     }
 }
 
@@ -315,9 +321,20 @@ impl Service {
         self.shared.inner.lock().cache.stats()
     }
 
+    /// Bytes currently charged by resident warm contexts (checked-out
+    /// contexts are excluded until their job completes).
+    pub fn cache_resident_bytes(&self) -> usize {
+        self.shared.inner.lock().cache.resident_bytes()
+    }
+
     /// Counters of one session, if it exists.
     pub fn session_stats(&self, session: u64) -> Option<SessionStats> {
-        self.shared.inner.lock().sessions.get(&session).map(|s| s.stats())
+        // Release `inner` before touching the session's state lock: the
+        // two are never held together anywhere in the service (see
+        // `execute`), which rules out AB-BA deadlocks and keeps this
+        // read-only probe from stalling admission.
+        let session = self.shared.inner.lock().sessions.get(&session).cloned();
+        session.map(|s| s.stats())
     }
 
     /// Snapshot of the event log so far.
@@ -379,15 +396,21 @@ fn claim_next(shared: &Shared) -> Option<Claim> {
 
 fn finish(shared: &Shared, session: u64, ctx: Option<SolverContext>, job: u64, missed: bool) {
     let mut inner = shared.inner.lock();
+    // Only re-cache the context for a session that still exists: if
+    // `close_session` ran while this job was executing, caching it would
+    // orphan the entry forever (session ids are never reused), silently
+    // pinning the memory budget against live sessions.
     if let Some(ctx) = ctx {
-        let bytes = ctx.memory_bytes();
-        inner.cache.insert(session, ctx, bytes);
-        let evicted = inner.cache.drain_evicted();
-        let depth = inner.queue.len();
-        for (sess, freed) in evicted {
-            shared
-                .log
-                .record(shared.now_us(), depth, EventKind::Evict { session: sess, freed_bytes: freed });
+        if inner.sessions.contains_key(&session) {
+            let bytes = ctx.memory_bytes();
+            inner.cache.insert(session, ctx, bytes);
+            let evicted = inner.cache.drain_evicted();
+            let depth = inner.queue.len();
+            for (sess, freed) in evicted {
+                shared
+                    .log
+                    .record(shared.now_us(), depth, EventKind::Evict { session: sess, freed_bytes: freed });
+            }
         }
     }
     inner.running.remove(&session);
@@ -435,20 +458,43 @@ fn execute(shared: &Shared, claim: Claim) {
         None => Duration::from_micros(remaining),
     });
 
-    let mut state = session.state.lock();
-    let carry = state.carry_forward.clone();
+    // Lock discipline: the session state lock and the service `inner`
+    // lock are never held at the same time. The scheduler's `running` set
+    // already serializes jobs of one session, so state only needs a short
+    // lock around each read/write — never across the solve, and never
+    // across an `inner` acquisition (which would invert the order against
+    // readers like `session_stats`).
+    let carry = session.state.lock().carry_forward.clone();
     let result = prepared.register_scan(&mut ctx, &pending.intensity, carry.as_ref(), None, Some(&policy));
     let now = shared.now_us();
     let missed = now > q.deadline_us;
     match result {
         Ok(reg) => {
+            {
+                let mut state = session.state.lock();
+                match &reg.status {
+                    ScanStatus::Converged => {}
+                    ScanStatus::Escalated { .. } => state.stats.escalated += 1,
+                    ScanStatus::Degraded => state.stats.degraded += 1,
+                }
+                if !matches!(reg.status, ScanStatus::Degraded) {
+                    state.carry_forward = Some(reg.field.clone());
+                }
+                state.stats.completed += 1;
+                if missed {
+                    state.stats.deadline_misses += 1;
+                }
+                if warm {
+                    state.stats.warm_starts += 1;
+                }
+            }
             match &reg.status {
                 ScanStatus::Converged => {}
                 ScanStatus::Escalated { attempts } => {
-                    state.stats.escalated += 1;
+                    let depth = shared.inner.lock().queue.len();
                     shared.log.record(
                         now,
-                        shared.inner.lock().queue.len(),
+                        depth,
                         EventKind::Escalate {
                             session: q.session,
                             job: q.job,
@@ -458,10 +504,10 @@ fn execute(shared: &Shared, claim: Claim) {
                     );
                 }
                 ScanStatus::Degraded => {
-                    state.stats.degraded += 1;
+                    let depth = shared.inner.lock().queue.len();
                     shared.log.record(
                         now,
-                        shared.inner.lock().queue.len(),
+                        depth,
                         EventKind::Degrade {
                             session: q.session,
                             job: q.job,
@@ -470,17 +516,6 @@ fn execute(shared: &Shared, claim: Claim) {
                     );
                 }
             }
-            if !matches!(reg.status, ScanStatus::Degraded) {
-                state.carry_forward = Some(reg.field.clone());
-            }
-            state.stats.completed += 1;
-            if missed {
-                state.stats.deadline_misses += 1;
-            }
-            if warm {
-                state.stats.warm_starts += 1;
-            }
-            drop(state);
             finish(shared, q.session, Some(ctx), q.job, missed);
             let _ = pending.tx.send(Ok(JobOutcome {
                 job: q.job,
@@ -500,8 +535,7 @@ fn execute(shared: &Shared, claim: Claim) {
             // A typed pipeline failure poisons neither the session (its
             // carry-forward state is untouched) nor the context cache
             // (the context is dropped; next scan rebuilds cold).
-            state.stats.completed += 1;
-            drop(state);
+            session.state.lock().stats.completed += 1;
             finish(shared, q.session, None, q.job, missed);
             let _ = pending.tx.send(Err(ServiceError::Pipeline(e)));
         }

@@ -180,6 +180,107 @@ fn half_budget_runs_cold_but_completes_everything() {
 }
 
 #[test]
+fn closing_session_mid_flight_does_not_orphan_cache_entry() {
+    // Regression: finish() used to re-insert the solver context into the
+    // cache even when close_session() had removed the session while its
+    // job was executing. Session ids are never reused, so the entry could
+    // never be taken again — it silently pinned the memory budget.
+    let seq = small_seq(1, 8.0);
+    let service = Service::start(ServiceConfig { workers: 1, ..Default::default() });
+    let s = service.open_session(prepared(&seq));
+    let ticket = service
+        .submit(ScanJob {
+            session: s,
+            intensity: seq.scans[0].intensity.clone(),
+            priority: 0,
+            deadline: Duration::from_secs(300),
+        })
+        .expect("admit");
+
+    // Wait until the worker has claimed the job (its context is checked
+    // out), then close the session underneath it.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while !service.events().iter().any(|e| matches!(e.kind, EventKind::Start { .. })) {
+        assert!(std::time::Instant::now() < deadline, "job never started");
+        std::thread::yield_now();
+    }
+    service.close_session(s);
+
+    // The in-flight job still completes (it holds the session Arc) ...
+    let out = ticket.wait().expect("in-flight job completes");
+    assert_ne!(out.status, ScanStatus::Degraded);
+    // ... but its context must be dropped, not cached for a dead id.
+    assert_eq!(
+        service.cache_resident_bytes(),
+        0,
+        "closed session's context must not be re-cached"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn stats_probes_never_deadlock_against_degrade_logging() {
+    // Regression: execute() held the session state lock while acquiring
+    // the service mutex to log Escalate/Degrade, while session_stats()
+    // took the same locks in the opposite order — an AB-BA deadlock
+    // whenever a probe raced a degrading job. Hammer the probes while
+    // jobs degrade; the test passing at all is the assertion.
+    let seq = small_seq(5, 8.0);
+    let service = Arc::new(Service::start(ServiceConfig { workers: 2, ..Default::default() }));
+    let s = service.open_session(prepared(&seq));
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let prober = {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let _ = service.session_stats(s);
+                let _ = service.queue_depth();
+                let _ = service.cache_stats();
+            }
+        })
+    };
+
+    // One healthy scan to seed a carry-forward field, then starved scans
+    // that exercise the Degrade logging path concurrently with probes.
+    let healthy = service
+        .submit(ScanJob {
+            session: s,
+            intensity: seq.scans[0].intensity.clone(),
+            priority: 0,
+            deadline: Duration::from_secs(300),
+        })
+        .expect("admit")
+        .wait()
+        .expect("execute");
+    assert_ne!(healthy.status, ScanStatus::Degraded);
+    let mut degraded = 0;
+    for scan in &seq.scans[1..] {
+        let out = service
+            .submit(ScanJob {
+                session: s,
+                intensity: scan.intensity.clone(),
+                priority: 0,
+                deadline: Duration::from_micros(1),
+            })
+            .expect("admit")
+            .wait()
+            .expect("execute");
+        if out.status == ScanStatus::Degraded {
+            degraded += 1;
+        }
+    }
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    prober.join().expect("prober thread");
+    let st = service.session_stats(s).expect("session exists");
+    assert_eq!(st.completed, 5);
+    assert_eq!(st.degraded, degraded);
+    assert!(degraded >= 1, "at least one starved job exercised the Degrade logging path");
+}
+
+#[test]
 fn admission_rejections_are_typed() {
     let seq = small_seq(1, 8.0);
     let service = Service::start(ServiceConfig {

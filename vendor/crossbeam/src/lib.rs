@@ -38,6 +38,16 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is buffered, but senders remain.
+        Empty,
+        /// No message is buffered and every sender has been dropped; no
+        /// message can ever arrive.
+        Disconnected,
+    }
+
     impl<T> Sender<T> {
         /// Enqueue a message; never blocks.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
@@ -51,9 +61,14 @@ pub mod channel {
             self.0.recv().map_err(|_| RecvError)
         }
 
-        /// Non-blocking receive; `None` when the queue is empty.
-        pub fn try_recv(&self) -> Option<T> {
-            self.0.try_recv().ok()
+        /// Non-blocking receive. Distinguishes an empty-but-live channel
+        /// from one whose senders are all gone, so pollers don't spin
+        /// forever on a message that can never arrive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
         }
     }
 
@@ -85,6 +100,17 @@ pub mod channel {
             let (tx, rx) = unbounded::<u8>();
             drop(tx);
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn try_recv_distinguishes_empty_from_disconnected() {
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send(7).unwrap();
+            drop(tx);
+            // Buffered messages drain before disconnection surfaces.
+            assert_eq!(rx.try_recv(), Ok(7));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
         }
     }
 }
