@@ -11,7 +11,7 @@ use brainshift_imaging::volume::{Dims, Spacing};
 use brainshift_imaging::labels;
 use brainshift_segment::classify::{build_feature_stack, classify_volume};
 use brainshift_segment::{dice, GaussianClassifier, KdTree, PrototypeModel, SegmentConfig};
-use std::time::Instant;
+use brainshift_obs::Stopwatch;
 
 fn main() {
     println!("## Ablation — k-NN vs Gaussian ML classification\n");
@@ -47,15 +47,15 @@ fn main() {
     };
 
     // k-NN.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::wall();
     let tree = KdTree::build(protos.clone());
     let seg_knn = classify_volume(&fs, &tree, seg_cfg.k);
-    let t_knn = t0.elapsed().as_secs_f64();
+    let t_knn = t0.elapsed_s();
     // Gaussian ML.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::wall();
     let gauss = GaussianClassifier::fit(&protos);
     let seg_gauss = gauss.classify_volume(&fs);
-    let t_gauss = t0.elapsed().as_secs_f64();
+    let t_gauss = t0.elapsed_s();
 
     println!("{:<12} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}", "classifier", "agreement", "brain", "ventricle", "csf", "tumor", "time(s)");
     for (name, seg, t) in [("k-NN (paper)", &seg_knn, t_knn), ("gaussian-ml", &seg_gauss, t_gauss)] {

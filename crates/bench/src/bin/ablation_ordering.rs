@@ -13,7 +13,7 @@ use brainshift_sparse::{
     bandwidth, gmres, permute_symmetric, reverse_cuthill_mckee, BlockJacobiPrecond, BlockSolve,
     SolverOptions,
 };
-use std::time::Instant;
+use brainshift_obs::Stopwatch;
 
 fn main() {
     println!("## Ablation — native vs RCM node ordering\n");
@@ -31,7 +31,7 @@ fn main() {
     );
 
     // Native ordering.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::wall();
     let pc = BlockJacobiPrecond::new(&a, 8, BlockSolve::Ilu0).expect("singular diagonal block");
     let mut x_native = vec![0.0; a.nrows()];
     let s = gmres(&a, &pc, &rhs, &mut x_native, &opts);
@@ -41,7 +41,7 @@ fn main() {
         "native",
         bandwidth(&a),
         s.iterations,
-        t0.elapsed().as_secs_f64(),
+        t0.elapsed_s(),
         "reference"
     );
 
@@ -49,12 +49,12 @@ fn main() {
     let perm = reverse_cuthill_mckee(&a);
     let ap = permute_symmetric(&a, &perm);
     let rhs_p = permute_vec(&rhs, &perm);
-    let t0 = Instant::now();
+    let t0 = Stopwatch::wall();
     let pc = BlockJacobiPrecond::new(&ap, 8, BlockSolve::Ilu0).expect("singular diagonal block");
     let mut xp = vec![0.0; ap.nrows()];
     let s = gmres(&ap, &pc, &rhs_p, &mut xp, &opts);
     assert!(s.converged());
-    let elapsed = t0.elapsed().as_secs_f64();
+    let elapsed = t0.elapsed_s();
     let x_rcm = unpermute_vec(&xp, &perm);
     let diff: f64 = x_rcm
         .iter()

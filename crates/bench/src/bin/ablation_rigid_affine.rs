@@ -15,7 +15,7 @@ use brainshift_imaging::Vec3;
 use brainshift_register::{
     register_affine, register_rigid, AffineRegConfig, AffineTransform, RigidRegConfig,
 };
-use std::time::Instant;
+use brainshift_obs::Stopwatch;
 
 fn main() {
     println!("## Ablation — rigid vs affine registration under scale error\n");
@@ -36,7 +36,7 @@ fn main() {
     println!("misalignment: 5% z-scale, 2 deg rotation, subvoxel shift (ncc {before:.3})\n");
     println!("{:<8} {:>8} {:>12} {:>12}", "model", "ncc", "evaluations", "host time");
 
-    let t0 = Instant::now();
+    let t0 = Stopwatch::wall();
     let rigid = register_rigid(&scan.intensity, &moving, &RigidRegConfig::default());
     let aligned_r = resample_with(&moving, &scan.intensity, 0.0, |p| rigid.transform.apply(p));
     println!(
@@ -44,10 +44,10 @@ fn main() {
         "rigid",
         ncc(&scan.intensity, &aligned_r),
         rigid.evaluations,
-        t0.elapsed().as_secs_f64()
+        t0.elapsed_s()
     );
 
-    let t0 = Instant::now();
+    let t0 = Stopwatch::wall();
     let affine = register_affine(&scan.intensity, &moving, &AffineRegConfig::default());
     let aligned_a = resample_with(&moving, &scan.intensity, 0.0, |p| affine.transform.apply(p));
     println!(
@@ -55,7 +55,7 @@ fn main() {
         "affine",
         ncc(&scan.intensity, &aligned_a),
         affine.evaluations,
-        t0.elapsed().as_secs_f64()
+        t0.elapsed_s()
     );
     println!(
         "\nrecovered volume factor {:.4} (truth {:.4})",

@@ -14,7 +14,7 @@ use brainshift_imaging::phantom::{BrainShiftConfig, PhantomConfig};
 use brainshift_imaging::volume::{Dims, Spacing};
 use brainshift_imaging::{labels, Vec3};
 use brainshift_mesh::{boundary_nodes, mesh_labeled_volume, MesherConfig};
-use std::time::Instant;
+use brainshift_obs::Stopwatch;
 
 fn main() {
     println!("## Ablation — volumetric FEM vs surface-only extrapolation\n");
@@ -39,14 +39,14 @@ fn main() {
     }
 
     // --- Volumetric FEM (the paper's method). ---
-    let t0 = Instant::now();
+    let t0 = Stopwatch::wall();
     let sol = solve_deformation(&mesh, &MaterialTable::homogeneous(), &bcs, &FemSolveConfig::default()).expect("FEM solve rejected its inputs");
-    let fem_time = t0.elapsed().as_secs_f64();
+    let fem_time = t0.elapsed_s();
     let fem_field = displacement_field_from_mesh(&mesh, &sol.displacements, cfg.dims, cfg.spacing);
 
     // --- Surface-only: inverse-distance extrapolation from the boundary
     //     (the accuracy level of graphics-oriented surface models). ---
-    let t0 = Instant::now();
+    let t0 = Stopwatch::wall();
     let surface_pts: Vec<(Vec3, Vec3)> = bnodes
         .iter()
         .map(|&n| (mesh.nodes[n], bcs.get(n).unwrap()))
@@ -72,7 +72,7 @@ fn main() {
         }
         interp_disp.push(acc / wsum);
     }
-    let surf_time = t0.elapsed().as_secs_f64();
+    let surf_time = t0.elapsed_s();
     let surf_field = displacement_field_from_mesh(&mesh, &interp_disp, cfg.dims, cfg.spacing);
 
     for (name, field, t) in [("volumetric FEM", &fem_field, fem_time), ("surface-only", &surf_field, surf_time)] {

@@ -15,7 +15,7 @@ use brainshift_cluster::{distributed_gmres, run_ranks, LocalSystem};
 use brainshift_fem::{apply_dirichlet, assemble_stiffness, MaterialTable};
 use brainshift_sparse::partition::even_offsets;
 use brainshift_sparse::SolverOptions;
-use std::time::Instant;
+use brainshift_obs::Stopwatch;
 
 fn main() {
     let equations: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
@@ -34,13 +34,13 @@ fn main() {
     );
     for ranks in [1usize, 2, 4, 8] {
         let offsets = even_offsets(n, ranks);
-        let t0 = Instant::now();
+        let t0 = Stopwatch::wall();
         let results = run_ranks(ranks, |comm| {
             let r = comm.rank();
             let sys = LocalSystem::from_global(&red.matrix, offsets[r], offsets[r + 1]).expect("valid row slice");
             distributed_gmres(comm, &sys, &red.rhs[offsets[r]..offsets[r + 1]], &opts)
         });
-        let elapsed = t0.elapsed().as_secs_f64();
+        let elapsed = t0.elapsed_s();
         let x: Vec<f64> = results.iter().flat_map(|(xl, _)| xl.clone()).collect();
         let stats = &results[0].1;
         let agreement = match &reference {

@@ -45,6 +45,12 @@ fn main() {
     println!("host-measured pipeline on the phantom case ({}x{}x{} voxels):\n", cfg.dims.nx, cfg.dims.ny, cfg.dims.nz);
     println!("{}", tl.render());
 
+    // The same run broken down in the paper's per-stage vocabulary
+    // (classifier / mesher / assembly / reduction / preconditioner /
+    // GMRES / resample) — the host-measured counterpart of the "< 10 s"
+    // budget table.
+    println!("{}", res.stage_timings.render());
+
     // ---- Modeled OR timings at the paper's scale. ----
     println!("modeled intraoperative biomechanical simulation at paper scale:");
     let p = problem_with_equations(77_511);

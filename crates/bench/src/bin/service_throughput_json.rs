@@ -13,10 +13,13 @@
 use brainshift_core::{generate_scan_sequence, PipelineConfig, PreparedSurgery, ScanSequence, ScanStatus};
 use brainshift_imaging::phantom::{BrainShiftConfig, PhantomConfig};
 use brainshift_imaging::volume::{Dims, Spacing};
+use brainshift_obs::{BenchReport, JsonValue, Snapshot};
 use brainshift_service::{ScanJob, Service, ServiceConfig};
-use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
+// The open-loop schedule needs `Instant`/`Duration` arithmetic for its
+// absolute submission times; this is real wall-clock load generation, so
+// a logical clock would defeat the purpose (audited keep).
 use std::time::{Duration, Instant};
 
 struct RunResult {
@@ -32,6 +35,8 @@ struct RunResult {
     cache_hits: u64,
     cache_misses: u64,
     cache_evictions: u64,
+    /// The service's own metric registry at the end of the run.
+    metrics: Snapshot,
 }
 
 impl RunResult {
@@ -129,6 +134,7 @@ fn run_load(
         }
     }
     let cache = service.cache_stats();
+    let metrics = service.metrics_snapshot();
     service.shutdown();
     latencies_ms.sort_by(f64::total_cmp);
     RunResult {
@@ -144,6 +150,7 @@ fn run_load(
         cache_hits: cache.hits,
         cache_misses: cache.misses,
         cache_evictions: cache.evictions,
+        metrics,
     }
 }
 
@@ -241,41 +248,43 @@ fn main() {
         "every admitted job completes under half budget"
     );
 
-    // ---- Hand-rolled JSON (no serde in the build environment). ----
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"surgeries\": {n_surgeries},");
-    let _ = writeln!(json, "  \"scans_per_surgery\": {n_scans},");
-    let _ = writeln!(json, "  \"cadence_ms\": {cadence_ms},");
-    let _ = writeln!(json, "  \"context_bytes\": {ctx_bytes},");
-    let _ = writeln!(json, "  \"runs\": [");
+    // ---- Shared report schema (brainshift.obs.v1). ----
     let all: Vec<&RunResult> = results.iter().chain(std::iter::once(&half)).collect();
-    for (i, r) in all.iter().enumerate() {
-        let _ = writeln!(json, "    {{");
-        let _ = writeln!(json, "      \"workers\": {},", r.workers);
-        let _ = writeln!(json, "      \"budget_bytes\": {},", r.budget_bytes);
-        let _ = writeln!(json, "      \"submitted\": {},", r.submitted);
-        let _ = writeln!(json, "      \"rejected\": {},", r.rejected);
-        let _ = writeln!(json, "      \"completed\": {},", r.completed);
-        let _ = writeln!(json, "      \"degraded\": {},", r.degraded);
-        let _ = writeln!(json, "      \"errors\": {},", r.errors);
-        let _ = writeln!(json, "      \"deadline_misses\": {},", r.deadline_misses);
-        let _ = writeln!(json, "      \"deadline_miss_rate\": {:.6},", r.miss_rate());
-        let _ = writeln!(json, "      \"p50_latency_ms\": {:.3},", percentile(&r.latencies_ms, 50.0));
-        let _ = writeln!(json, "      \"p95_latency_ms\": {:.3},", percentile(&r.latencies_ms, 95.0));
-        let _ = writeln!(json, "      \"p99_latency_ms\": {:.3},", percentile(&r.latencies_ms, 99.0));
-        let _ = writeln!(json, "      \"cache_hits\": {},", r.cache_hits);
-        let _ = writeln!(json, "      \"cache_misses\": {},", r.cache_misses);
-        let _ = writeln!(json, "      \"cache_evictions\": {},", r.cache_evictions);
-        let _ = writeln!(json, "      \"cache_hit_rate\": {:.6}", r.hit_rate());
-        let _ = writeln!(json, "    }}{}", if i + 1 < all.len() { "," } else { "" });
-    }
-    let _ = writeln!(json, "  ]");
-    let _ = writeln!(json, "}}");
+    let runs = JsonValue::Arr(
+        all.iter()
+            .map(|r| {
+                JsonValue::obj()
+                    .with("workers", r.workers.into())
+                    .with("budget_bytes", r.budget_bytes.into())
+                    .with("submitted", r.submitted.into())
+                    .with("rejected", r.rejected.into())
+                    .with("completed", r.completed.into())
+                    .with("degraded", r.degraded.into())
+                    .with("errors", r.errors.into())
+                    .with("deadline_misses", r.deadline_misses.into())
+                    .with("deadline_miss_rate", r.miss_rate().into())
+                    .with("p50_latency_ms", percentile(&r.latencies_ms, 50.0).into())
+                    .with("p95_latency_ms", percentile(&r.latencies_ms, 95.0).into())
+                    .with("p99_latency_ms", percentile(&r.latencies_ms, 99.0).into())
+                    .with("cache_hits", r.cache_hits.into())
+                    .with("cache_misses", r.cache_misses.into())
+                    .with("cache_evictions", r.cache_evictions.into())
+                    .with("cache_hit_rate", r.hit_rate().into())
+            })
+            .collect(),
+    );
+    let mut report = BenchReport::new("service_throughput");
+    report.params = JsonValue::obj()
+        .with("surgeries", n_surgeries.into())
+        .with("scans_per_surgery", n_scans.into())
+        .with("cadence_ms", cadence_ms.into())
+        .with("context_bytes", ctx_bytes.into());
+    // The service registry of the best full-budget run: queue / cache /
+    // deadline counters plus per-stage solve spans.
+    report.metrics = best.metrics.clone();
+    report.extra = JsonValue::obj().with("runs", runs);
 
-    let out_dir = PathBuf::from("bench_out");
-    std::fs::create_dir_all(&out_dir).expect("create bench_out/");
-    let path = out_dir.join("service_throughput.json");
-    std::fs::write(&path, json).expect("write service_throughput.json");
+    let path = PathBuf::from("bench_out").join("service_throughput.json");
+    report.write(&path).expect("write service_throughput.json");
     println!("\nwritten: {}", path.display());
 }

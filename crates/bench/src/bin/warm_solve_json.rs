@@ -1,6 +1,7 @@
 //! Measure the per-scan biomechanical solve on the host — cold path vs
 //! persistent solver context — and write the numbers to
-//! `bench_out/warm_solve.json` so future changes have a perf trajectory.
+//! `bench_out/warm_solve.json` in the shared `brainshift.obs.v1` report
+//! schema so future changes have a perf trajectory.
 //!
 //! ```bash
 //! cargo run --release --bin warm_solve_json -- [equations] [scans]
@@ -11,9 +12,8 @@ use brainshift_fem::{
     solve_deformation, DirichletBcs, FemSolveConfig, MaterialTable, SolverContext,
 };
 use brainshift_imaging::phantom::BrainShiftConfig;
-use std::fmt::Write as _;
+use brainshift_obs::{BenchReport, JsonValue, Registry, Stopwatch};
 use std::path::PathBuf;
-use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -31,6 +31,8 @@ fn main() {
         p.mesh.num_equations(),
         n_scans
     );
+
+    let metrics = Registry::with_wall_clock();
 
     // Progressive-shift scans: stage i prescribes (i+1)/n of the full
     // craniotomy-cap displacement, as in the intraoperative sequence.
@@ -50,25 +52,30 @@ fn main() {
     let mut cold_iters = Vec::with_capacity(n_scans);
     let mut cold_solutions = Vec::with_capacity(n_scans);
     for bcs in &scans {
-        let t0 = Instant::now();
+        let sw = Stopwatch::wall();
         let sol = solve_deformation(&p.mesh, &materials, bcs, &cfg).expect("FEM solve rejected its inputs");
-        cold_s.push(t0.elapsed().as_secs_f64());
+        let dt = sw.elapsed_s();
+        cold_s.push(dt);
+        metrics.record_span_s("cold/solve", dt);
         assert!(sol.stats.converged(), "cold solve did not converge");
         cold_iters.push(sol.stats.iterations);
         cold_solutions.push(sol.displacements);
     }
 
     // ---- Persistent context: setup once, warm-started solves. ----
-    let t0 = Instant::now();
+    let sw = Stopwatch::wall();
     let mut ctx = SolverContext::new(&p.mesh, &materials, &full_bcs.nodes_sorted(), cfg.clone()).expect("solver context build failed");
-    let setup_s = t0.elapsed().as_secs_f64();
+    let setup_s = sw.elapsed_s();
+    metrics.record_span_s("context/setup", setup_s);
     let mut warm_s = Vec::with_capacity(n_scans);
     let mut warm_iters = Vec::with_capacity(n_scans);
     let mut max_dev = 0.0f64;
     for (i, bcs) in scans.iter().enumerate() {
-        let t0 = Instant::now();
+        let sw = Stopwatch::wall();
         let sol = ctx.solve(bcs).expect("solve failed");
-        warm_s.push(t0.elapsed().as_secs_f64());
+        let dt = sw.elapsed_s();
+        warm_s.push(dt);
+        metrics.record_span_s("warm/solve", dt);
         assert!(sol.stats.converged(), "warm solve did not converge");
         warm_iters.push(sol.stats.iterations);
         for (a, b) in sol.displacements.iter().zip(&cold_solutions[i]) {
@@ -118,49 +125,28 @@ fn main() {
         "context path not faster: {warm_mean:.3}s vs {cold_mean:.3}s"
     );
 
-    // ---- Hand-rolled JSON (no serde in the build environment). ----
-    let fmt_vec = |v: &[f64]| {
-        let mut s = String::from("[");
-        for (i, x) in v.iter().enumerate() {
-            if i > 0 {
-                s.push_str(", ");
-            }
-            let _ = write!(s, "{x:.6}");
-        }
-        s.push(']');
-        s
-    };
-    let fmt_usize_vec = |v: &[usize]| {
-        let mut s = String::from("[");
-        for (i, x) in v.iter().enumerate() {
-            if i > 0 {
-                s.push_str(", ");
-            }
-            let _ = write!(s, "{x}");
-        }
-        s.push(']');
-        s
-    };
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"equations\": {},", p.mesh.num_equations());
-    let _ = writeln!(json, "  \"scans\": {n_scans},");
-    let _ = writeln!(json, "  \"context_setup_s\": {setup_s:.6},");
-    let _ = writeln!(json, "  \"cold_scan_s\": {},", fmt_vec(&cold_s));
-    let _ = writeln!(json, "  \"warm_scan_s\": {},", fmt_vec(&warm_s));
-    let _ = writeln!(json, "  \"cold_mean_s\": {cold_mean:.6},");
-    let _ = writeln!(json, "  \"warm_mean_s\": {warm_mean:.6},");
-    let _ = writeln!(json, "  \"per_scan_speedup\": {:.4},", cold_mean / warm_mean);
-    let _ = writeln!(json, "  \"cold_iterations\": {},", fmt_usize_vec(&cold_iters));
-    let _ = writeln!(json, "  \"warm_iterations\": {},", fmt_usize_vec(&warm_iters));
-    let _ = writeln!(json, "  \"assemblies\": {},", stats.assemblies);
-    let _ = writeln!(json, "  \"factorizations\": {},", stats.factorizations);
-    let _ = writeln!(json, "  \"max_displacement_deviation_mm\": {max_dev:.6e}");
-    let _ = writeln!(json, "}}");
+    metrics.counter_add("scans", n_scans as u64);
+    metrics.counter_add("assemblies", stats.assemblies as u64);
+    metrics.counter_add("factorizations", stats.factorizations as u64);
+    metrics.gauge_set("per_scan_speedup", cold_mean / warm_mean);
+    metrics.gauge_set("max_displacement_deviation_mm", max_dev);
 
-    let out_dir = PathBuf::from("bench_out");
-    std::fs::create_dir_all(&out_dir).expect("create bench_out/");
-    let path = out_dir.join("warm_solve.json");
-    std::fs::write(&path, json).expect("write warm_solve.json");
+    let f64_arr = |v: &[f64]| JsonValue::Arr(v.iter().map(|&x| JsonValue::Num(x)).collect());
+    let usize_arr = |v: &[usize]| JsonValue::Arr(v.iter().map(|&x| JsonValue::from(x)).collect());
+    let mut report = BenchReport::new("warm_solve");
+    report.params = JsonValue::obj()
+        .with("equations", p.mesh.num_equations().into())
+        .with("scans", n_scans.into());
+    report.metrics = metrics.snapshot();
+    report.extra = JsonValue::obj()
+        .with("cold_scan_s", f64_arr(&cold_s))
+        .with("warm_scan_s", f64_arr(&warm_s))
+        .with("cold_mean_s", cold_mean.into())
+        .with("warm_mean_s", warm_mean.into())
+        .with("cold_iterations", usize_arr(&cold_iters))
+        .with("warm_iterations", usize_arr(&warm_iters));
+
+    let path = PathBuf::from("bench_out").join("warm_solve.json");
+    report.write(&path).expect("write warm_solve.json");
     println!("\nwritten: {}", path.display());
 }

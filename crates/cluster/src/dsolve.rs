@@ -159,7 +159,7 @@ fn distributed_gmres_impl(
     if b_norm == 0.0 {
         return (
             x,
-            SolveStats { reason: StopReason::Converged, iterations: 0, relative_residual: 0.0, history: vec![] },
+            SolveStats { reason: StopReason::Converged, iterations: 0, relative_residual: 0.0, history: vec![], restarts: 0 },
         );
     }
     let mut total_iters = 0usize;
@@ -183,13 +183,13 @@ fn distributed_gmres_impl(
         if raw_rel <= opts.tolerance {
             return (
                 x,
-                SolveStats { reason: StopReason::Converged, iterations: total_iters, relative_residual: raw_rel, history: vec![] },
+                SolveStats { reason: StopReason::Converged, iterations: total_iters, relative_residual: raw_rel, history: vec![], restarts: 0 },
             );
         }
         if total_iters >= opts.max_iterations {
             return (
                 x,
-                SolveStats { reason: StopReason::MaxIterations, iterations: total_iters, relative_residual: raw_rel, history: vec![] },
+                SolveStats { reason: StopReason::MaxIterations, iterations: total_iters, relative_residual: raw_rel, history: vec![], restarts: 0 },
             );
         }
         if last_rel.is_finite() && last_rel > 0.0 {
@@ -203,7 +203,7 @@ fn distributed_gmres_impl(
         if beta < 1e-300 {
             return (
                 x,
-                SolveStats { reason: StopReason::Breakdown, iterations: total_iters, relative_residual: raw_rel, history: vec![] },
+                SolveStats { reason: StopReason::Breakdown, iterations: total_iters, relative_residual: raw_rel, history: vec![], restarts: 0 },
             );
         }
         // Preconditioned rhs norm for the recurrence scale (computed once

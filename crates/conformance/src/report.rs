@@ -1,13 +1,14 @@
 //! Aggregate conformance report written to `bench_out/conformance.json`.
 //!
-//! JSON is hand-rolled (no serde in the build environment, matching the
-//! bench crate's trajectory writers).
+//! The document is a `brainshift.obs.v1` bench report — the same schema
+//! the perf trajectory writers emit — with the four oracle levels under
+//! `extra`, so one reader handles every file in `bench_out/`.
 
 use crate::differential::DifferentialResult;
 use crate::golden::GoldenOutcome;
 use crate::mms::MmsResult;
 use crate::PatchResult;
-use std::fmt::Write as _;
+use brainshift_obs::{BenchReport, JsonValue};
 use std::path::Path;
 
 /// Everything the four oracle levels produced in one run.
@@ -35,79 +36,107 @@ impl ConformanceReport {
             && self.goldens.iter().all(|g| g.matches)
     }
 
-    /// Render the report as JSON.
+    /// The report as a `brainshift.obs.v1` bench document, the shared
+    /// schema of every file in `bench_out/`. The oracle payload lives
+    /// under `extra`; `params` carries the problem sizes.
+    pub fn to_report(&self) -> BenchReport {
+        let patch_tests: JsonValue = self
+            .patch
+            .iter()
+            .map(|p| {
+                JsonValue::obj()
+                    .with("name", p.name.as_str().into())
+                    .with("converged", p.converged.into())
+                    .with("max_rel_err", p.max_rel_err.into())
+                    .with("l2_rel_err", p.l2_rel_err.into())
+                    .with("equations", p.equations.into())
+            })
+            .collect();
+
+        let levels: JsonValue = self
+            .mms
+            .levels
+            .iter()
+            .map(|l| {
+                JsonValue::obj()
+                    .with("n", l.n.into())
+                    .with("h", l.h.into())
+                    .with("l2_rel_err", l.l2_rel_err.into())
+                    .with("equations", l.equations.into())
+                    .with("converged", l.converged.into())
+            })
+            .collect();
+        let mms = JsonValue::obj()
+            .with("levels", levels)
+            .with("observed_orders", self.mms.orders.iter().map(|&o| JsonValue::Num(o)).collect())
+            .with("asymptotic_order", self.mms.observed_order().into());
+
+        let paths: JsonValue = self
+            .differential
+            .paths
+            .iter()
+            .map(|p| {
+                JsonValue::obj()
+                    .with("name", p.name.as_str().into())
+                    .with("converged", p.converged.into())
+                    .with("iterations", p.iterations.into())
+                    .with("relative_residual", p.relative_residual.into())
+            })
+            .collect();
+        let pairwise: JsonValue = self
+            .differential
+            .pairwise
+            .iter()
+            .map(|(a, b, d)| {
+                JsonValue::obj()
+                    .with("a", a.as_str().into())
+                    .with("b", b.as_str().into())
+                    .with("max_rel_dev", (*d).into())
+            })
+            .collect();
+        let differential = JsonValue::obj()
+            .with("paths", paths)
+            .with("pairwise", pairwise)
+            .with("max_pairwise_rel", self.differential.max_pairwise_rel.into());
+
+        let goldens: JsonValue = self
+            .goldens
+            .iter()
+            .map(|g| {
+                JsonValue::obj()
+                    .with("name", g.name.as_str().into())
+                    .with("hash", format!("{:016x}", g.hash).into())
+                    .with(
+                        "expected",
+                        match g.expected {
+                            Some(h) => format!("{h:016x}").into(),
+                            None => JsonValue::Null,
+                        },
+                    )
+                    .with("matches", g.matches.into())
+                    .with("nodes", g.nodes.into())
+                    .with("max_shift_mm", g.max_shift_mm.into())
+            })
+            .collect();
+
+        let mut report = BenchReport::new("conformance");
+        report.params = JsonValue::obj()
+            .with("patch_cases", self.patch.len().into())
+            .with("mms_levels", self.mms.levels.len().into())
+            .with("solver_paths", self.differential.paths.len().into())
+            .with("golden_cases", self.goldens.len().into());
+        report.extra = JsonValue::obj()
+            .with("all_pass", self.all_pass().into())
+            .with("patch_tests", patch_tests)
+            .with("mms", mms)
+            .with("differential", differential)
+            .with("goldens", goldens);
+        report
+    }
+
+    /// Render the report as JSON (the rendered [`Self::to_report`]).
     pub fn to_json(&self) -> String {
-        let mut j = String::new();
-        let _ = writeln!(j, "{{");
-        let _ = writeln!(j, "  \"all_pass\": {},", self.all_pass());
-
-        let _ = writeln!(j, "  \"patch_tests\": [");
-        for (i, p) in self.patch.iter().enumerate() {
-            let comma = if i + 1 < self.patch.len() { "," } else { "" };
-            let _ = writeln!(
-                j,
-                "    {{\"name\": \"{}\", \"converged\": {}, \"max_rel_err\": {:.6e}, \"l2_rel_err\": {:.6e}, \"equations\": {}}}{comma}",
-                p.name, p.converged, p.max_rel_err, p.l2_rel_err, p.equations
-            );
-        }
-        let _ = writeln!(j, "  ],");
-
-        let _ = writeln!(j, "  \"mms\": {{");
-        let _ = writeln!(j, "    \"levels\": [");
-        for (i, l) in self.mms.levels.iter().enumerate() {
-            let comma = if i + 1 < self.mms.levels.len() { "," } else { "" };
-            let _ = writeln!(
-                j,
-                "      {{\"n\": {}, \"h\": {:.6}, \"l2_rel_err\": {:.6e}, \"equations\": {}, \"converged\": {}}}{comma}",
-                l.n, l.h, l.l2_rel_err, l.equations, l.converged
-            );
-        }
-        let _ = writeln!(j, "    ],");
-        let orders: Vec<String> = self.mms.orders.iter().map(|o| format!("{o:.4}")).collect();
-        let _ = writeln!(j, "    \"observed_orders\": [{}],", orders.join(", "));
-        let _ = writeln!(j, "    \"asymptotic_order\": {:.4}", self.mms.observed_order());
-        let _ = writeln!(j, "  }},");
-
-        let _ = writeln!(j, "  \"differential\": {{");
-        let _ = writeln!(j, "    \"paths\": [");
-        for (i, p) in self.differential.paths.iter().enumerate() {
-            let comma = if i + 1 < self.differential.paths.len() { "," } else { "" };
-            let _ = writeln!(
-                j,
-                "      {{\"name\": \"{}\", \"converged\": {}, \"iterations\": {}, \"relative_residual\": {:.6e}}}{comma}",
-                p.name, p.converged, p.iterations, p.relative_residual
-            );
-        }
-        let _ = writeln!(j, "    ],");
-        let _ = writeln!(j, "    \"pairwise\": [");
-        for (i, (a, b, d)) in self.differential.pairwise.iter().enumerate() {
-            let comma = if i + 1 < self.differential.pairwise.len() { "," } else { "" };
-            let _ = writeln!(j, "      {{\"a\": \"{a}\", \"b\": \"{b}\", \"max_rel_dev\": {d:.6e}}}{comma}");
-        }
-        let _ = writeln!(j, "    ],");
-        let _ = writeln!(
-            j,
-            "    \"max_pairwise_rel\": {:.6e}",
-            self.differential.max_pairwise_rel
-        );
-        let _ = writeln!(j, "  }},");
-
-        let _ = writeln!(j, "  \"goldens\": [");
-        for (i, g) in self.goldens.iter().enumerate() {
-            let comma = if i + 1 < self.goldens.len() { "," } else { "" };
-            let expected = match g.expected {
-                Some(h) => format!("\"{h:016x}\""),
-                None => "null".to_string(),
-            };
-            let _ = writeln!(
-                j,
-                "    {{\"name\": \"{}\", \"hash\": \"{:016x}\", \"expected\": {expected}, \"matches\": {}, \"nodes\": {}, \"max_shift_mm\": {:.4}}}{comma}",
-                g.name, g.hash, g.matches, g.nodes, g.max_shift_mm
-            );
-        }
-        let _ = writeln!(j, "  ]");
-        let _ = writeln!(j, "}}");
-        j
+        self.to_report().render()
     }
 }
 
@@ -173,6 +202,11 @@ mod tests {
             assert!(j.contains(key), "missing {key}");
         }
         assert!(j.contains("\"all_pass\": true"));
+        // The document is a shared-schema bench report: it must parse
+        // back through the obs reader like every other bench_out file.
+        let parsed = brainshift_obs::parse_json(&j).expect("valid JSON");
+        let back = BenchReport::from_json(&parsed).expect("brainshift.obs.v1 schema");
+        assert_eq!(back.name, "conformance");
     }
 
     #[test]

@@ -34,4 +34,4 @@ pub use pipeline::{
     SurfaceForceKind,
 };
 pub use surgery::{PreparedSurgery, ScanRegistration};
-pub use timeline::Timeline;
+pub use timeline::{StageTimings, Timeline};

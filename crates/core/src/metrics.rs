@@ -13,7 +13,10 @@ use brainshift_imaging::{labels, DisplacementField, Volume};
 /// restricted to voxels where the ground truth is significant.
 #[derive(Debug, Clone)]
 pub struct FieldErrorReport {
-    /// Voxels compared.
+    /// Voxels compared. `0` means **no comparison was made** (no voxel's
+    /// ground-truth magnitude exceeded the threshold); every statistic in
+    /// the report is then a well-defined `0.0`, never NaN — callers must
+    /// check `voxels` before treating the errors as evidence of accuracy.
     pub voxels: usize,
     /// Mean ‖recovered − truth‖ (mm).
     pub mean_error_mm: f64,
@@ -51,7 +54,19 @@ pub fn field_error(
             truth_sum += t.norm();
         }
     }
-    let n_f = n.max(1) as f64;
+    if n == 0 {
+        // Empty selection: define everything as 0.0 rather than dividing
+        // 0/0. `voxels: 0` is the documented "no comparison made" marker.
+        return FieldErrorReport {
+            voxels: 0,
+            mean_error_mm: 0.0,
+            rms_error_mm: 0.0,
+            max_error_mm: 0.0,
+            mean_truth_mm: 0.0,
+            relative_error: 0.0,
+        };
+    }
+    let n_f = n as f64;
     let mean = sum / n_f;
     let mean_truth = truth_sum / n_f;
     FieldErrorReport {
@@ -170,6 +185,23 @@ mod tests {
         assert_eq!(r.voxels, 32);
         assert!((r.mean_error_mm - 5.0).abs() < 1e-12);
         assert!((r.relative_error - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn field_error_empty_selection_is_well_defined() {
+        // Threshold above every truth magnitude: zero voxels compared.
+        // The report must be all-zero and finite — not 0/0 = NaN.
+        let d = Dims::new(4, 4, 4);
+        let truth = DisplacementField::from_fn(d, Spacing::iso(1.0), |_, _, _| {
+            Vec3::new(0.5, 0.0, 0.0)
+        });
+        let rec = DisplacementField::zeros(d, Spacing::iso(1.0));
+        let r = field_error(&rec, &truth, 1.0);
+        assert_eq!(r.voxels, 0, "no comparison made");
+        for v in [r.mean_error_mm, r.rms_error_mm, r.max_error_mm, r.mean_truth_mm, r.relative_error] {
+            assert!(v.is_finite());
+            assert_eq!(v, 0.0);
+        }
     }
 
     #[test]

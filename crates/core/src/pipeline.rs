@@ -8,10 +8,10 @@
 //!                             └▶ resampled ("warped") preoperative data
 
 use crate::error::Error;
-use crate::timeline::Timeline;
+use crate::timeline::{StageTimings, Timeline};
 use brainshift_fem::{
-    displacement_field_from_mesh, ContextStats, DirichletBcs, FemSolveConfig, FemSolution,
-    MaterialTable, SolverContext,
+    displacement_field_from_mesh, ContextStats, ContextTimings, DirichletBcs, FemSolveConfig,
+    FemSolution, MaterialTable, SolverContext,
 };
 use brainshift_imaging::field::{invert_field, warp_volume_backward};
 use brainshift_imaging::{labels, DisplacementField, Vec3, Volume};
@@ -106,6 +106,10 @@ pub struct PipelineResult {
     /// Cumulative FEM solver-context counters (over every scan served by
     /// the context passed to [`run_pipeline_with_solver`]).
     pub solver_stats: ContextStats,
+    /// Paper-style per-stage breakdown of *this scan*: classifier, mesh,
+    /// surface, assembly/reduction/factorization (0.0 when served from a
+    /// warm context), solve, resample.
+    pub stage_timings: StageTimings,
 }
 
 /// Run the full intraoperative pipeline.
@@ -247,10 +251,13 @@ pub fn run_pipeline_with_solver(
     //    data, FEM for the volume (Fig 1's last box). The solver context
     //    (assembly + reduction + preconditioner) persists across scans of
     //    a surgery; a scan whose mesh matches pays only the solve. ──
-    let (fem, solver_stats) = timeline.stage(
+    // Context timings before this scan, to delta out what *this* scan
+    // paid (a rebuilt context starts its phase clocks from zero).
+    let prior_timings = solver.as_ref().map(|c| c.timings()).unwrap_or_default();
+    let (fem, solver_stats, ctx_timings, rebuilt) = timeline.stage(
         "biomechanical simulation",
         true,
-        || -> Result<(FemSolution, ContextStats), Error> {
+        || -> Result<(FemSolution, ContextStats, ContextTimings, bool), Error> {
             let mut bcs = DirichletBcs::new();
             for (v, &node) in brain_surface.mesh_node.iter().enumerate() {
                 bcs.set(node, surface_displacements[v]);
@@ -273,7 +280,7 @@ pub fn run_pipeline_with_solver(
                 .as_mut()
                 .ok_or_else(|| Error::Pipeline("FEM solver context missing after installation".into()))?;
             let solution = ctx.solve(&bcs)?;
-            Ok((solution, ctx.stats()))
+            Ok((solution, ctx.stats(), ctx.timings(), !reusable))
         },
     )?;
 
@@ -290,6 +297,20 @@ pub fn run_pipeline_with_solver(
         (fwd, bwd, warped)
     });
 
+    // What this scan paid inside the FEM context: setup phases only when
+    // the context was (re)built, plus the delta of cumulative solve time.
+    let base = if rebuilt { ContextTimings::default() } else { prior_timings };
+    let stage_timings = StageTimings {
+        classification_s: timeline.seconds_of("tissue classification"),
+        mesh_s: timeline.seconds_of("mesh generation"),
+        surface_s: timeline.seconds_of("surface displacement"),
+        assembly_s: ctx_timings.assembly_s - base.assembly_s,
+        reduction_s: ctx_timings.reduction_s - base.reduction_s,
+        factorization_s: ctx_timings.factorization_s - base.factorization_s,
+        solve_s: ctx_timings.solve_s - base.solve_s,
+        resample_s: timeline.seconds_of("visualization resample"),
+    };
+
     Ok(PipelineResult {
         rigid,
         intraop_seg,
@@ -302,6 +323,7 @@ pub fn run_pipeline_with_solver(
         warped_reference,
         timeline,
         solver_stats,
+        stage_timings,
     })
 }
 

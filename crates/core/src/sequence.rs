@@ -15,6 +15,7 @@ use crate::error::Error;
 use crate::metrics::{field_error, FieldErrorReport};
 use crate::pipeline::PipelineConfig;
 use crate::surgery::PreparedSurgery;
+use crate::timeline::StageTimings;
 use brainshift_fem::ContextStats;
 use brainshift_sparse::{EscalationPolicy, SolverOptions};
 use brainshift_imaging::phantom::{forward_warp_labels, render_intensity, BrainShiftConfig, PhantomConfig, PhantomScan};
@@ -109,6 +110,9 @@ pub struct ScanOutcome {
     pub surface_residual: f64,
     /// Peak recovered deformation (mm) — should grow with the stage.
     pub peak_recovered_mm: f64,
+    /// Per-stage wall-clock breakdown of this scan (warm path: assembly /
+    /// reduction / factorization are 0, they are once-per-surgery costs).
+    pub timings: StageTimings,
 }
 
 /// Everything a registered sequence yields: the per-scan outcomes plus
@@ -122,6 +126,10 @@ pub struct SequenceResult {
     pub solver_stats: ContextStats,
     /// Scans that ended [`ScanStatus::Degraded`].
     pub degraded_scans: usize,
+    /// Whole-surgery stage totals: every scan's breakdown accumulated,
+    /// plus the once-per-surgery assembly / Dirichlet reduction /
+    /// preconditioner factorization measured on the solver context.
+    pub stage_timings: StageTimings,
 }
 
 /// Deterministic fault injection for failure-path testing: the listed
@@ -170,6 +178,7 @@ pub fn run_scan_sequence_with_faults(
 
     let mut outcomes = Vec::with_capacity(seq.scans.len());
     let mut degraded_scans = 0usize;
+    let mut stage_timings = StageTimings::default();
     // The last *good* field, carried forward over degraded scans (the
     // navigation display keeps showing the last trusted state rather than
     // an unconverged iterate).
@@ -189,6 +198,7 @@ pub fn run_scan_sequence_with_faults(
             last_field = Some(reg.field.clone());
         }
         let fe = field_error(&reg.field, &seq.gt_forward[i], 1.5);
+        stage_timings.accumulate(&reg.timings);
         outcomes.push(ScanOutcome {
             scan_index: i,
             stage: seq.stages[i],
@@ -197,9 +207,15 @@ pub fn run_scan_sequence_with_faults(
             fem_iterations: reg.fem_iterations,
             surface_residual: reg.surface_residual,
             peak_recovered_mm: reg.field.max_magnitude(),
+            timings: reg.timings,
         });
     }
-    Ok(SequenceResult { outcomes, solver_stats: solver.stats(), degraded_scans })
+    // Fold in the once-per-surgery costs measured on the context itself.
+    let ct = solver.timings();
+    stage_timings.assembly_s += ct.assembly_s;
+    stage_timings.reduction_s += ct.reduction_s;
+    stage_timings.factorization_s += ct.factorization_s;
+    Ok(SequenceResult { outcomes, solver_stats: solver.stats(), degraded_scans, stage_timings })
 }
 
 /// Convenience: is the tumor present in a scan's labels?
@@ -280,6 +296,13 @@ mod tests {
         assert_eq!(s.factorizations, 1, "preconditioner refactored mid-surgery");
         assert_eq!(s.solves, 3);
         assert_eq!(s.warm_started_solves, 2);
+        // The whole-surgery breakdown carries both the once-per-surgery
+        // costs and the per-scan work.
+        let t = res.stage_timings;
+        assert!(t.assembly_s > 0.0, "assembly untimed");
+        assert!(t.factorization_s > 0.0, "factorization untimed");
+        assert!(t.solve_s > 0.0 && t.classification_s > 0.0 && t.resample_s > 0.0);
+        assert!(t.total_s() > 0.0);
     }
 
     #[test]

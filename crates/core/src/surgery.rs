@@ -27,6 +27,8 @@
 use crate::error::Error;
 use crate::pipeline::PipelineConfig;
 use crate::sequence::ScanStatus;
+use crate::timeline::StageTimings;
+use brainshift_obs::Stopwatch;
 use brainshift_fem::{displacement_field_from_mesh, DirichletBcs, SolverContext};
 use brainshift_imaging::{labels, DisplacementField, Vec3, Volume};
 use brainshift_mesh::{extract_boundary, mesh_labeled_volume, TetMesh, TriSurface};
@@ -66,6 +68,11 @@ pub struct ScanRegistration {
     pub rung_reasons: Vec<StopReason>,
     /// Mean active-surface residual distance to the target (mm).
     pub surface_residual: f64,
+    /// Per-stage wall-clock breakdown for this scan. Assembly, reduction
+    /// and factorization are `0.0` on the warm path (they belong to
+    /// [`PreparedSurgery::build_solver_context`]); the solve entry is the
+    /// Krylov time of this scan only, not the context's cumulative total.
+    pub timings: StageTimings,
 }
 
 impl PreparedSurgery {
@@ -143,12 +150,14 @@ impl PreparedSurgery {
         solver_override: Option<&SolverOptions>,
         escalation_override: Option<&EscalationPolicy>,
     ) -> Result<ScanRegistration, Error> {
+        let mut sw = Stopwatch::wall();
         let seg = segment_intraop_with_model(
             intensity,
             &self.reference_labels,
             &self.model,
             &self.cfg.segment,
         );
+        let classification_s = sw.lap_s();
         let target = largest_component(&seg.map(|&l| labels::is_brain_tissue(l)));
         let force = DistanceForce::from_mask(&target, self.cfg.surface_force_step);
         let mut snapped = self.surface.clone();
@@ -158,7 +167,9 @@ impl PreparedSurgery {
         for (v, &node) in self.surface.mesh_node.iter().enumerate() {
             bcs.set(node, evolved.positions[v] - self.snap_positions[v]);
         }
+        let surface_s = sw.lap_s();
         let sol = ctx.solve_with(&bcs, solver_override, escalation_override)?;
+        sw.lap_s();
         let (status, field) = if sol.stats.converged() {
             let status = if sol.escalated {
                 ScanStatus::Escalated { attempts: sol.attempts }
@@ -180,6 +191,13 @@ impl PreparedSurgery {
             });
             (ScanStatus::Degraded, field)
         };
+        let timings = StageTimings {
+            classification_s,
+            surface_s,
+            solve_s: ctx.timings().last_solve_s,
+            resample_s: sw.lap_s(),
+            ..Default::default()
+        };
         Ok(ScanRegistration {
             status,
             field,
@@ -187,6 +205,7 @@ impl PreparedSurgery {
             attempts: sol.attempts,
             rung_reasons: sol.rung_reasons,
             surface_residual: evolved.final_distance,
+            timings,
         })
     }
 }
@@ -224,6 +243,11 @@ mod tests {
                 .register_scan(&mut ctx, &scan.intensity, last.as_ref(), None, None)
                 .expect("register failed");
             assert_ne!(reg.status, ScanStatus::Degraded);
+            // Warm path: per-scan work is timed, once-per-surgery work is 0.
+            assert!(reg.timings.classification_s > 0.0);
+            assert!(reg.timings.solve_s > 0.0);
+            assert_eq!(reg.timings.assembly_s, 0.0);
+            assert_eq!(reg.timings.factorization_s, 0.0);
             last = Some(reg.field.clone());
             fields.push(reg.field);
         }

@@ -32,9 +32,10 @@ use crate::material::MaterialTable;
 use crate::solver::{build_preconditioner, FemSolution, FemSolveConfig, KrylovKind};
 use brainshift_imaging::Vec3;
 use brainshift_mesh::TetMesh;
+use brainshift_obs::Stopwatch;
 use brainshift_sparse::{
     conjugate_gradient, solve_escalated, CsrMatrix, EscalationPolicy, KrylovWorkspace,
-    Preconditioner, SolverOptions,
+    Preconditioner, RungTrace, SolverOptions,
 };
 
 /// Counters proving the assemble-once / re-solve-many contract and
@@ -57,6 +58,25 @@ pub struct ContextStats {
     pub failed_solves: usize,
 }
 
+/// Wall-clock seconds spent in each setup/solve phase of a context —
+/// the FEM half of the paper's per-stage breakdown. Kept separate from
+/// [`ContextStats`] (which stays `Eq` for exact comparison in tests).
+/// `solve_s` accumulates across solves; `last_solve_s` is the most
+/// recent solve alone.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ContextTimings {
+    /// Global stiffness assembly.
+    pub assembly_s: f64,
+    /// Dirichlet reduction (building `K_ff`/`K_fc`).
+    pub reduction_s: f64,
+    /// Preconditioner factorization.
+    pub factorization_s: f64,
+    /// Cumulative Krylov solve time across all solves served.
+    pub solve_s: f64,
+    /// Krylov solve time of the most recent solve.
+    pub last_solve_s: f64,
+}
+
 /// A per-surgery solver: fixed mesh, materials, and constrained node
 /// set; cheap repeated solves as the prescribed values change per scan.
 pub struct SolverContext {
@@ -74,6 +94,7 @@ pub struct SolverContext {
     rhs: Vec<f64>,
     full: Vec<f64>,
     stats: ContextStats,
+    timings: ContextTimings,
 }
 
 impl SolverContext {
@@ -89,9 +110,12 @@ impl SolverContext {
         cfg: FemSolveConfig,
     ) -> Result<Self, FemError> {
         mesh.validate()?;
+        let sw = Stopwatch::wall();
         let k = assemble_stiffness(mesh, materials);
+        let assembly_s = sw.elapsed_s();
         let mut ctx = Self::with_matrix(k, mesh, constrained_nodes, cfg)?;
         ctx.stats.assemblies = 1;
+        ctx.timings.assembly_s = assembly_s;
         Ok(ctx)
     }
 
@@ -112,8 +136,11 @@ impl SolverContext {
         if constrained_nodes.is_empty() {
             return Err(FemError::Unconstrained);
         }
+        let mut sw = Stopwatch::wall();
         let structure = DirichletStructure::new(&k, constrained_nodes)?;
+        let reduction_s = sw.lap_s();
         let precond = build_preconditioner(cfg.precond, &structure.matrix)?;
+        let factorization_s = sw.lap_s();
         let nfree = structure.num_free();
         let nc = structure.num_constrained();
         let workspace = KrylovWorkspace::new(nfree, cfg.options.restart);
@@ -131,6 +158,7 @@ impl SolverContext {
             u_c: vec![0.0; nc],
             rhs: vec![0.0; nfree],
             stats: ContextStats { factorizations: 1, ..Default::default() },
+            timings: ContextTimings { reduction_s, factorization_s, ..Default::default() },
         })
     }
 
@@ -174,7 +202,8 @@ impl SolverContext {
         let seed_snapshot = self.prev_x.clone();
         let opts = opts_override.unwrap_or(&self.cfg.options).clone();
         let escalation = escalation_override.unwrap_or(&self.cfg.escalation).clone();
-        let (stats, attempts, escalated, rung_reasons) = match self.cfg.krylov {
+        let sw = Stopwatch::wall();
+        let (stats, attempts, escalated, rung_reasons, rungs) = match self.cfg.krylov {
             KrylovKind::Gmres => {
                 let out = solve_escalated(
                     &self.structure.matrix,
@@ -185,7 +214,7 @@ impl SolverContext {
                     &escalation,
                     &mut self.workspace,
                 );
-                (out.stats, out.attempts, out.escalated, out.rung_reasons)
+                (out.stats, out.attempts, out.escalated, out.rung_reasons, out.rungs)
             }
             KrylovKind::ConjugateGradient => {
                 let s = conjugate_gradient(
@@ -196,9 +225,20 @@ impl SolverContext {
                     &opts,
                 );
                 let reasons = vec![s.reason];
-                (s, 1, false, reasons)
+                let rungs = vec![RungTrace {
+                    solver: "cg",
+                    restart: 0,
+                    reason: s.reason,
+                    iterations: s.iterations,
+                    restarts: 0,
+                    relative_residual: s.relative_residual,
+                    seconds: sw.elapsed_s(),
+                }];
+                (s, 1, false, reasons, rungs)
             }
         };
+        self.timings.last_solve_s = sw.elapsed_s();
+        self.timings.solve_s += self.timings.last_solve_s;
         self.stats.solves += 1;
         if warm {
             self.stats.warm_started_solves += 1;
@@ -224,6 +264,7 @@ impl SolverContext {
             attempts,
             escalated,
             rung_reasons,
+            rungs,
             reduced_equations: self.structure.num_free(),
             total_equations: self.k.nrows(),
         })
@@ -237,6 +278,11 @@ impl SolverContext {
     /// Assembly / factorization / solve counters.
     pub fn stats(&self) -> ContextStats {
         self.stats
+    }
+
+    /// Wall-clock seconds spent per setup/solve phase so far.
+    pub fn timings(&self) -> ContextTimings {
+        self.timings
     }
 
     /// Approximate heap footprint of everything this context keeps alive
@@ -448,6 +494,28 @@ mod tests {
         // An unconstrained build is rejected too.
         let r = SolverContext::new(&mesh, &MaterialTable::homogeneous(), &[], tight());
         assert!(matches!(r, Err(FemError::Unconstrained)));
+    }
+
+    #[test]
+    fn timings_cover_every_phase_and_accumulate() {
+        let mesh = block_mesh(4);
+        let surface = boundary_nodes(&mesh);
+        let mut ctx =
+            SolverContext::new(&mesh, &MaterialTable::homogeneous(), &surface, tight()).expect("context build failed");
+        let t0 = ctx.timings();
+        assert!(t0.assembly_s >= 0.0 && t0.reduction_s >= 0.0 && t0.factorization_s >= 0.0);
+        assert_eq!(t0.solve_s, 0.0);
+        ctx.solve(&scan_bcs(&mesh, &surface, 1.0)).expect("solve failed");
+        let t1 = ctx.timings();
+        assert!(t1.solve_s > 0.0, "nanosecond-precision clock: a real solve never times at 0");
+        assert_eq!(t1.last_solve_s, t1.solve_s);
+        // Setup phases are once-per-surgery: untouched by a solve.
+        assert_eq!(t1.assembly_s, t0.assembly_s);
+        assert_eq!(t1.factorization_s, t0.factorization_s);
+        ctx.solve(&scan_bcs(&mesh, &surface, 1.5)).expect("solve failed");
+        let t2 = ctx.timings();
+        assert!(t2.solve_s > t1.solve_s, "solve time accumulates");
+        assert!(t2.last_solve_s <= t2.solve_s);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod stress;
 
 pub use assembly::assemble_stiffness;
 pub use bc::{apply_dirichlet, DirichletBcs, DirichletStructure, ReducedSystem};
-pub use context::{ContextStats, SolverContext};
+pub use context::{ContextStats, ContextTimings, SolverContext};
 pub use element::{stiffness_btdb, stiffness_isotropic, TetShape};
 pub use error::FemError;
 pub use interpolate::displacement_field_from_mesh;

@@ -1,0 +1,37 @@
+//! Dependency-free observability layer for the brainshift workspace.
+//!
+//! The paper's headline claim is a *time budget* — "less than 10 seconds
+//! of elapsed time" for the 77k-equation intraoperative solve, broken
+//! down per stage the way PETSc's `-log_summary` reports it. Measuring
+//! that budget consistently needs one shared vocabulary instead of
+//! ad-hoc `Instant::now()` pairs scattered across crates. This crate
+//! provides it, with no dependencies beyond `std` (the build
+//! environment is offline):
+//!
+//! - [`Clock`] — a swappable time source. Production code uses the
+//!   wall clock; the service's discrete-event simulator injects its
+//!   logical µs counter so property tests stay bit-deterministic.
+//! - [`Registry`] — monotonic counters, gauges, log₂-bucketed
+//!   histograms, and hierarchical span statistics (`'/'`-separated
+//!   paths), all stored in sorted maps so snapshots are deterministic.
+//! - [`Snapshot`] — a point-in-time copy of a registry with a JSON
+//!   round-trip ([`Snapshot::to_json`] / [`Snapshot::from_json`]).
+//! - [`BenchReport`] — the one schema (`brainshift.obs.v1`) every
+//!   benchmark and report binary writes into `bench_out/`.
+//! - [`JsonValue`] — a minimal JSON tree + writer + parser, because the
+//!   environment has no serde.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
+pub mod clock;
+pub mod json;
+pub mod registry;
+pub mod report;
+pub mod snapshot;
+
+pub use clock::{Clock, Stopwatch};
+pub use json::{parse_json, JsonError, JsonValue};
+pub use registry::Registry;
+pub use report::{BenchReport, SCHEMA};
+pub use snapshot::{HistogramSummary, Snapshot, SpanSummary};

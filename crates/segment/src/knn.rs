@@ -123,23 +123,27 @@ impl KdTree {
         }
     }
 
-    /// Classify by majority vote among the `k` nearest prototypes (ties
-    /// broken toward the nearest).
+    /// Classify by majority vote among the `k` nearest prototypes.
+    ///
+    /// Ties are broken deterministically: among the top-voted classes the
+    /// **lowest label id wins**. The result is a pure function of the
+    /// neighbour *set* — the previous "nearest-first" rule walked the
+    /// candidate list in its stored order, and equal-distance prototypes
+    /// land in that list in tree-traversal order, so the winning label
+    /// could flip when the same prototypes were inserted in a different
+    /// order.
     pub fn classify(&self, query: &[f32], k: usize) -> u8 {
         let nn = self.k_nearest(query, k);
         let mut counts: [u32; 256] = [0; 256];
         for &(_, idx) in &nn {
             counts[self.prototypes[idx].label as usize] += 1;
         }
-        let top = counts.iter().copied().max().unwrap();
-        // Nearest-first tie-break.
-        for &(_, idx) in &nn {
-            let l = self.prototypes[idx].label;
-            if counts[l as usize] == top {
-                return l;
-            }
-        }
-        self.prototypes[nn[0].1].label
+        let top = counts.iter().copied().max().unwrap_or(0);
+        counts
+            .iter()
+            .position(|&c| c > 0 && c == top)
+            .map(|l| l as u8)
+            .unwrap_or_else(|| self.prototypes[nn[0].1].label)
     }
 
     /// The `i`-th prototype (indices from [`KdTree::k_nearest`]).
@@ -233,6 +237,25 @@ mod tests {
         let tree = KdTree::build(protos);
         let nn = tree.k_nearest(&[0.0, 0.0], 10);
         assert_eq!(nn.len(), 3);
+    }
+
+    #[test]
+    fn vote_tie_is_independent_of_insertion_order() {
+        // Four prototypes all exactly distance 1 from the query: a 2-2
+        // vote tie between labels 3 and 1. Whatever order the tree stores
+        // them in, the lowest label id must win.
+        let protos = vec![
+            Prototype { features: vec![1.0, 0.0], label: 3 },
+            Prototype { features: vec![-1.0, 0.0], label: 3 },
+            Prototype { features: vec![0.0, 1.0], label: 1 },
+            Prototype { features: vec![0.0, -1.0], label: 1 },
+        ];
+        let forward = KdTree::build(protos.clone());
+        let mut reversed_protos = protos;
+        reversed_protos.reverse();
+        let reversed = KdTree::build(reversed_protos);
+        assert_eq!(forward.classify(&[0.0, 0.0], 4), 1);
+        assert_eq!(reversed.classify(&[0.0, 0.0], 4), 1);
     }
 
     #[test]

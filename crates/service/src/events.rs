@@ -95,6 +95,12 @@ pub struct Event {
     /// Monotonic time of the event, µs since service start (logical time
     /// in the deterministic simulator).
     pub t_us: u64,
+    /// Wall-clock time of the event, µs since the UNIX epoch — only on
+    /// logs built with [`EventLog::with_wall_clock`] (the threaded
+    /// service); `None` in the simulator and in plain [`EventLog::new`]
+    /// logs. Deliberately excluded from [`Event::script_line`] so the
+    /// determinism oracle stays timestamp-free.
+    pub wall_unix_us: Option<u64>,
     /// Queue depth immediately after the event.
     pub queue_depth: usize,
     /// The event itself.
@@ -145,20 +151,40 @@ impl Event {
 #[derive(Default)]
 pub struct EventLog {
     events: Mutex<Vec<Event>>,
+    /// Stamp each event with the wall clock (µs since UNIX epoch).
+    wall: bool,
 }
 
 impl EventLog {
-    /// An empty log.
+    /// An empty log without wall-clock stamps (the simulator's choice:
+    /// its events carry logical time only).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty log that additionally stamps every event with the
+    /// wall-clock time (µs since the UNIX epoch) — what an operator
+    /// correlates against scanner logs and OR records. The stamps live
+    /// in [`Event::wall_unix_us`] only; [`EventLog::script`] is
+    /// byte-identical with or without them.
+    pub fn with_wall_clock() -> Self {
+        EventLog { events: Mutex::new(Vec::new()), wall: true }
     }
 
     /// Append one event; the sequence number is assigned under the lock,
     /// so the log's order is the service's observed total order.
     pub fn record(&self, t_us: u64, queue_depth: usize, kind: EventKind) {
+        let wall_unix_us = if self.wall {
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .ok()
+                .map(|d| d.as_micros() as u64)
+        } else {
+            None
+        };
         let mut ev = self.events.lock();
         let seq = ev.len() as u64;
-        ev.push(Event { seq, t_us, queue_depth, kind });
+        ev.push(Event { seq, t_us, queue_depth, wall_unix_us, kind });
     }
 
     /// Copy of the full log.
@@ -218,5 +244,23 @@ mod tests {
         log2.record(999, 2, EventKind::Enqueue { session: 7, job: 3, deadline_us: 900, priority: 1 });
         log2.record(1999, 1, EventKind::Start { session: 7, job: 3, warm: true });
         assert_eq!(log2.script(), s);
+    }
+
+    #[test]
+    fn wall_clock_stamps_do_not_leak_into_the_script() {
+        let plain = EventLog::new();
+        let stamped = EventLog::with_wall_clock();
+        for log in [&plain, &stamped] {
+            log.record(123, 2, EventKind::Enqueue { session: 7, job: 3, deadline_us: 900, priority: 1 });
+            log.record(456, 1, EventKind::Start { session: 7, job: 3, warm: true });
+        }
+        // The determinism oracle is byte-identical either way.
+        assert_eq!(plain.script(), stamped.script());
+        assert_eq!(stamped.script(), "enqueue s7 j3 d900 p1 q=2\nstart s7 j3 warm q=1\n");
+        assert!(plain.snapshot().iter().all(|e| e.wall_unix_us.is_none()));
+        let stamps: Vec<u64> = stamped.snapshot().iter().map(|e| e.wall_unix_us.expect("stamped")).collect();
+        // Sanity: epoch-µs in the 21st century, non-decreasing.
+        assert!(stamps.iter().all(|&t| t > 1_000_000_000_000_000));
+        assert!(stamps[0] <= stamps[1]);
     }
 }

@@ -26,6 +26,7 @@ use crate::session::{SessionStats, SurgerySession};
 use brainshift_core::{Error as CoreError, PreparedSurgery, ScanStatus};
 use brainshift_fem::SolverContext;
 use brainshift_imaging::{DisplacementField, Volume};
+use brainshift_obs::{Registry, Snapshot};
 use brainshift_sparse::StopReason;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
@@ -165,8 +166,17 @@ struct Inner {
 }
 
 struct Shared {
+    /// Monotonic origin of the service's µs timestamps. Deliberately a
+    /// raw `Instant` (not the obs clock): `t_us` must be monotonic wall
+    /// time here — the deterministic logical-time variant of these
+    /// timestamps lives in the simulator, not in the threaded service.
     epoch: Instant,
     log: EventLog,
+    /// Service-level metrics — queue depth, cache hit/miss/evict,
+    /// completion and deadline counters, per-stage solve spans. Same
+    /// metric names as the simulator's registry so one dashboard reads
+    /// both.
+    metrics: Registry,
     inner: Mutex<Inner>,
 }
 
@@ -190,7 +200,8 @@ impl Service {
     pub fn start(cfg: ServiceConfig) -> Self {
         let shared = Arc::new(Shared {
             epoch: Instant::now(),
-            log: EventLog::new(),
+            log: EventLog::with_wall_clock(),
+            metrics: Registry::with_wall_clock(),
             inner: Mutex::new(Inner {
                 queue: DeadlineQueue::new(SchedulerPolicy {
                     queue_capacity: cfg.queue_capacity,
@@ -244,6 +255,7 @@ impl Service {
         let mut inner = self.shared.inner.lock();
         if let Some(freed) = inner.cache.discard(session) {
             let depth = inner.queue.len();
+            self.shared.metrics.counter_add("service.cache.evictions", 1);
             self.shared
                 .log
                 .record(self.shared.now_us(), depth, EventKind::Evict { session, freed_bytes: freed });
@@ -263,6 +275,9 @@ impl Service {
         match verdict {
             Ok(ticket) => {
                 let depth = inner.queue.len();
+                self.shared.metrics.counter_add("service.jobs.submitted", 1);
+                self.shared.metrics.gauge_set("service.queue.depth", depth as f64);
+                self.shared.metrics.gauge_max("service.queue.peak_depth", depth as f64);
                 self.shared.log.record(
                     now,
                     depth,
@@ -276,6 +291,7 @@ impl Service {
             }
             Err(reason) => {
                 let depth = inner.queue.len();
+                self.shared.metrics.counter_add("service.jobs.rejected", 1);
                 self.shared
                     .log
                     .record(now, depth, EventKind::Reject { session, reason: reason.clone() });
@@ -342,6 +358,16 @@ impl Service {
         self.shared.log.snapshot()
     }
 
+    /// Point-in-time copy of the service metrics: queue depth and peak,
+    /// cache hit/miss/eviction counters, job completion / rejection /
+    /// escalation / degradation / missed-deadline counters, deadline
+    /// slack and latency histograms, per-stage solve spans. The names
+    /// match the simulator's registry, so dashboards and tests read one
+    /// schema.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.shared.metrics.snapshot()
+    }
+
     /// The timestamp-free event script (determinism/debug surface).
     pub fn script(&self) -> String {
         self.shared.log.script()
@@ -382,15 +408,26 @@ fn claim_next(shared: &Shared) -> Option<Claim> {
     let (ctx, warm) = if session.is_some() {
         let ctx = inner.cache.take(q.session);
         let warm = ctx.is_some();
+        shared
+            .metrics
+            .counter_add(if warm { "service.cache.hit" } else { "service.cache.miss" }, 1);
         (ctx, warm)
     } else {
         (None, false)
     };
     inner.running.insert(q.session);
     let depth = inner.queue.len();
+    let now = shared.now_us();
+    // How much of the deadline is left as the job *starts* — the number
+    // an operator reads to see whether misses come from queueing or from
+    // the solve itself.
+    shared
+        .metrics
+        .observe("service.deadline.slack_at_start_us", q.deadline_us.saturating_sub(now) as f64);
+    shared.metrics.gauge_set("service.queue.depth", depth as f64);
     shared
         .log
-        .record(shared.now_us(), depth, EventKind::Start { session: q.session, job: q.job, warm });
+        .record(now, depth, EventKind::Start { session: q.session, job: q.job, warm });
     Some(Claim { q, pending, session, ctx, warm })
 }
 
@@ -407,6 +444,7 @@ fn finish(shared: &Shared, session: u64, ctx: Option<SolverContext>, job: u64, m
             let evicted = inner.cache.drain_evicted();
             let depth = inner.queue.len();
             for (sess, freed) in evicted {
+                shared.metrics.counter_add("service.cache.evictions", 1);
                 shared
                     .log
                     .record(shared.now_us(), depth, EventKind::Evict { session: sess, freed_bytes: freed });
@@ -415,6 +453,11 @@ fn finish(shared: &Shared, session: u64, ctx: Option<SolverContext>, job: u64, m
     }
     inner.running.remove(&session);
     let depth = inner.queue.len();
+    shared.metrics.counter_add("service.jobs.completed", 1);
+    if missed {
+        shared.metrics.counter_add("service.jobs.missed_deadline", 1);
+    }
+    shared.metrics.gauge_set("service.queue.depth", depth as f64);
     shared
         .log
         .record(shared.now_us(), depth, EventKind::Complete { session, job, missed_deadline: missed });
@@ -470,6 +513,20 @@ fn execute(shared: &Shared, claim: Claim) {
     let missed = now > q.deadline_us;
     match result {
         Ok(reg) => {
+            // Per-stage spans: the paper's intraoperative breakdown, as
+            // seen by the service (mean/min/max over jobs per path).
+            shared.metrics.record_span_s("scan/classification", reg.timings.classification_s);
+            shared.metrics.record_span_s("scan/surface", reg.timings.surface_s);
+            shared.metrics.record_span_s("scan/solve", reg.timings.solve_s);
+            shared.metrics.record_span_s("scan/resample", reg.timings.resample_s);
+            shared
+                .metrics
+                .observe("service.job.latency_us", now.saturating_sub(pending.submitted_us) as f64);
+            match &reg.status {
+                ScanStatus::Converged => {}
+                ScanStatus::Escalated { .. } => shared.metrics.counter_add("service.jobs.escalated", 1),
+                ScanStatus::Degraded => shared.metrics.counter_add("service.jobs.degraded", 1),
+            }
             {
                 let mut state = session.state.lock();
                 match &reg.status {

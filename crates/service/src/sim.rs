@@ -19,6 +19,7 @@
 use crate::cache::{CacheStats, ContextCache};
 use crate::events::{EventKind, EventLog};
 use crate::scheduler::{DeadlineQueue, SchedulerPolicy};
+use brainshift_obs::{Clock, Registry, Snapshot};
 
 /// One scripted submission.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +81,12 @@ pub struct SimReport {
     pub peak_resident_bytes: usize,
     /// Largest queue depth ever observed (must stay ≤ capacity).
     pub peak_queue_depth: usize,
+    /// Metric snapshot taken on the simulator's logical clock with the
+    /// same names the threaded service records
+    /// (`service.jobs.*` / `service.cache.*` / `service.queue.*`), so
+    /// the same assertions and dashboards read both. Bit-deterministic
+    /// for a fixed script.
+    pub metrics: Snapshot,
 }
 
 #[derive(Clone, Copy)]
@@ -101,6 +108,10 @@ pub fn simulate(cfg: &SimConfig, jobs: &[SimJob]) -> SimReport {
     // eviction policy exactly as real contexts would.
     let mut cache: ContextCache<u64> = ContextCache::new(cfg.budget_bytes);
     let log = EventLog::new();
+    // Logical-clock registry: advanced to each event instant below, so
+    // span/metric timing is a pure function of the script.
+    let clock = Clock::logical();
+    let metrics = Registry::new(clock.clone());
     let mut outcomes: Vec<SimOutcome> = (0..jobs.len())
         .map(|i| SimOutcome {
             script_index: i,
@@ -128,6 +139,7 @@ pub fn simulate(cfg: &SimConfig, jobs: &[SimJob]) -> SimReport {
             (None, Some(b)) => b,
             (Some(a), Some(b)) => a.min(b),
         };
+        clock.advance_to_us(now);
 
         // 1. Completions at `now`.
         for slot in workers.iter_mut() {
@@ -139,12 +151,22 @@ pub fn simulate(cfg: &SimConfig, jobs: &[SimJob]) -> SimReport {
             cache.insert(r.session, r.script_index as u64, jobs[r.script_index].ctx_bytes);
             peak_resident = peak_resident.max(cache.resident_bytes());
             for (sess, freed) in cache.drain_evicted() {
+                metrics.counter_add("service.cache.evictions", 1);
                 log.record(now, queue.len(), EventKind::Evict { session: sess, freed_bytes: freed });
             }
             let missed = now > r.deadline_us;
             outcomes[r.script_index].completed_us = Some(now);
             outcomes[r.script_index].missed_deadline = missed;
             completion_order.push(r.script_index);
+            metrics.counter_add("service.jobs.completed", 1);
+            if missed {
+                metrics.counter_add("service.jobs.missed_deadline", 1);
+            }
+            metrics.gauge_set("service.queue.depth", queue.len() as f64);
+            metrics.observe(
+                "service.job.latency_us",
+                now.saturating_sub(jobs[r.script_index].submit_us) as f64,
+            );
             log.record(
                 now,
                 queue.len(),
@@ -163,6 +185,9 @@ pub fn simulate(cfg: &SimConfig, jobs: &[SimJob]) -> SimReport {
             match queue.push(id, j.session, j.deadline_us, j.priority, now) {
                 Ok(()) => {
                     peak_depth = peak_depth.max(queue.len());
+                    metrics.counter_add("service.jobs.submitted", 1);
+                    metrics.gauge_set("service.queue.depth", queue.len() as f64);
+                    metrics.gauge_max("service.queue.peak_depth", queue.len() as f64);
                     log.record(
                         now,
                         queue.len(),
@@ -175,6 +200,7 @@ pub fn simulate(cfg: &SimConfig, jobs: &[SimJob]) -> SimReport {
                     );
                 }
                 Err(reason) => {
+                    metrics.counter_add("service.jobs.rejected", 1);
                     log.record(now, queue.len(), EventKind::Reject { session: j.session, reason });
                 }
             }
@@ -188,6 +214,10 @@ pub fn simulate(cfg: &SimConfig, jobs: &[SimJob]) -> SimReport {
             let Some(q) = queue.pop_next(|j| !running.contains(&j.session)) else { break };
             let idx = q.job as usize;
             let warm = cache.take(q.session).is_some();
+            metrics.counter_add(if warm { "service.cache.hit" } else { "service.cache.miss" }, 1);
+            metrics
+                .observe("service.deadline.slack_at_start_us", q.deadline_us.saturating_sub(now) as f64);
+            metrics.gauge_set("service.queue.depth", queue.len() as f64);
             outcomes[idx].started_us = Some(now);
             outcomes[idx].warm = warm;
             workers[free] = Some(Running {
@@ -211,6 +241,7 @@ pub fn simulate(cfg: &SimConfig, jobs: &[SimJob]) -> SimReport {
         cache: cache.stats(),
         peak_resident_bytes: peak_resident,
         peak_queue_depth: peak_depth,
+        metrics: metrics.snapshot(),
         log,
     }
 }
@@ -272,6 +303,27 @@ mod tests {
         let b = simulate(&cfg(2, 6, 1.0, 250), &jobs);
         assert_eq!(a.log.script(), b.log.script());
         assert_eq!(a.completion_order, b.completion_order);
+        // Metric snapshots on the logical clock are bit-identical too —
+        // down to the rendered JSON bytes.
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.metrics.to_json().render(), b.metrics.to_json().render());
+    }
+
+    #[test]
+    fn metrics_agree_with_outcomes_and_cache_counters() {
+        let jobs: Vec<SimJob> = (0u64..9).map(|i| job(1 + i % 3, i * 5, i * 5 + 200)).collect();
+        let r = simulate(&cfg(2, 8, 0.5, 10_000), &jobs);
+        let m = &r.metrics;
+        let completed = r.outcomes.iter().filter(|o| o.completed_us.is_some()).count() as u64;
+        assert_eq!(m.counter("service.jobs.submitted"), Some(9));
+        assert_eq!(m.counter("service.jobs.completed"), Some(completed));
+        assert_eq!(m.counter("service.cache.hit").unwrap_or(0), r.cache.hits);
+        assert_eq!(m.counter("service.cache.miss").unwrap_or(0), r.cache.misses);
+        assert_eq!(m.gauge("service.queue.peak_depth"), Some(r.peak_queue_depth as f64));
+        let slack = m.histogram("service.deadline.slack_at_start_us").expect("slack histogram");
+        assert_eq!(slack.count, completed);
+        let lat = m.histogram("service.job.latency_us").expect("latency histogram");
+        assert_eq!(lat.count, completed);
     }
 
     #[test]

@@ -175,6 +175,15 @@ fn half_budget_runs_cold_but_completes_everything() {
     let stats = service.cache_stats();
     assert_eq!(stats.hits, 0);
     assert!(stats.evictions >= 2, "sessions evicted each other");
+    // The metrics registry mirrors the cache/event counters and carries
+    // the per-stage solve spans, under the same names the simulator uses.
+    let m = service.metrics_snapshot();
+    assert_eq!(m.counter("service.jobs.submitted"), Some(4));
+    assert_eq!(m.counter("service.jobs.completed"), Some(4));
+    assert_eq!(m.counter("service.cache.miss"), Some(4));
+    assert_eq!(m.counter("service.cache.evictions").unwrap_or(0), stats.evictions);
+    assert_eq!(m.span("scan/solve").map(|s| s.count), Some(4));
+    assert!(m.histogram("service.deadline.slack_at_start_us").map(|h| h.count) == Some(4));
     let events = service.shutdown();
     assert!(events.iter().any(|e| matches!(e.kind, EventKind::Evict { .. })));
 }

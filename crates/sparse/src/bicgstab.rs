@@ -31,7 +31,7 @@ pub fn bicgstab(
         if opts.record_history {
             history.push(0.0);
         }
-        return SolveStats { reason: StopReason::Converged, iterations: 0, relative_residual: 0.0, history };
+        return SolveStats { reason: StopReason::Converged, iterations: 0, relative_residual: 0.0, history, restarts: 0 };
     }
 
     let mut r = vec![0.0; n];
@@ -45,7 +45,7 @@ pub fn bicgstab(
         history.push(rel);
     }
     if rel <= opts.tolerance {
-        return SolveStats { reason: StopReason::Converged, iterations: 0, relative_residual: rel, history };
+        return SolveStats { reason: StopReason::Converged, iterations: 0, relative_residual: rel, history, restarts: 0 };
     }
 
     let mut rho_prev = 1.0f64;
@@ -67,11 +67,12 @@ pub fn bicgstab(
                 iterations: it - 1,
                 relative_residual: rel,
                 history,
+                restarts: 0,
             };
         }
         let rho = dot(&r0, &r);
         if rho.abs() < 1e-300 {
-            return SolveStats { reason: StopReason::Breakdown, iterations: it, relative_residual: rel, history };
+            return SolveStats { reason: StopReason::Breakdown, iterations: it, relative_residual: rel, history, restarts: 0 };
         }
         if it == 1 {
             p.copy_from_slice(&r);
@@ -85,7 +86,7 @@ pub fn bicgstab(
         a.apply(&phat, &mut v);
         let r0v = dot(&r0, &v);
         if r0v.abs() < 1e-300 {
-            return SolveStats { reason: StopReason::Breakdown, iterations: it, relative_residual: rel, history };
+            return SolveStats { reason: StopReason::Breakdown, iterations: it, relative_residual: rel, history, restarts: 0 };
         }
         alpha = rho / r0v;
         // s = r − α v
@@ -98,17 +99,17 @@ pub fn bicgstab(
             if opts.record_history {
                 history.push(rel);
             }
-            return SolveStats { reason: StopReason::Converged, iterations: it, relative_residual: rel, history };
+            return SolveStats { reason: StopReason::Converged, iterations: it, relative_residual: rel, history, restarts: 0 };
         }
         precond.apply(&s, &mut shat);
         a.apply(&shat, &mut t);
         let tt = dot(&t, &t);
         if tt.abs() < 1e-300 {
-            return SolveStats { reason: StopReason::Breakdown, iterations: it, relative_residual: rel, history };
+            return SolveStats { reason: StopReason::Breakdown, iterations: it, relative_residual: rel, history, restarts: 0 };
         }
         omega = dot(&t, &s) / tt;
         if omega.abs() < 1e-300 {
-            return SolveStats { reason: StopReason::Breakdown, iterations: it, relative_residual: rel, history };
+            return SolveStats { reason: StopReason::Breakdown, iterations: it, relative_residual: rel, history, restarts: 0 };
         }
         axpy(alpha, &phat, x);
         axpy(omega, &shat, x);
@@ -119,7 +120,7 @@ pub fn bicgstab(
             history.push(rel);
         }
         if rel <= opts.tolerance {
-            return SolveStats { reason: StopReason::Converged, iterations: it, relative_residual: rel, history };
+            return SolveStats { reason: StopReason::Converged, iterations: it, relative_residual: rel, history, restarts: 0 };
         }
         rho_prev = rho;
     }
@@ -128,6 +129,7 @@ pub fn bicgstab(
         iterations: opts.max_iterations,
         relative_residual: rel,
         history,
+        restarts: 0,
     }
 }
 

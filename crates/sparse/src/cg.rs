@@ -25,7 +25,7 @@ pub fn conjugate_gradient(
     let mut history = Vec::new();
     if b_norm == 0.0 {
         x.iter_mut().for_each(|v| *v = 0.0);
-        return SolveStats { reason: StopReason::Converged, iterations: 0, relative_residual: 0.0, history };
+        return SolveStats { reason: StopReason::Converged, iterations: 0, relative_residual: 0.0, history, restarts: 0 };
     }
 
     let mut r = vec![0.0; n];
@@ -44,14 +44,14 @@ pub fn conjugate_gradient(
         history.push(rel);
     }
     if rel <= opts.tolerance {
-        return SolveStats { reason: StopReason::Converged, iterations: 0, relative_residual: rel, history };
+        return SolveStats { reason: StopReason::Converged, iterations: 0, relative_residual: rel, history, restarts: 0 };
     }
 
     for it in 1..=opts.max_iterations {
         a.apply(&p, &mut ap);
         let pap = dot(&p, &ap);
         if pap.abs() < 1e-300 {
-            return SolveStats { reason: StopReason::Breakdown, iterations: it, relative_residual: rel, history };
+            return SolveStats { reason: StopReason::Breakdown, iterations: it, relative_residual: rel, history, restarts: 0 };
         }
         let alpha = rz / pap;
         axpy(alpha, &p, x);
@@ -61,7 +61,7 @@ pub fn conjugate_gradient(
             history.push(rel);
         }
         if rel <= opts.tolerance {
-            return SolveStats { reason: StopReason::Converged, iterations: it, relative_residual: rel, history };
+            return SolveStats { reason: StopReason::Converged, iterations: it, relative_residual: rel, history, restarts: 0 };
         }
         precond.apply(&r, &mut z);
         let rz_new = dot(&r, &z);
@@ -71,7 +71,7 @@ pub fn conjugate_gradient(
             p[i] = z[i] + beta * p[i];
         }
     }
-    SolveStats { reason: StopReason::MaxIterations, iterations: opts.max_iterations, relative_residual: rel, history }
+    SolveStats { reason: StopReason::MaxIterations, iterations: opts.max_iterations, relative_residual: rel, history, restarts: 0 }
 }
 
 #[cfg(test)]

@@ -49,6 +49,28 @@ impl EscalationPolicy {
     }
 }
 
+/// Per-rung trace of one escalated solve: which solver ran, how hard it
+/// worked, and how long it took. `seconds` is wall-clock (rung timing is
+/// a real-time measurement even when the rest of the system runs on a
+/// logical clock).
+#[derive(Debug, Clone)]
+pub struct RungTrace {
+    /// `"gmres"` or `"bicgstab"`.
+    pub solver: &'static str,
+    /// GMRES restart length used (0 for BiCGStab).
+    pub restart: usize,
+    /// Why this rung stopped.
+    pub reason: StopReason,
+    /// Krylov iterations this rung performed.
+    pub iterations: usize,
+    /// Restart cycles beyond the first within this rung.
+    pub restarts: usize,
+    /// Relative residual when the rung stopped.
+    pub relative_residual: f64,
+    /// Wall-clock seconds this rung ran.
+    pub seconds: f64,
+}
+
 /// Result of [`solve_escalated`]: the final stats plus how far up the
 /// ladder the solve had to go.
 #[derive(Debug, Clone)]
@@ -65,6 +87,10 @@ pub struct EscalationOutcome {
     /// it distinguishes "ran out of iterations twice, then the wall-clock
     /// budget expired" from "breakdown on the fallback".
     pub rung_reasons: Vec<StopReason>,
+    /// Full per-rung trace, parallel to `rung_reasons` (`rungs.len() ==
+    /// attempts`): solver, restart length, iterations, and wall-clock
+    /// seconds for each rung.
+    pub rungs: Vec<RungTrace>,
 }
 
 /// Solve `A x = b`, escalating through the policy's ladder until an
@@ -103,12 +129,25 @@ pub fn solve_escalated(
         o
     };
 
+    let trace = |solver: &'static str, restart: usize, s: &SolveStats, since: Instant| RungTrace {
+        solver,
+        restart,
+        reason: s.reason,
+        iterations: s.iterations,
+        restarts: s.restarts,
+        relative_residual: s.relative_residual,
+        seconds: since.elapsed().as_secs_f64(),
+    };
+
     let mut attempts = 1usize;
     let mut rung_reasons = Vec::with_capacity(2 + policy.larger_restarts.len());
+    let mut rungs = Vec::with_capacity(2 + policy.larger_restarts.len());
+    let rung_start = Instant::now();
     let mut stats = gmres_with_workspace(a, precond, b, x, &budgeted(opts, start), ws);
     rung_reasons.push(stats.reason);
+    rungs.push(trace("gmres", opts.restart.max(1), &stats, rung_start));
     if stats.converged() {
-        return EscalationOutcome { stats, attempts, escalated: false, rung_reasons };
+        return EscalationOutcome { stats, attempts, escalated: false, rung_reasons, rungs };
     }
 
     let out_of_time =
@@ -120,14 +159,16 @@ pub fn solve_escalated(
 
     for &restart in &policy.larger_restarts {
         if out_of_time(&stats) {
-            return EscalationOutcome { stats: best_stats, attempts, escalated: attempts > 1, rung_reasons };
+            return EscalationOutcome { stats: best_stats, attempts, escalated: attempts > 1, rung_reasons, rungs };
         }
         attempts += 1;
         let rung = SolverOptions { restart, ..opts.clone() };
+        let rung_start = Instant::now();
         stats = gmres_with_workspace(a, precond, b, x, &budgeted(&rung, start), ws);
         rung_reasons.push(stats.reason);
+        rungs.push(trace("gmres", restart, &stats, rung_start));
         if stats.converged() {
-            return EscalationOutcome { stats, attempts, escalated: true, rung_reasons };
+            return EscalationOutcome { stats, attempts, escalated: true, rung_reasons, rungs };
         }
         if stats.relative_residual <= best_stats.relative_residual {
             best_x.copy_from_slice(x);
@@ -137,10 +178,12 @@ pub fn solve_escalated(
 
     if policy.bicgstab_fallback && !out_of_time(&stats) {
         attempts += 1;
+        let rung_start = Instant::now();
         stats = bicgstab(a, precond, b, x, &budgeted(opts, start));
         rung_reasons.push(stats.reason);
+        rungs.push(trace("bicgstab", 0, &stats, rung_start));
         if stats.converged() {
-            return EscalationOutcome { stats, attempts, escalated: true, rung_reasons };
+            return EscalationOutcome { stats, attempts, escalated: true, rung_reasons, rungs };
         }
         if stats.relative_residual <= best_stats.relative_residual {
             best_x.copy_from_slice(x);
@@ -150,7 +193,7 @@ pub fn solve_escalated(
     // No rung converged: hand back the best iterate seen, not the last.
     x.copy_from_slice(&best_x);
     let escalated = attempts > 1;
-    EscalationOutcome { stats: best_stats, attempts, escalated, rung_reasons }
+    EscalationOutcome { stats: best_stats, attempts, escalated, rung_reasons, rungs }
 }
 
 #[cfg(test)]
@@ -248,6 +291,30 @@ mod tests {
         let out = solve_escalated(&a, &IdentityPrecond, &b, &mut x, &opts, &policy, &mut ws);
         assert!(!out.stats.converged());
         assert_eq!(out.attempts, 3);
+    }
+
+    #[test]
+    fn rung_traces_mirror_the_ladder() {
+        // Same starved setup as `bicgstab_is_the_last_rung`: the trace
+        // must show gmres(2) → gmres(3) → bicgstab with per-rung timing.
+        let n = 120;
+        let a = laplace_1d(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let mut ws = KrylovWorkspace::new(n, 2);
+        let opts = SolverOptions { tolerance: 1e-14, restart: 2, max_iterations: 2, ..Default::default() };
+        let policy = EscalationPolicy { larger_restarts: vec![3], bicgstab_fallback: true, time_budget: None };
+        let out = solve_escalated(&a, &IdentityPrecond, &b, &mut x, &opts, &policy, &mut ws);
+        assert_eq!(out.rungs.len(), out.attempts);
+        assert_eq!(
+            out.rungs.iter().map(|r| (r.solver, r.restart)).collect::<Vec<_>>(),
+            vec![("gmres", 2), ("gmres", 3), ("bicgstab", 0)]
+        );
+        for (r, reason) in out.rungs.iter().zip(&out.rung_reasons) {
+            assert_eq!(r.reason, *reason);
+            assert!(r.seconds >= 0.0 && r.seconds.is_finite());
+            assert!(r.relative_residual.is_finite());
+        }
     }
 
     #[test]

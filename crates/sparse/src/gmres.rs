@@ -132,6 +132,9 @@ pub fn gmres_with_workspace(
 
     let mut history = Vec::new();
     let mut total_iters = 0usize;
+    // Krylov cycles started; `restarts` reported is cycles beyond the
+    // first (a solve that never starts a cycle also reports 0).
+    let mut cycles = 0usize;
 
     // Preconditioned rhs norm scales the inner recurrence; the true
     // (unpreconditioned) norm scales the convergence criterion.
@@ -150,6 +153,7 @@ pub fn gmres_with_workspace(
             iterations: 0,
             relative_residual: 0.0,
             history,
+            restarts: 0,
         };
     }
 
@@ -177,6 +181,7 @@ pub fn gmres_with_workspace(
                 iterations: total_iters,
                 relative_residual: raw_rel,
                 history,
+                restarts: cycles.saturating_sub(1),
             };
         }
         if last_rel.is_finite() && last_rel > 0.0 && raw_rel > opts.tolerance {
@@ -192,6 +197,7 @@ pub fn gmres_with_workspace(
                 iterations: total_iters,
                 relative_residual: raw_rel,
                 history,
+                restarts: cycles.saturating_sub(1),
             };
         }
         if deadline.expired() {
@@ -203,6 +209,7 @@ pub fn gmres_with_workspace(
                 iterations: total_iters,
                 relative_residual: raw_rel,
                 history,
+                restarts: cycles.saturating_sub(1),
             };
         }
         // Preconditioned residual starts the Krylov cycle.
@@ -220,9 +227,11 @@ pub fn gmres_with_workspace(
                 iterations: total_iters,
                 relative_residual: raw_rel,
                 history,
+                restarts: cycles.saturating_sub(1),
             };
         }
         last_rel = beta / b_norm;
+        cycles += 1;
 
         // v₀ = r/β into basis slot 0 (no allocation: slots are reused).
         for (slot, &ri) in ws.basis[..n].iter_mut().zip(ws.r.iter()) {
@@ -326,6 +335,7 @@ pub fn gmres_with_workspace(
                 iterations: total_iters,
                 relative_residual: final_rel,
                 history,
+                restarts: cycles.saturating_sub(1),
             };
         }
         // Loop back: the outer loop re-verifies with the true residual
@@ -402,6 +412,43 @@ mod tests {
         let stats = gmres(&a, &IdentityPrecond, &b, &mut x, &SolverOptions::default());
         assert!(stats.converged());
         assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn restart_count_reflects_cycles() {
+        let n = 120;
+        let a = laplace_1d(n);
+        let b = vec![1.0; n];
+
+        // Large restart: converges inside the first cycle → 0 restarts.
+        let mut x = vec![0.0; n];
+        let one_cycle = gmres(
+            &a,
+            &IdentityPrecond,
+            &b,
+            &mut x,
+            &SolverOptions { tolerance: 1e-8, restart: 200, ..Default::default() },
+        );
+        assert!(one_cycle.converged());
+        assert_eq!(one_cycle.restarts, 0);
+
+        // Tiny restart: a 1-D Laplacian needs many cycles at m = 2.
+        let mut x = vec![0.0; n];
+        let many = gmres(
+            &a,
+            &IdentityPrecond,
+            &b,
+            &mut x,
+            &SolverOptions { tolerance: 1e-8, restart: 2, max_iterations: 100_000, ..Default::default() },
+        );
+        assert!(many.converged());
+        assert!(many.restarts > 0, "m=2 should have restarted: {many:?}");
+        // Restart cycles are bounded by iterations / 1 per cycle minimum.
+        assert!(many.restarts < many.iterations);
+
+        // Zero RHS: no cycle ever starts.
+        let stats = gmres(&a, &IdentityPrecond, &vec![0.0; n], &mut vec![1.0; n], &SolverOptions::default());
+        assert_eq!(stats.restarts, 0);
     }
 
     #[test]

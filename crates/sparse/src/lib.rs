@@ -32,7 +32,7 @@ pub use cg::conjugate_gradient;
 pub use csr::{CsrMatrix, TripletBuilder};
 pub use eigen::{condition_estimate, largest_eigenvalue, smallest_eigenvalue};
 pub use error::SparseError;
-pub use escalate::{solve_escalated, EscalationOutcome, EscalationPolicy};
+pub use escalate::{solve_escalated, EscalationOutcome, EscalationPolicy, RungTrace};
 pub use gmres::{gmres, gmres_with_workspace, KrylovWorkspace};
 pub use ordering::{bandwidth, permute_symmetric, reverse_cuthill_mckee};
 pub use precond::{BlockJacobiPrecond, BlockSolve, IdentityPrecond, Ilu0, JacobiPrecond, Preconditioner};

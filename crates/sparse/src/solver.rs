@@ -56,6 +56,10 @@ pub struct SolveStats {
     pub relative_residual: f64,
     /// Residual history (per the contract above), for convergence plots.
     pub history: Vec<f64>,
+    /// Completed restart cycles beyond the first (GMRES): a solve that
+    /// finished inside its first Krylov cycle reports `0`. Always `0`
+    /// for non-restarted methods (CG, BiCGStab).
+    pub restarts: usize,
 }
 
 impl SolveStats {
@@ -97,6 +101,11 @@ impl Default for SolverOptions {
 
 /// Deadline derived from a [`SolverOptions::time_budget`], checked inside
 /// the Krylov loops.
+///
+/// Deliberately stays on raw `Instant` rather than the obs clock: the
+/// check sits in the hot Krylov loop and enforces a *real-time* surgical
+/// budget — it must fire on wall time even when the surrounding system
+/// is being driven by a logical clock.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Deadline(Option<std::time::Instant>);
 

@@ -10,6 +10,13 @@ cargo test -q
 # explicitly so a filtered test run can't silently skip it.
 cargo test -q --test failure_injection
 
+# Observability stage: the obs crate's determinism and schema tests
+# (logical-clock snapshots, JSON round-trips) plus a small warm-solve
+# run to prove a report binary emits a valid brainshift.obs.v1 document
+# into bench_out/.
+cargo test -q -p brainshift-obs
+cargo run -q --release -p brainshift-bench --bin warm_solve_json -- 4000 3
+
 # Conformance stage: the oracle hierarchy (patch tests, MMS convergence,
 # differential solver harness, golden fields) at its acceptance
 # thresholds, then the report bin — which exits non-zero unless every
@@ -29,7 +36,7 @@ cargo run -q --release -p brainshift-bench --bin service_throughput_json -- 3 3 
 cargo clippy --all-targets -- -D warnings
 
 # The numeric kernels must not panic on bad input — constructors return
-# typed errors instead. The sparse, FEM, core and service crates deny
-# clippy::unwrap_used / clippy::panic in their non-test code (see the
-# cfg_attr in each crate's lib.rs); lint the libs to enforce it.
-cargo clippy -p brainshift-sparse -p brainshift-fem -p brainshift-core -p brainshift-service --lib -- -D warnings
+# typed errors instead. The obs, sparse, FEM, core and service crates
+# deny clippy::unwrap_used / clippy::panic in their non-test code (see
+# the cfg_attr in each crate's lib.rs); lint the libs to enforce it.
+cargo clippy -p brainshift-obs -p brainshift-sparse -p brainshift-fem -p brainshift-core -p brainshift-service --lib -- -D warnings
