@@ -48,7 +48,7 @@ fn main() {
 
     // k-NN.
     let t0 = Stopwatch::wall();
-    let tree = KdTree::build(protos.clone());
+    let tree = KdTree::build(protos.clone()).expect("phantom prototypes are valid");
     let seg_knn = classify_volume(&fs, &tree, seg_cfg.k);
     let t_knn = t0.elapsed_s();
     // Gaussian ML.

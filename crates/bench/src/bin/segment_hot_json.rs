@@ -1,0 +1,233 @@
+//! Measure the per-scan *hot path* — tissue classification (SoA kd-tree
+//! k-NN, optionally incremental against the previous scan) + active
+//! surface + warm FEM solve + resample — on the intraoperative phantom
+//! sequence, and write the numbers to `bench_out/segment_hot.json` in the
+//! shared `brainshift.obs.v1` report schema.
+//!
+//! Two passes over the same sequence:
+//! * `exact` — `incremental_threshold = 0`: bitwise identical to a full
+//!   re-classification of every scan (proven in-process below).
+//! * `incremental` — a small positive threshold: voxels whose weighted
+//!   features moved less than the threshold keep their cached label.
+//!
+//! ```bash
+//! cargo run --release --bin segment_hot_json -- [scans] [threshold]
+//! ```
+
+use brainshift_core::pipeline::PipelineConfig;
+use brainshift_core::sequence::{generate_scan_sequence, ScanSequence};
+use brainshift_core::surgery::{PreparedSurgery, ScanRegistration};
+use brainshift_imaging::phantom::{BrainShiftConfig, PhantomConfig};
+use brainshift_imaging::volume::{Dims, Spacing};
+use brainshift_obs::{BenchReport, JsonValue, Registry, Stopwatch};
+use brainshift_segment::classify::build_feature_stack;
+use brainshift_segment::{
+    classify_volume, classify_volume_incremental, IncrementalCache, KdTree, PrototypeModel,
+};
+use std::path::PathBuf;
+
+/// One registered scan's numbers, flattened for the report.
+struct Row {
+    reg: ScanRegistration,
+}
+
+impl Row {
+    fn total_s(&self) -> f64 {
+        self.reg.timings.total_s()
+    }
+
+    fn to_json(&self, i: usize) -> JsonValue {
+        let t = &self.reg.timings;
+        JsonValue::obj()
+            .with("scan", i.into())
+            .with("classification_s", t.classification_s.into())
+            .with("feature_s", t.feature_s.into())
+            .with("knn_build_s", t.knn_build_s.into())
+            .with("knn_query_s", t.knn_query_s.into())
+            .with("morphology_s", t.morphology_s.into())
+            .with("surface_s", t.surface_s.into())
+            .with("solve_s", t.solve_s.into())
+            .with("resample_s", t.resample_s.into())
+            .with("total_s", self.total_s().into())
+            .with("reclassified_voxels", self.reg.reclassified_voxels.into())
+            .with("total_voxels", self.reg.total_voxels.into())
+            .with("used_incremental", self.reg.used_incremental.into())
+            .with("knn_leaf_visits", JsonValue::from(self.reg.knn_leaf_visits as usize))
+    }
+}
+
+/// Register every scan of the sequence with the given incremental
+/// threshold; returns (prepare_s, context_setup_s, per-scan rows).
+fn run_pass(seq: &ScanSequence, threshold: f32) -> (f64, f64, Vec<Row>) {
+    let mut cfg = PipelineConfig { skip_rigid: true, ..Default::default() };
+    cfg.segment.incremental_threshold = threshold;
+    let sw = Stopwatch::wall();
+    let prepared = PreparedSurgery::new(&seq.reference.labels, cfg).expect("prepare failed");
+    let prepare_s = sw.elapsed_s();
+    let sw = Stopwatch::wall();
+    let mut ctx = prepared.build_solver_context().expect("context build failed");
+    let setup_s = sw.elapsed_s();
+    let mut rows = Vec::with_capacity(seq.scans.len());
+    let mut last = None;
+    for scan in &seq.scans {
+        let reg = prepared
+            .register_scan(&mut ctx, &scan.intensity, last.as_ref(), None, None)
+            .expect("register failed");
+        last = Some(reg.field.clone());
+        rows.push(Row { reg });
+    }
+    (prepare_s, setup_s, rows)
+}
+
+/// Prove the incremental invariant on this very sequence: at threshold 0,
+/// carrying the cache across scans is bitwise identical to a full
+/// classification of every scan. Returns the number of scans checked.
+fn prove_exactness(seq: &ScanSequence) -> usize {
+    let cfg = PipelineConfig::default().segment;
+    let mut classes = seq.reference.labels.labels();
+    classes.retain(|&c| c != brainshift_imaging::labels::RESECTION);
+    let model =
+        PrototypeModel::sample(&seq.reference.labels, &classes, cfg.per_class, cfg.seed);
+    let mut cache: Option<IncrementalCache> = None;
+    for (i, scan) in seq.scans.iter().enumerate() {
+        let fs = build_feature_stack(&scan.intensity, &seq.reference.labels, &classes, &cfg);
+        let tree = KdTree::build(model.extract(&fs)).expect("phantom prototypes are valid");
+        let full = classify_volume(&fs, &tree, cfg.k);
+        let inc = classify_volume_incremental(&fs, &tree, cfg.k, 0.0, cache.take());
+        assert_eq!(
+            inc.labels.data(),
+            full.data(),
+            "scan {i}: incremental(0) diverged from full classification"
+        );
+        cache = Some(inc.cache);
+    }
+    seq.scans.len()
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(f64::total_cmp);
+    if v.is_empty() { 0.0 } else { v[v.len() / 2] }
+}
+
+fn print_rows(name: &str, rows: &[Row]) {
+    println!("\n[{name}]");
+    println!(
+        "{:<5} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>11} {:>6}",
+        "scan", "class ms", "knn ms", "surf ms", "solve ms", "resmp ms", "total ms", "reclass", "inc"
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let t = &r.reg.timings;
+        println!(
+            "{:<5} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>5}/{:<5} {:>6}",
+            i,
+            t.classification_s * 1e3,
+            t.knn_query_s * 1e3,
+            t.surface_s * 1e3,
+            t.solve_s * 1e3,
+            t.resample_s * 1e3,
+            r.total_s() * 1e3,
+            r.reg.reclassified_voxels,
+            r.reg.total_voxels,
+            if r.reg.used_incremental { "yes" } else { "no" }
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n_scans: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8).max(2);
+    let threshold: f32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2.0);
+
+    // The PR-5 baseline scale: 32×32×24 @ 4.5 mm, progressive shift, no
+    // resection (every scan reuses the same tissue classes).
+    let dims = Dims::new(32, 32, 24);
+    let seq = generate_scan_sequence(
+        &PhantomConfig { dims, spacing: Spacing::iso(4.5), ..Default::default() },
+        &BrainShiftConfig { peak_shift_mm: 8.0, ..Default::default() },
+        n_scans,
+        n_scans,
+    );
+    println!(
+        "phantom sequence: {}×{}×{} @ 4.5 mm, {} scans; incremental threshold {}",
+        dims.nx, dims.ny, dims.nz, n_scans, threshold
+    );
+
+    let checked = prove_exactness(&seq);
+    println!("exactness: incremental(0) bitwise == full on all {checked} scans");
+
+    let metrics = Registry::with_wall_clock();
+    let (exact_prepare_s, exact_setup_s, exact) = run_pass(&seq, 0.0);
+    let (_, _, incr) = run_pass(&seq, threshold);
+
+    print_rows("exact (threshold 0)", &exact);
+    print_rows(&format!("incremental (threshold {threshold})"), &incr);
+
+    // Warm scans = everything after the first (the first scan pays the
+    // cold classification cache miss; the solver context is prebuilt).
+    let warm_totals = |rows: &[Row]| rows[1..].iter().map(Row::total_s).collect::<Vec<_>>();
+    let exact_p50 = median(warm_totals(&exact));
+    let incr_p50 = median(warm_totals(&incr));
+    let exact_class_p50 =
+        median(exact[1..].iter().map(|r| r.reg.timings.classification_s).collect());
+    let exact_surface_p50 = median(exact[1..].iter().map(|r| r.reg.timings.surface_s).collect());
+    println!(
+        "\nonce per surgery: prepare {:.1} ms, solver context {:.1} ms",
+        exact_prepare_s * 1e3,
+        exact_setup_s * 1e3
+    );
+    println!(
+        "warm p50: exact {:.2} ms, incremental {:.2} ms (classification {:.2} ms, surface {:.2} ms)",
+        exact_p50 * 1e3,
+        incr_p50 * 1e3,
+        exact_class_p50 * 1e3,
+        exact_surface_p50 * 1e3
+    );
+
+    // The thresholded pass must actually skip work on the static voxels.
+    let reclassified: usize = incr[1..].iter().map(|r| r.reg.reclassified_voxels).sum();
+    let total: usize = incr[1..].iter().map(|r| r.reg.total_voxels).sum();
+    assert!(
+        reclassified < total,
+        "thresholded pass re-classified every voxel ({reclassified}/{total})"
+    );
+    println!(
+        "incremental pass re-classified {reclassified}/{total} warm voxels ({:.1}%)",
+        100.0 * reclassified as f64 / total as f64
+    );
+
+    for r in &exact[1..] {
+        metrics.record_span_s("warm/scan_total", r.total_s());
+        metrics.record_span_s("warm/classification", r.reg.timings.classification_s);
+        metrics.record_span_s("warm/surface", r.reg.timings.surface_s);
+    }
+    metrics.counter_add("scans", n_scans as u64);
+    metrics.counter_add("exactness_scans_checked", checked as u64);
+    metrics.counter_add("incremental_reclassified_voxels", reclassified as u64);
+    metrics.counter_add("incremental_total_voxels", total as u64);
+    metrics.gauge_set("warm_total_p50_ms", exact_p50 * 1e3);
+    metrics.gauge_set("warm_total_p50_incremental_ms", incr_p50 * 1e3);
+
+    let rows_json = |rows: &[Row]| {
+        JsonValue::Arr(rows.iter().enumerate().map(|(i, r)| r.to_json(i)).collect())
+    };
+    let mut report = BenchReport::new("segment_hot");
+    report.params = JsonValue::obj()
+        .with("dims", format!("{}x{}x{}", dims.nx, dims.ny, dims.nz).into())
+        .with("spacing_mm", 4.5.into())
+        .with("scans", n_scans.into())
+        .with("incremental_threshold", f64::from(threshold).into());
+    report.metrics = metrics.snapshot();
+    report.extra = JsonValue::obj()
+        .with("prepare_s", exact_prepare_s.into())
+        .with("context_setup_s", exact_setup_s.into())
+        .with("exact_rows", rows_json(&exact))
+        .with("incremental_rows", rows_json(&incr))
+        .with("warm_total_p50_s", exact_p50.into())
+        .with("warm_total_p50_incremental_s", incr_p50.into())
+        .with("warm_classification_p50_s", exact_class_p50.into())
+        .with("warm_surface_p50_s", exact_surface_p50.into());
+
+    let path = PathBuf::from("bench_out").join("segment_hot.json");
+    report.write(&path).expect("write segment_hot.json");
+    println!("\nwritten: {}", path.display());
+}

@@ -9,6 +9,7 @@
 
 use brainshift_fem::FemError;
 use brainshift_mesh::MeshError;
+use brainshift_segment::SegmentError;
 use brainshift_sparse::SparseError;
 use std::fmt;
 
@@ -21,6 +22,8 @@ pub enum Error {
     Fem(FemError),
     /// The sparse layer rejected a matrix or preconditioner.
     Sparse(SparseError),
+    /// The classifier rejected its training data (malformed prototypes).
+    Segment(SegmentError),
     /// A pipeline-level invariant was violated (with a description).
     Pipeline(String),
 }
@@ -31,6 +34,7 @@ impl fmt::Display for Error {
             Error::Mesh(e) => write!(f, "mesh error: {e}"),
             Error::Fem(e) => write!(f, "FEM error: {e}"),
             Error::Sparse(e) => write!(f, "sparse error: {e}"),
+            Error::Segment(e) => write!(f, "segmentation error: {e}"),
             Error::Pipeline(msg) => write!(f, "pipeline error: {msg}"),
         }
     }
@@ -42,6 +46,7 @@ impl std::error::Error for Error {
             Error::Mesh(e) => Some(e),
             Error::Fem(e) => Some(e),
             Error::Sparse(e) => Some(e),
+            Error::Segment(e) => Some(e),
             Error::Pipeline(_) => None,
         }
     }
@@ -65,6 +70,12 @@ impl From<SparseError> for Error {
     }
 }
 
+impl From<SegmentError> for Error {
+    fn from(e: SegmentError) -> Self {
+        Error::Segment(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,5 +87,8 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e = Error::Pipeline("empty mesh".into());
         assert!(e.to_string().contains("empty mesh"));
+        let e = Error::from(SegmentError::EmptyPrototypeSet);
+        assert!(e.to_string().contains("prototype"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -17,7 +17,9 @@ use brainshift_imaging::field::{invert_field, warp_volume_backward};
 use brainshift_imaging::{labels, DisplacementField, Vec3, Volume};
 use brainshift_mesh::{extract_boundary, mesh_labeled_volume, MesherConfig, TetMesh, TriSurface};
 use brainshift_register::{register_rigid, RigidRegConfig, RigidRegResult};
-use brainshift_segment::{largest_component, segment_intraop, SegmentConfig};
+use brainshift_obs::Stopwatch;
+use brainshift_segment::classify::build_feature_stack;
+use brainshift_segment::{classify_volume, largest_component, KdTree, PrototypeModel, SegmentConfig};
 use brainshift_surface::{evolve_surface, ActiveSurfaceConfig, DistanceForce, EdgeForce, ExternalForce};
 
 /// Which external force drives the active surface toward the intraop
@@ -189,9 +191,22 @@ pub fn run_pipeline_with_solver(
     };
 
     // ── Intraoperative tissue classification (k-NN, Fig 1). ──
+    // `segment_intraop` inlined so the sub-stages land in the timings.
+    let mut class_sub = [0.0f64; 3]; // feature stack, kd-tree build, k-NN query
     let intraop_seg = timeline.stage("tissue classification", true, || {
-        segment_intraop(intraop_intensity, &ref_seg_aligned, &cfg.segment)
-    });
+        let mut sw = Stopwatch::wall();
+        let mut classes = ref_seg_aligned.labels();
+        classes.retain(|&c| c != labels::RESECTION);
+        let model =
+            PrototypeModel::sample(&ref_seg_aligned, &classes, cfg.segment.per_class, cfg.segment.seed);
+        let fs = build_feature_stack(intraop_intensity, &ref_seg_aligned, &classes, &cfg.segment);
+        class_sub[0] = sw.lap_s();
+        let tree = KdTree::build(model.extract(&fs))?;
+        class_sub[1] = sw.lap_s();
+        let seg = classify_volume(&fs, &tree, cfg.segment.k);
+        class_sub[2] = sw.lap_s();
+        Ok::<_, crate::error::Error>(seg)
+    })?;
 
     // ── Mesh the reference brain (initialization; overlappable). ──
     let mesh = timeline.stage("mesh generation", true, || {
@@ -309,6 +324,12 @@ pub fn run_pipeline_with_solver(
         factorization_s: ctx_timings.factorization_s - base.factorization_s,
         solve_s: ctx_timings.solve_s - base.solve_s,
         resample_s: timeline.seconds_of("visualization resample"),
+        feature_s: class_sub[0],
+        knn_build_s: class_sub[1],
+        knn_query_s: class_sub[2],
+        // Morphology runs inside the surface stage on this monolithic
+        // path; `PreparedSurgery::register_scan` measures it separately.
+        ..Default::default()
     };
 
     Ok(PipelineResult {

@@ -30,17 +30,21 @@ use crate::sequence::ScanStatus;
 use crate::timeline::StageTimings;
 use brainshift_obs::Stopwatch;
 use brainshift_fem::{displacement_field_from_mesh, DirichletBcs, SolverContext};
+use brainshift_imaging::dtransform::label_distance_map;
 use brainshift_imaging::{labels, DisplacementField, Vec3, Volume};
 use brainshift_mesh::{extract_boundary, mesh_labeled_volume, TetMesh, TriSurface};
-use brainshift_segment::{largest_component, segment_intraop_with_model, PrototypeModel};
+use brainshift_segment::{
+    classify_volume_incremental, largest_component, FeatureStack, IncrementalCache, KdTree,
+    PrototypeModel,
+};
 use brainshift_sparse::{EscalationPolicy, SolverOptions, StopReason};
-use brainshift_surface::{evolve_surface, DistanceForce};
+use brainshift_surface::{evolve_surface_with, DistanceForce, NeighborTable};
+use std::sync::{Arc, Mutex};
 
 /// The once-per-surgery state: everything derived from the reference
 /// (first intraoperative) scan that later scans reuse unchanged.
 pub struct PreparedSurgery {
     cfg: PipelineConfig,
-    reference_labels: Volume<u8>,
     mesh: TetMesh,
     surface: TriSurface,
     /// Mesh boundary snapped onto the reference brain boundary (cancels
@@ -48,6 +52,16 @@ pub struct PreparedSurgery {
     /// from these positions).
     snap_positions: Vec<Vec3>,
     model: PrototypeModel,
+    /// Saturated distance channels of the reference segmentation, one per
+    /// model class — the per-surgery constant half of every scan's
+    /// feature stack, computed once and shared by `Arc`.
+    distance_channels: Vec<Arc<Volume<f32>>>,
+    /// Vertex adjacency of the boundary surface, built once; every scan's
+    /// active-surface evolution reuses it.
+    neighbor_table: NeighborTable,
+    /// Previous scan's classification state for incremental k-NN. `None`
+    /// before the first scan and after a shape/model mismatch.
+    seg_cache: Mutex<Option<IncrementalCache>>,
 }
 
 /// Outcome of registering one intraoperative scan via
@@ -68,10 +82,22 @@ pub struct ScanRegistration {
     pub rung_reasons: Vec<StopReason>,
     /// Mean active-surface residual distance to the target (mm).
     pub surface_residual: f64,
+    /// Voxels actually pushed through k-NN this scan (< `total_voxels`
+    /// when the incremental cache was used and parts of the head were
+    /// static).
+    pub reclassified_voxels: usize,
+    /// Total voxels in the scan grid.
+    pub total_voxels: usize,
+    /// Whether the previous scan's classification cache was accepted.
+    pub used_incremental: bool,
+    /// kd-tree leaf blocks scanned by this scan's k-NN queries.
+    pub knn_leaf_visits: u64,
     /// Per-stage wall-clock breakdown for this scan. Assembly, reduction
     /// and factorization are `0.0` on the warm path (they belong to
     /// [`PreparedSurgery::build_solver_context`]); the solve entry is the
     /// Krylov time of this scan only, not the context's cumulative total.
+    /// The classification sub-stages (feature stack, kd-tree build, k-NN
+    /// query, morphology) are filled in and sum to `classification_s`.
     pub timings: StageTimings,
 }
 
@@ -96,14 +122,25 @@ impl PreparedSurgery {
         );
         let ref_mask = largest_component(&reference_labels.map(|&l| labels::is_brain_tissue(l)));
         let force_ref = DistanceForce::from_mask(&ref_mask, cfg.surface_force_step);
-        let snap = evolve_surface(&surface, &force_ref, &cfg.active_surface);
+        let neighbor_table = NeighborTable::build(&surface);
+        let snap = evolve_surface_with(&surface, &neighbor_table, &force_ref, &cfg.active_surface);
+        // The distance channels of the feature stack depend only on the
+        // reference segmentation: compute them once here, share them into
+        // every scan's stack.
+        let distance_channels = model
+            .classes()
+            .iter()
+            .map(|&c| Arc::new(label_distance_map(reference_labels, c, cfg.segment.distance_cap)))
+            .collect();
         Ok(PreparedSurgery {
             cfg,
-            reference_labels: reference_labels.clone(),
             mesh,
             surface,
             snap_positions: snap.positions,
             model,
+            distance_channels,
+            neighbor_table,
+            seg_cache: Mutex::new(None),
         })
     }
 
@@ -151,18 +188,49 @@ impl PreparedSurgery {
         escalation_override: Option<&EscalationPolicy>,
     ) -> Result<ScanRegistration, Error> {
         let mut sw = Stopwatch::wall();
-        let seg = segment_intraop_with_model(
-            intensity,
-            &self.reference_labels,
-            &self.model,
-            &self.cfg.segment,
+        // Feature stack: fresh intensity channel + the per-surgery shared
+        // distance channels (computed once in `new`).
+        let mut fs = FeatureStack::from_intensity(intensity.clone());
+        for chan in &self.distance_channels {
+            fs.push_shared_channel(chan.clone(), self.cfg.segment.distance_weight);
+        }
+        let feature_s = sw.lap_s();
+        // The paper's automatic model update: prototype features re-read
+        // from the current scan at the recorded sites.
+        let tree = KdTree::build(self.model.extract(&fs))?;
+        let knn_build_s = sw.lap_s();
+        // Incremental k-NN against the previous scan's cache. The cache is
+        // taken out under the lock (a concurrent scan of the same surgery
+        // simply misses) and the fresh state is stored back after the
+        // pass; a poisoned lock only means a panicked scan, whose cache
+        // state is still structurally sound.
+        let prev = self
+            .seg_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        let inc = classify_volume_incremental(
+            &fs,
+            &tree,
+            self.cfg.segment.k,
+            self.cfg.segment.incremental_threshold,
+            prev,
         );
-        let classification_s = sw.lap_s();
+        let knn_query_s = sw.lap_s();
+        let (seg, reclassified_voxels, total_voxels, used_incremental, knn_leaf_visits) =
+            (inc.labels, inc.reclassified, inc.total, inc.used_cache, inc.leaf_visits);
+        *self
+            .seg_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(inc.cache);
         let target = largest_component(&seg.map(|&l| labels::is_brain_tissue(l)));
+        let morphology_s = sw.lap_s();
+        let classification_s = feature_s + knn_build_s + knn_query_s + morphology_s;
         let force = DistanceForce::from_mask(&target, self.cfg.surface_force_step);
         let mut snapped = self.surface.clone();
         snapped.vertices = self.snap_positions.clone();
-        let evolved = evolve_surface(&snapped, &force, &self.cfg.active_surface);
+        let evolved =
+            evolve_surface_with(&snapped, &self.neighbor_table, &force, &self.cfg.active_surface);
         let mut bcs = DirichletBcs::new();
         for (v, &node) in self.surface.mesh_node.iter().enumerate() {
             bcs.set(node, evolved.positions[v] - self.snap_positions[v]);
@@ -193,6 +261,10 @@ impl PreparedSurgery {
         };
         let timings = StageTimings {
             classification_s,
+            feature_s,
+            knn_build_s,
+            knn_query_s,
+            morphology_s,
             surface_s,
             solve_s: ctx.timings().last_solve_s,
             resample_s: sw.lap_s(),
@@ -205,6 +277,10 @@ impl PreparedSurgery {
             attempts: sol.attempts,
             rung_reasons: sol.rung_reasons,
             surface_residual: evolved.final_distance,
+            reclassified_voxels,
+            total_voxels,
+            used_incremental,
+            knn_leaf_visits,
             timings,
         })
     }
@@ -262,6 +338,35 @@ mod tests {
         assert_eq!(s.assemblies, 1);
         assert_eq!(s.factorizations, 1);
         assert_eq!(s.solves, 2);
+    }
+
+    #[test]
+    fn repeated_scan_is_served_incrementally() {
+        // Serving the *same* scan twice: the second pass re-extracts the
+        // same prototypes (same tree fingerprint), the cache is accepted,
+        // and every feature row is unchanged — zero k-NN work at
+        // threshold 0, with an identical segmentation-driven surface.
+        let seq = small_seq(1);
+        let cfg = PipelineConfig { skip_rigid: true, ..Default::default() };
+        let prepared = PreparedSurgery::new(&seq.reference.labels, cfg).expect("prepare failed");
+        let mut ctx = prepared.build_solver_context().expect("context build failed");
+        let first = prepared
+            .register_scan(&mut ctx, &seq.scans[0].intensity, None, None, None)
+            .expect("register failed");
+        assert!(!first.used_incremental);
+        assert_eq!(first.reclassified_voxels, first.total_voxels);
+        assert!(first.knn_leaf_visits > 0);
+        let second = prepared
+            .register_scan(&mut ctx, &seq.scans[0].intensity, None, None, None)
+            .expect("register failed");
+        assert!(second.used_incremental, "identical rescan must hit the cache");
+        assert_eq!(second.reclassified_voxels, 0);
+        assert_eq!(second.total_voxels, seq.scans[0].intensity.dims().len());
+        assert_eq!(second.surface_residual, first.surface_residual);
+        // Sub-stage laps cover the whole classification stage.
+        let t = second.timings;
+        let sub = t.feature_s + t.knn_build_s + t.knn_query_s + t.morphology_s;
+        assert!((sub - t.classification_s).abs() < 1e-9);
     }
 
     #[test]

@@ -104,8 +104,22 @@ impl Timeline {
 /// visible.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StageTimings {
-    /// Intraoperative tissue classification (k-NN relabel).
+    /// Intraoperative tissue classification (k-NN relabel). This is the
+    /// stage *total*; the four `*_s` fields below it are its informational
+    /// sub-stages and are excluded from [`StageTimings::total_s`] so the
+    /// time is not double-counted.
     pub classification_s: f64,
+    /// Sub-stage of classification: assembling the multichannel feature
+    /// stack (intensity + shared distance channels).
+    pub feature_s: f64,
+    /// Sub-stage of classification: prototype extraction + kd-tree build.
+    pub knn_build_s: f64,
+    /// Sub-stage of classification: the whole-volume (or incremental)
+    /// k-NN query pass.
+    pub knn_query_s: f64,
+    /// Sub-stage of classification: morphological cleanup of the brain
+    /// mask (largest connected component).
+    pub morphology_s: f64,
     /// Volumetric mesh generation.
     pub mesh_s: f64,
     /// Surface extraction + active-surface displacement.
@@ -123,7 +137,9 @@ pub struct StageTimings {
 }
 
 impl StageTimings {
-    /// Sum of all stages.
+    /// Sum of all stages. The classification sub-stages (`feature_s`,
+    /// `knn_build_s`, `knn_query_s`, `morphology_s`) are already counted
+    /// inside `classification_s` and do not enter the sum.
     pub fn total_s(&self) -> f64 {
         self.classification_s
             + self.mesh_s
@@ -139,6 +155,10 @@ impl StageTimings {
     /// whole-sequence totals).
     pub fn accumulate(&mut self, other: &StageTimings) {
         self.classification_s += other.classification_s;
+        self.feature_s += other.feature_s;
+        self.knn_build_s += other.knn_build_s;
+        self.knn_query_s += other.knn_query_s;
+        self.morphology_s += other.morphology_s;
         self.mesh_s += other.mesh_s;
         self.surface_s += other.surface_s;
         self.assembly_s += other.assembly_s;
@@ -152,8 +172,12 @@ impl StageTimings {
     pub fn render(&self) -> String {
         let mut out = String::from("Per-stage breakdown of the intraoperative solve\n");
         out.push_str(&format!("{:<34} {:>10}\n", "Stage", "Time (s)"));
-        let rows: [(&str, f64); 8] = [
+        let rows: [(&str, f64); 12] = [
             ("tissue classification", self.classification_s),
+            ("  feature stack", self.feature_s),
+            ("  kd-tree build", self.knn_build_s),
+            ("  k-NN query", self.knn_query_s),
+            ("  morphology", self.morphology_s),
             ("mesh generation", self.mesh_s),
             ("surface displacement", self.surface_s),
             ("FEM assembly", self.assembly_s),
@@ -163,6 +187,12 @@ impl StageTimings {
             ("visualization resample", self.resample_s),
         ];
         for (name, seconds) in rows {
+            // Indented rows are classification sub-stages; a path that
+            // didn't measure one (exactly 0.0) omits the row rather than
+            // print a misleading zero.
+            if name.starts_with(' ') && seconds == 0.0 {
+                continue;
+            }
             out.push_str(&format!("{name:<34} {seconds:>10.3}\n"));
         }
         out.push_str(&format!("{:<34} {:>10.3}\n", "TOTAL", self.total_s()));
@@ -233,6 +263,29 @@ mod tests {
         let table = a.render();
         for row in ["tissue classification", "mesh generation", "FEM assembly", "Dirichlet reduction", "GMRES solve", "visualization resample", "TOTAL"] {
             assert!(table.contains(row), "missing row {row}:\n{table}");
+        }
+    }
+
+    #[test]
+    fn classification_substages_render_but_do_not_double_count() {
+        let mut a = StageTimings {
+            classification_s: 1.0,
+            feature_s: 0.2,
+            knn_build_s: 0.3,
+            knn_query_s: 0.4,
+            morphology_s: 0.1,
+            solve_s: 2.0,
+            ..Default::default()
+        };
+        // Sub-stages are part of classification_s, not extra time.
+        assert!((a.total_s() - 3.0).abs() < 1e-12);
+        let b = a;
+        a.accumulate(&b);
+        assert!((a.knn_query_s - 0.8).abs() < 1e-12);
+        assert!((a.total_s() - 6.0).abs() < 1e-12);
+        let table = a.render();
+        for row in ["feature stack", "kd-tree build", "k-NN query", "morphology"] {
+            assert!(table.contains(row), "missing sub-row {row}:\n{table}");
         }
     }
 }

@@ -30,7 +30,9 @@ impl ConfusionMatrix {
         labels.sort_unstable();
         labels.dedup();
         let n = labels.len();
-        let idx = |l: u8| labels.binary_search(&l).unwrap();
+        // Every label in either volume is in `labels` by construction;
+        // the fallback index is unreachable.
+        let idx = |l: u8| labels.binary_search(&l).unwrap_or(0);
         let mut counts = vec![0u64; n * n];
         for (&t, &p) in truth.data().iter().zip(predicted.data()) {
             counts[idx(t) * n + idx(p)] += 1;

@@ -5,30 +5,52 @@
 //! combined data sets is then represented by a vector having components
 //! from the intraoperative MR scan [and] the spatially varying tissue
 //! location model..."
+//!
+//! Channels are reference-counted so the per-surgery constant channels
+//! (the saturated distance maps of the *preoperative* segmentation) can
+//! be computed once and shared across every scan's stack; only the
+//! intensity channel changes per scan. For the classification hot loop
+//! the stack is flattened into a [`FeatureMatrix`] — one contiguous
+//! weighted row per voxel — so queries borrow a slice instead of
+//! allocating a `Vec` per voxel.
+
+use std::sync::Arc;
 
 use brainshift_imaging::dtransform::label_distance_map;
+use brainshift_imaging::volume::Spacing;
 use brainshift_imaging::{Dims, Volume};
+use rayon::prelude::*;
 
 /// A stack of aligned scalar channels: channel 0 is MR intensity, the rest
 /// are saturated distance maps of preoperative tissue classes.
 #[derive(Debug, Clone)]
 pub struct FeatureStack {
     dims: Dims,
-    channels: Vec<Volume<f32>>,
+    spacing: Spacing,
+    channels: Vec<Arc<Volume<f32>>>,
     /// Per-channel scale applied when extracting vectors (balances
     /// intensity units against millimetre distances).
     weights: Vec<f32>,
 }
 
 impl FeatureStack {
-    /// Start a stack from the intensity channel with weight 1.
+    /// Start a stack from the intensity channel with weight 1. The
+    /// intensity volume's grid spacing becomes the stack's spacing and is
+    /// propagated onto classification outputs.
     pub fn from_intensity(intensity: Volume<f32>) -> Self {
         let dims = intensity.dims();
-        FeatureStack { dims, channels: vec![intensity], weights: vec![1.0] }
+        let spacing = intensity.spacing();
+        FeatureStack { dims, spacing, channels: vec![Arc::new(intensity)], weights: vec![1.0] }
     }
 
     /// Add an arbitrary channel.
     pub fn push_channel(&mut self, channel: Volume<f32>, weight: f32) {
+        self.push_shared_channel(Arc::new(channel), weight);
+    }
+
+    /// Add a channel shared with other stacks (e.g. the per-surgery
+    /// distance maps reused across scans) without copying its data.
+    pub fn push_shared_channel(&mut self, channel: Arc<Volume<f32>>, weight: f32) {
         assert_eq!(channel.dims(), self.dims, "channel grid mismatch");
         self.channels.push(channel);
         self.weights.push(weight);
@@ -52,6 +74,11 @@ impl FeatureStack {
         self.dims
     }
 
+    /// Grid spacing (taken from the intensity channel).
+    pub fn spacing(&self) -> Spacing {
+        self.spacing
+    }
+
     /// Feature vector of voxel `(x, y, z)` (weights applied).
     pub fn vector(&self, x: usize, y: usize, z: usize) -> Vec<f32> {
         self.channels
@@ -68,6 +95,88 @@ impl FeatureStack {
             .zip(&self.weights)
             .map(|(c, &w)| c.data()[idx] * w)
             .collect()
+    }
+
+    /// Flatten into a contiguous weighted feature matrix (one row per
+    /// voxel), filled in parallel over voxel slabs.
+    pub fn to_matrix(&self) -> FeatureMatrix {
+        let n = self.dims.len();
+        let c = self.channels.len();
+        let mut data = vec![0.0f32; n * c];
+        // Row-slab parallelism: each chunk owns `MATRIX_SLAB` complete
+        // rows, written channel-major for contiguous reads of the source.
+        data.par_chunks_mut(MATRIX_SLAB * c).enumerate().for_each(|(s, chunk)| {
+            let base = s * MATRIX_SLAB;
+            let rows = chunk.len() / c;
+            for (ci, (chan, &w)) in self.channels.iter().zip(&self.weights).enumerate() {
+                let src = &chan.data()[base..base + rows];
+                for (r, &v) in src.iter().enumerate() {
+                    chunk[r * c + ci] = v * w;
+                }
+            }
+        });
+        FeatureMatrix { dims: self.dims, spacing: self.spacing, channels: c, data }
+    }
+}
+
+/// Rows per parallel slab when flattening or classifying a volume.
+pub(crate) const MATRIX_SLAB: usize = 4096;
+
+/// A flattened feature stack: `dims.len() × channels` weighted feature
+/// values, row-major per voxel. This is the classification hot loop's
+/// working layout, and what the incremental re-classification cache keeps
+/// from the previous scan to measure per-voxel feature drift.
+#[derive(Debug, Clone)]
+pub struct FeatureMatrix {
+    dims: Dims,
+    spacing: Spacing,
+    channels: usize,
+    data: Vec<f32>,
+}
+
+impl FeatureMatrix {
+    /// Grid dimensions.
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    /// Grid spacing propagated from the source stack.
+    pub fn spacing(&self) -> Spacing {
+        self.spacing
+    }
+
+    /// Features per voxel.
+    pub fn num_channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The weighted feature row of voxel `idx`.
+    pub fn row(&self, idx: usize) -> &[f32] {
+        &self.data[idx * self.channels..(idx + 1) * self.channels]
+    }
+
+    /// Largest absolute per-channel difference between this matrix's and
+    /// `prev`'s row for voxel `idx` (both in weighted feature units).
+    /// Returns NaN if any compared value is NaN, which callers must treat
+    /// as "changed".
+    pub fn row_delta_max(&self, prev: &FeatureMatrix, idx: usize) -> f32 {
+        let mut m = 0.0f32;
+        for (a, b) in self.row(idx).iter().zip(prev.row(idx)) {
+            let d = (a - b).abs();
+            // Propagate NaN: `max` would silently drop it, and the
+            // negated `<=` (unlike `>`) is true for NaN.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(d <= m) {
+                m = d;
+            }
+        }
+        m
+    }
+
+    /// True when `other` has the same grid and channel count, i.e. rows
+    /// are comparable voxel-for-voxel.
+    pub fn same_shape(&self, other: &FeatureMatrix) -> bool {
+        self.dims == other.dims && self.channels == other.channels
     }
 }
 
@@ -86,6 +195,57 @@ mod tests {
         assert_eq!(fs.num_channels(), 2);
         assert_eq!(fs.vector(2, 3, 0), vec![2.0, 1.5]);
         assert_eq!(fs.vector_at(d.index(2, 3, 0)), vec![2.0, 1.5]);
+    }
+
+    #[test]
+    fn matrix_rows_match_vector_at() {
+        let d = Dims::new(5, 4, 3);
+        let intensity = Volume::from_fn(d, Spacing::new(1.0, 2.0, 3.0), |x, y, z| {
+            (x + 10 * y + 100 * z) as f32
+        });
+        let mut fs = FeatureStack::from_intensity(intensity);
+        let extra = Volume::from_fn(d, Spacing::new(1.0, 2.0, 3.0), |_, y, _| y as f32);
+        fs.push_channel(extra, 0.25);
+        let m = fs.to_matrix();
+        assert_eq!(m.num_channels(), 2);
+        assert_eq!(m.spacing(), fs.spacing());
+        for idx in 0..d.len() {
+            assert_eq!(m.row(idx), fs.vector_at(idx).as_slice());
+        }
+    }
+
+    #[test]
+    fn stack_keeps_intensity_spacing() {
+        let sp = Spacing::new(0.9, 1.1, 2.5);
+        let intensity = Volume::from_fn(Dims::new(3, 3, 3), sp, |_, _, _| 0.0f32);
+        let fs = FeatureStack::from_intensity(intensity);
+        assert_eq!(fs.spacing(), sp);
+    }
+
+    #[test]
+    fn shared_channels_are_not_copied() {
+        let d = Dims::new(4, 4, 4);
+        let chan = Arc::new(Volume::from_fn(d, Spacing::iso(1.0), |x, _, _| x as f32));
+        let mut a = FeatureStack::from_intensity(Volume::zeros(d, Spacing::iso(1.0)));
+        let mut b = FeatureStack::from_intensity(Volume::zeros(d, Spacing::iso(1.0)));
+        a.push_shared_channel(chan.clone(), 1.0);
+        b.push_shared_channel(chan.clone(), 1.0);
+        assert_eq!(Arc::strong_count(&chan), 3);
+        assert_eq!(a.vector(2, 0, 0)[1], 2.0);
+    }
+
+    #[test]
+    fn row_delta_detects_single_channel_drift() {
+        let d = Dims::new(4, 1, 1);
+        let base = FeatureStack::from_intensity(Volume::from_fn(d, Spacing::iso(1.0), |x, _, _| x as f32))
+            .to_matrix();
+        let moved =
+            FeatureStack::from_intensity(Volume::from_fn(d, Spacing::iso(1.0), |x, _, _| {
+                x as f32 + if x == 2 { 0.5 } else { 0.0 }
+            }))
+            .to_matrix();
+        assert_eq!(moved.row_delta_max(&base, 0), 0.0);
+        assert_eq!(moved.row_delta_max(&base, 2), 0.5);
     }
 
     #[test]

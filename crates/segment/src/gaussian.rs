@@ -38,7 +38,9 @@ impl GaussianClassifier {
         let mut means = vec![vec![0.0; dim]; classes.len()];
         let mut variances = vec![vec![0.0; dim]; classes.len()];
         let mut counts = vec![0usize; classes.len()];
-        let idx_of = |l: u8| classes.binary_search(&l).unwrap();
+        // Every prototype label is in `classes` by construction; the
+        // fallback index is unreachable.
+        let idx_of = |l: u8| classes.binary_search(&l).unwrap_or(0);
         for p in prototypes {
             let c = idx_of(p.label);
             counts[c] += 1;
@@ -108,14 +110,14 @@ impl GaussianClassifier {
         self.classes[best]
     }
 
-    /// Classify a whole feature stack.
+    /// Classify a whole feature stack, keeping the stack's grid spacing.
     pub fn classify_volume(&self, features: &FeatureStack) -> Volume<u8> {
         let d = features.dims();
         let data: Vec<u8> = (0..d.len())
             .into_par_iter()
             .map(|idx| self.classify(&features.vector_at(idx)))
             .collect();
-        Volume::from_vec(d, brainshift_imaging::Spacing::iso(1.0), data)
+        Volume::from_vec(d, features.spacing(), data)
     }
 }
 
@@ -205,7 +207,7 @@ mod tests {
             protos.push(Prototype { features: vec![rng.gen_range(-0.5f32..0.5)], label: 1 });
         }
         let gauss = GaussianClassifier::fit(&protos);
-        let tree = KdTree::build(protos);
+        let tree = KdTree::build(protos).unwrap();
         // At the centre, k-NN is right and the Gaussian (whose class-0
         // model is a huge blob centred at 0 with enormous variance) is
         // plausible-but-wrong more often.

@@ -7,9 +7,11 @@
 //! scans, plus morphological cleanup utilities.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 pub mod classify;
 pub mod confusion;
+pub mod error;
 pub mod features;
 pub mod gaussian;
 pub mod knn;
@@ -17,9 +19,14 @@ pub mod morphology;
 pub mod prototypes;
 
 pub use confusion::ConfusionMatrix;
-pub use classify::{dice, largest_component, segment_intraop, segment_intraop_with_model, SegmentConfig};
-pub use features::FeatureStack;
+pub use classify::{
+    classify_matrix, classify_matrix_serial, classify_volume, classify_volume_incremental, dice,
+    largest_component, segment_intraop, segment_intraop_with_model, IncrementalCache,
+    IncrementalClassification, SegmentConfig,
+};
+pub use error::SegmentError;
+pub use features::{FeatureMatrix, FeatureStack};
 pub use gaussian::GaussianClassifier;
-pub use knn::{KdTree, Prototype};
+pub use knn::{k_nearest_brute, KdTree, KnnScratch, Prototype, LEAF_SIZE};
 pub use morphology::{close, dilate, erode, open};
 pub use prototypes::PrototypeModel;

@@ -1,0 +1,130 @@
+//! Property tests of the per-scan classification hot path.
+//!
+//! The contract under test is the one `PreparedSurgery` leans on: an
+//! incremental pass with `threshold == 0` is *bitwise identical* to a
+//! full re-classification, no matter what threshold schedule, feature
+//! drift, or mid-sequence prototype reseed the cache survived — and the
+//! parallel slab classifier is bit-identical to the serial oracle, so the
+//! result never depends on the worker thread count.
+
+use brainshift_imaging::volume::{Dims, Spacing, Volume};
+use brainshift_segment::{
+    classify_matrix, classify_matrix_serial, classify_volume, classify_volume_incremental,
+    FeatureStack, IncrementalCache, KdTree, Prototype,
+};
+use proptest::prelude::*;
+
+/// Fixed test grid: big enough to span several classifier slabs' worth of
+/// rows on any thread count, small enough to keep case counts high.
+const DIMS: (usize, usize, usize) = (6, 5, 4);
+const N_VOX: usize = DIMS.0 * DIMS.1 * DIMS.2;
+
+/// Two-channel feature stack: a generated intensity channel plus a fixed
+/// synthetic "distance" channel (static across scans, like the real
+/// preoperative distance maps).
+fn stack(intensity: &[f32]) -> FeatureStack {
+    let dims = Dims::new(DIMS.0, DIMS.1, DIMS.2);
+    let sp = Spacing::iso(1.0);
+    let mut fs =
+        FeatureStack::from_intensity(Volume::from_vec(dims, sp, intensity[..N_VOX].to_vec()));
+    let aux = Volume::from_fn(dims, sp, |x, y, z| (x + 2 * y + 3 * z) as f32 * 0.25);
+    fs.push_channel(aux, 0.75);
+    fs
+}
+
+fn prototypes(raw: &[(f32, f32, u8)]) -> Vec<Prototype> {
+    raw.iter().map(|&(a, b, l)| Prototype { features: vec![a, b], label: l }).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Carry one cache through an arbitrary scan sequence — drifting
+    /// features, a mix of exact and lossy thresholds, and occasional
+    /// prototype reseeds that invalidate the kd-tree mid-sequence. Every
+    /// exact-mode scan must be bitwise identical to a full pass, and a
+    /// reseeded tree must never be served from a stale exact-mode cache.
+    #[test]
+    fn exact_mode_matches_full_under_any_schedule(
+        base in prop::collection::vec(-5.0f32..5.0, N_VOX),
+        protos_raw in prop::collection::vec((-8.0f32..8.0, -8.0f32..8.0, 1u8..6), 3..24),
+        scans in prop::collection::vec(
+            // (threshold index, reseed prototypes?, per-voxel drift)
+            (0usize..3, 0usize..4, prop::collection::vec(-0.6f32..0.6, N_VOX)),
+            1..6,
+        ),
+        k in 1usize..6,
+    ) {
+        let thresholds = [0.0f32, 0.3, 1.5];
+        let mut protos = prototypes(&protos_raw);
+        let mut intensity = base;
+        let mut cache: Option<IncrementalCache> = None;
+        for (t_idx, reseed, drift) in &scans {
+            if *reseed == 0 {
+                // A reseeded prototype model: same labels, moved samples.
+                for p in &mut protos {
+                    p.features[0] += 0.37;
+                }
+            }
+            for (v, d) in intensity.iter_mut().zip(drift) {
+                *v += d;
+            }
+            let tree = KdTree::build(protos.clone()).expect("generated prototypes are valid");
+            let fs = stack(&intensity);
+            let threshold = thresholds[*t_idx];
+            let had_cache = cache.is_some();
+            let stale_tree = cache
+                .as_ref()
+                .is_some_and(|c| c.tree_fingerprint != tree.fingerprint());
+            let inc = classify_volume_incremental(&fs, &tree, k, threshold, cache.take());
+            prop_assert!(inc.reclassified <= inc.total);
+            prop_assert_eq!(inc.total, N_VOX);
+            if threshold == 0.0 {
+                let full = classify_volume(&fs, &tree, k);
+                prop_assert_eq!(inc.labels.data(), full.data());
+                if had_cache && stale_tree {
+                    prop_assert!(
+                        !inc.used_cache,
+                        "exact mode accepted a cache from a different kd-tree"
+                    );
+                }
+            }
+            cache = Some(inc.cache);
+        }
+    }
+
+    /// Re-presenting the identical scan in exact mode touches zero voxels
+    /// and reproduces the labels bit-for-bit.
+    #[test]
+    fn identical_rescan_reclassifies_nothing(
+        base in prop::collection::vec(-5.0f32..5.0, N_VOX),
+        protos_raw in prop::collection::vec((-8.0f32..8.0, -8.0f32..8.0, 1u8..6), 3..24),
+        k in 1usize..6,
+    ) {
+        let tree = KdTree::build(prototypes(&protos_raw)).expect("generated prototypes are valid");
+        let fs = stack(&base);
+        let first = classify_volume_incremental(&fs, &tree, k, 0.0, None);
+        prop_assert_eq!(first.reclassified, N_VOX);
+        let second = classify_volume_incremental(&fs, &tree, k, 0.0, Some(first.cache));
+        prop_assert!(second.used_cache);
+        prop_assert_eq!(second.reclassified, 0);
+        prop_assert_eq!(second.labels.data(), first.labels.data());
+    }
+
+    /// The parallel slab classifier equals the serial oracle bit-for-bit.
+    /// Slab decomposition depends on the worker count, so this equality —
+    /// checked under different `RAYON_NUM_THREADS` by the verify script —
+    /// is the thread-count determinism guarantee.
+    #[test]
+    fn parallel_classification_matches_serial_oracle(
+        base in prop::collection::vec(-5.0f32..5.0, N_VOX),
+        protos_raw in prop::collection::vec((-8.0f32..8.0, -8.0f32..8.0, 1u8..6), 3..24),
+        k in 1usize..8,
+    ) {
+        let tree = KdTree::build(prototypes(&protos_raw)).expect("generated prototypes are valid");
+        let matrix = stack(&base).to_matrix();
+        let par = classify_matrix(&matrix, &tree, k);
+        let ser = classify_matrix_serial(&matrix, &tree, k);
+        prop_assert_eq!(par.data(), ser.data());
+    }
+}

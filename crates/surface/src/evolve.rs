@@ -6,11 +6,60 @@
 //! rigidity-lite) forces; explicit iteration runs until the surface sits
 //! on the target boundary. The resulting per-vertex displacements are the
 //! correspondences handed to the FEM as Dirichlet data.
+//!
+//! The iteration is the per-scan hot loop, so it is written around reuse:
+//! vertex adjacency is a flat CSR-style [`NeighborTable`] built once per
+//! surgery, positions double-buffer between two preallocated arrays, and
+//! the convergence residual is reduced deterministically (parallel fill
+//! of a distance buffer, serial sum) so the result is independent of the
+//! worker thread count.
 
 use crate::forces::ExternalForce;
 use brainshift_imaging::Vec3;
 use brainshift_mesh::TriSurface;
 use rayon::prelude::*;
+
+/// Vertices per parallel chunk of the update loop. Fixed (rather than
+/// derived from the thread count) so the work decomposition is stable.
+const VERTEX_CHUNK: usize = 512;
+
+/// Flat vertex→vertex adjacency (CSR layout): `indices[offsets[i]..
+/// offsets[i+1]]` are the neighbours of vertex `i`, sorted. One build per
+/// surgery replaces the per-call `Vec<Vec<usize>>` of
+/// `TriSurface::vertex_neighbors`, and the evolution loop walks a single
+/// contiguous array instead of chasing per-vertex heap allocations.
+#[derive(Debug, Clone)]
+pub struct NeighborTable {
+    offsets: Vec<u32>,
+    indices: Vec<u32>,
+}
+
+impl NeighborTable {
+    /// Build the adjacency of `surface`'s triangle edges.
+    pub fn build(surface: &TriSurface) -> NeighborTable {
+        let nested = surface.vertex_neighbors();
+        let mut offsets = Vec::with_capacity(nested.len() + 1);
+        let mut indices = Vec::with_capacity(nested.iter().map(Vec::len).sum());
+        offsets.push(0u32);
+        for adj in &nested {
+            for &j in adj {
+                indices.push(j as u32);
+            }
+            offsets.push(indices.len() as u32);
+        }
+        NeighborTable { offsets, indices }
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Neighbours of vertex `i`, sorted ascending.
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.indices[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
 
 /// Evolution parameters.
 #[derive(Debug, Clone)]
@@ -58,64 +107,106 @@ pub struct ActiveSurfaceResult {
 }
 
 /// Evolve `surface` under `force` until its vertices sit on the target
-/// boundary.
+/// boundary. Builds the adjacency table internally; per-scan callers
+/// should build a [`NeighborTable`] once and use [`evolve_surface_with`].
 pub fn evolve_surface(
     surface: &TriSurface,
     force: &dyn ExternalForce,
     cfg: &ActiveSurfaceConfig,
 ) -> ActiveSurfaceResult {
-    let initial = surface.vertices.clone();
-    let mut pos = surface.vertices.clone();
-    let neighbors = surface.vertex_neighbors();
-    let n = pos.len();
+    evolve_surface_with(surface, &NeighborTable::build(surface), force, cfg)
+}
+
+/// [`evolve_surface`] with a caller-provided adjacency table (must belong
+/// to `surface`'s triangulation).
+pub fn evolve_surface_with(
+    surface: &TriSurface,
+    neighbors: &NeighborTable,
+    force: &dyn ExternalForce,
+    cfg: &ActiveSurfaceConfig,
+) -> ActiveSurfaceResult {
+    assert_eq!(neighbors.num_vertices(), surface.vertices.len(), "adjacency table mismatch");
+    let initial = &surface.vertices;
+    let n = initial.len();
+    let mut pos = initial.clone();
+    let mut next = vec![Vec3::ZERO; n];
+    let mut dist = vec![0.0f64; n];
     let mut iterations = 0;
     let mut converged = false;
     let mut final_distance = f64::INFINITY;
 
+    // Deterministic mean residual: parallel per-vertex fill, serial sum
+    // (a parallel float `.sum()` would depend on chunk boundaries).
+    let mean_distance = |pos: &[Vec3], dist: &mut [f64]| -> f64 {
+        dist.par_chunks_mut(VERTEX_CHUNK).enumerate().for_each(|(c, chunk)| {
+            let base = c * VERTEX_CHUNK;
+            for (i, d) in chunk.iter_mut().enumerate() {
+                *d = force.boundary_distance(pos[base + i]);
+            }
+        });
+        dist.iter().sum::<f64>() / dist.len().max(1) as f64
+    };
+
     let mut prev_dist = f64::INFINITY;
+    let mut stalled_checks = 0u32;
     while iterations < cfg.max_iterations {
         iterations += 1;
-        let next: Vec<Vec3> = (0..n)
-            .into_par_iter()
-            .map(|i| {
+        next.par_chunks_mut(VERTEX_CHUNK).enumerate().for_each(|(c, chunk)| {
+            let base = c * VERTEX_CHUNK;
+            for (k, out) in chunk.iter_mut().enumerate() {
+                let i = base + k;
                 let p = pos[i];
                 let f_ext = force.force(p);
                 // Membrane tension: pull toward the neighbor centroid
                 // (umbrella-operator Laplacian).
-                let f_int = if neighbors[i].is_empty() {
+                let adj = neighbors.neighbors(i);
+                let f_int = if adj.is_empty() {
                     Vec3::ZERO
                 } else {
                     let mut c = Vec3::ZERO;
-                    for &j in &neighbors[i] {
-                        c += pos[j];
+                    for &j in adj {
+                        c += pos[j as usize];
                     }
-                    c = c / neighbors[i].len() as f64;
+                    c = c / adj.len() as f64;
                     (c - p) * cfg.tension
                 };
-                p + (f_ext + f_int) * cfg.step
-            })
-            .collect();
-        pos = next;
-        if iterations % cfg.check_every == 0 {
-            let mean_dist: f64 = pos.par_iter().map(|&p| force.boundary_distance(p)).sum::<f64>() / n as f64;
+                *out = p + (f_ext + f_int) * cfg.step;
+            }
+        });
+        std::mem::swap(&mut pos, &mut next);
+        if cfg.check_every > 0 && iterations % cfg.check_every == 0 {
+            let mean_dist = mean_distance(&pos, &mut dist);
             final_distance = mean_dist;
+            let improvement = prev_dist - mean_dist;
             // Converged only when the residual is small AND has stopped
             // improving — a lagging minority of vertices (e.g. the sunken
             // cap under a craniotomy) must not be cut off by an early
             // mean-level pass.
-            let still_improving = prev_dist - mean_dist > 0.02 * cfg.tolerance;
+            let still_improving = improvement > 0.02 * cfg.tolerance;
             if mean_dist < cfg.tolerance && !still_improving {
                 converged = true;
                 break;
+            }
+            // Early exit on a stalled residual above tolerance: two
+            // consecutive checks without meaningful improvement mean the
+            // surface is stuck (force balance reached away from the
+            // target) and further iterations only burn the scan budget.
+            if mean_dist >= cfg.tolerance && improvement <= 0.02 * cfg.tolerance.abs() {
+                stalled_checks += 1;
+                if stalled_checks >= 2 {
+                    break;
+                }
+            } else {
+                stalled_checks = 0;
             }
             prev_dist = mean_dist;
         }
     }
     if final_distance.is_infinite() {
-        final_distance = pos.par_iter().map(|&p| force.boundary_distance(p)).sum::<f64>() / n.max(1) as f64;
+        final_distance = mean_distance(&pos, &mut dist);
         converged = final_distance < cfg.tolerance;
     }
-    let displacements = pos.iter().zip(&initial).map(|(a, b)| *a - *b).collect();
+    let displacements = pos.iter().zip(initial).map(|(a, b)| *a - *b).collect();
     ActiveSurfaceResult {
         positions: pos,
         displacements,
@@ -205,6 +296,53 @@ mod tests {
         let res = evolve_surface(&start, &target, &cfg);
         assert_eq!(res.iterations, 3);
         assert!(!res.converged);
+    }
+
+    #[test]
+    fn neighbor_table_matches_nested_adjacency() {
+        let s = TriSurface::sphere(Vec3::new(0.0, 0.0, 0.0), 5.0, 3);
+        let nested = s.vertex_neighbors();
+        let table = NeighborTable::build(&s);
+        assert_eq!(table.num_vertices(), nested.len());
+        for (i, adj) in nested.iter().enumerate() {
+            let flat: Vec<usize> = table.neighbors(i).iter().map(|&j| j as usize).collect();
+            assert_eq!(&flat, adj);
+        }
+    }
+
+    #[test]
+    fn reused_table_matches_internal_build() {
+        let c = Vec3::new(16.0, 16.0, 16.0);
+        let target = DistanceForce::from_mask(&sphere_mask(c, 6.0, 32), 1.0);
+        let start = TriSurface::sphere(c, 10.0, 3);
+        let table = NeighborTable::build(&start);
+        let a = evolve_surface(&start, &target, &ActiveSurfaceConfig::default());
+        let b = evolve_surface_with(&start, &table, &target, &ActiveSurfaceConfig::default());
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.positions, b.positions);
+    }
+
+    #[test]
+    fn stalled_evolution_exits_early() {
+        // A force balance the surface cannot escape: zero external force
+        // with a residual held far above tolerance. Without the stall
+        // exit this would burn all 400 iterations.
+        struct StuckForce;
+        impl crate::forces::ExternalForce for StuckForce {
+            fn force(&self, _p: Vec3) -> Vec3 {
+                Vec3::ZERO
+            }
+            fn boundary_distance(&self, _p: Vec3) -> f64 {
+                10.0
+            }
+        }
+        let start = TriSurface::sphere(Vec3::new(0.0, 0.0, 0.0), 8.0, 2);
+        let cfg = ActiveSurfaceConfig::default();
+        let res = evolve_surface(&start, &StuckForce, &cfg);
+        assert!(!res.converged);
+        // First check just seeds prev_dist; the next two stall and break.
+        assert_eq!(res.iterations, 3 * cfg.check_every, "should stop after two stalled checks");
+        assert!((res.final_distance - 10.0).abs() < 1e-12);
     }
 
     #[test]

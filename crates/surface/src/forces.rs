@@ -28,11 +28,18 @@ pub trait ExternalForce: Sync {
 /// steepest descent of `½ φ²`, pointing toward the zero level set from
 /// both sides. This is the robust potential used for the brain surface,
 /// where the segmentation already identifies the target region.
+///
+/// The gradient field is precomputed once at construction and stored as
+/// three flat `f32` arrays; the interior fast path samples φ and ∇φ in
+/// one fused trilinear pass (the eight corner weights are shared), which
+/// is the dominant operation of the active-surface iteration.
 pub struct DistanceForce {
-    /// Signed distance (mm) stored with its gradient as a
-    /// displacement-field for trilinear evaluation.
+    /// Signed distance (mm).
     phi: Volume<f32>,
-    grad: DisplacementField,
+    /// Gradient components of φ, voxel-index aligned with `phi`.
+    gx: Vec<f32>,
+    gy: Vec<f32>,
+    gz: Vec<f32>,
     /// Gain limiting the per-step pull (mm).
     pub max_step: f64,
 }
@@ -44,9 +51,97 @@ impl DistanceForce {
         // spacing honored).
         let phi = signed_distance_transform(mask);
         let g = gradient(&phi);
-        let mut grad = DisplacementField::zeros(phi.dims(), phi.spacing());
-        grad.data_mut().copy_from_slice(&g);
-        DistanceForce { phi, grad, max_step }
+        let mut gx = Vec::with_capacity(g.len());
+        let mut gy = Vec::with_capacity(g.len());
+        let mut gz = Vec::with_capacity(g.len());
+        for v in &g {
+            gx.push(v.x as f32);
+            gy.push(v.y as f32);
+            gz.push(v.z as f32);
+        }
+        DistanceForce { phi, gx, gy, gz, max_step }
+    }
+
+    /// φ and ∇φ at continuous voxel coordinates, trilinearly interpolated
+    /// with shared corner weights on the interior fast path. Boundary and
+    /// outside samples fall back to the per-field rules: φ uses per-corner
+    /// clamping (fully outside ⇒ 1e3), ∇φ clamps the sample point.
+    fn sample_phi_grad(&self, p_vox: Vec3) -> (f64, Vec3) {
+        let d = self.phi.dims();
+        let x0 = p_vox.x.floor();
+        let y0 = p_vox.y.floor();
+        let z0 = p_vox.z.floor();
+        let interior = x0 >= 0.0
+            && y0 >= 0.0
+            && z0 >= 0.0
+            && x0 + 1.0 <= d.nx as f64 - 1.0
+            && y0 + 1.0 <= d.ny as f64 - 1.0
+            && z0 + 1.0 <= d.nz as f64 - 1.0;
+        if interior {
+            let (xi, yi, zi) = (x0 as usize, y0 as usize, z0 as usize);
+            let fx = p_vox.x - x0;
+            let fy = p_vox.y - y0;
+            let fz = p_vox.z - z0;
+            let base = d.index(xi, yi, zi);
+            let sx = 1usize;
+            let sy = d.nx;
+            let sz = d.nx * d.ny;
+            let phi = self.phi.data();
+            let mut acc_p = 0.0f64;
+            let mut acc_g = Vec3::ZERO;
+            for (oz, wz) in [(0usize, 1.0 - fz), (sz, fz)] {
+                for (oy, wy) in [(0usize, 1.0 - fy), (sy, fy)] {
+                    let wzy = wz * wy;
+                    for (ox, wx) in [(0usize, 1.0 - fx), (sx, fx)] {
+                        let w = wzy * wx;
+                        if w == 0.0 {
+                            continue;
+                        }
+                        let i = base + oz + oy + ox;
+                        acc_p += w * phi[i] as f64;
+                        acc_g.x += w * self.gx[i] as f64;
+                        acc_g.y += w * self.gy[i] as f64;
+                        acc_g.z += w * self.gz[i] as f64;
+                    }
+                }
+            }
+            return (acc_p, acc_g);
+        }
+        let phi = brainshift_imaging::interp::sample_trilinear(&self.phi, p_vox, 1e3) as f64;
+        (phi, self.sample_grad_clamped(p_vox))
+    }
+
+    /// ∇φ with the sample point clamped into the grid (the behaviour of
+    /// `DisplacementField::sample`, kept for boundary/outside points).
+    fn sample_grad_clamped(&self, p_vox: Vec3) -> Vec3 {
+        let d = self.phi.dims();
+        let cx = p_vox.x.clamp(0.0, d.nx as f64 - 1.0);
+        let cy = p_vox.y.clamp(0.0, d.ny as f64 - 1.0);
+        let cz = p_vox.z.clamp(0.0, d.nz as f64 - 1.0);
+        let x0 = cx.floor() as usize;
+        let y0 = cy.floor() as usize;
+        let z0 = cz.floor() as usize;
+        let x1 = (x0 + 1).min(d.nx - 1);
+        let y1 = (y0 + 1).min(d.ny - 1);
+        let z1 = (z0 + 1).min(d.nz - 1);
+        let fx = cx - x0 as f64;
+        let fy = cy - y0 as f64;
+        let fz = cz - z0 as f64;
+        let mut acc = Vec3::ZERO;
+        for (iz, wz) in [(z0, 1.0 - fz), (z1, fz)] {
+            for (iy, wy) in [(y0, 1.0 - fy), (y1, fy)] {
+                for (ix, wx) in [(x0, 1.0 - fx), (x1, fx)] {
+                    let w = wx * wy * wz;
+                    if w != 0.0 {
+                        let i = d.index(ix, iy, iz);
+                        acc.x += w * self.gx[i] as f64;
+                        acc.y += w * self.gy[i] as f64;
+                        acc.z += w * self.gz[i] as f64;
+                    }
+                }
+            }
+        }
+        acc
     }
 
     fn sample_phi(&self, p_vox: Vec3) -> f64 {
@@ -58,8 +153,7 @@ impl ExternalForce for DistanceForce {
     fn force(&self, p: Vec3) -> Vec3 {
         let sp = self.phi.spacing();
         let p_vox = Vec3::new(p.x / sp.dx, p.y / sp.dy, p.z / sp.dz);
-        let phi = self.sample_phi(p_vox);
-        let g = self.grad.sample(p_vox);
+        let (phi, g) = self.sample_phi_grad(p_vox);
         // Descend ½φ²: step = −φ ∇φ, saturated to max_step.
         let raw = -(g * phi);
         let n = raw.norm();
@@ -173,6 +267,34 @@ mod tests {
         let far = Vec3::new(12.0 + 11.0, 12.0, 12.0);
         assert!(f.boundary_distance(on) < 1.3);
         assert!(f.boundary_distance(far) > 3.0);
+    }
+
+    #[test]
+    fn fused_sample_matches_separate_paths_inside_grid() {
+        let f = DistanceForce::from_mask(&sphere_mask(6.0), 100.0);
+        for p in [
+            Vec3::new(12.3, 11.7, 12.9),
+            Vec3::new(4.5, 18.2, 9.1),
+            Vec3::new(0.25, 0.75, 0.5),
+            Vec3::new(22.0, 22.0, 22.0),
+        ] {
+            // The scalar path rounds through f32; the fused path keeps
+            // its f64 accumulator, so compare at f32 precision.
+            let (phi, g) = f.sample_phi_grad(p);
+            assert!((phi - f.sample_phi(p)).abs() < 1e-4, "phi mismatch at {p:?}");
+            let gs = f.sample_grad_clamped(p);
+            assert!((g - gs).norm() < 1e-9, "grad mismatch at {p:?}");
+        }
+    }
+
+    #[test]
+    fn force_finite_outside_grid() {
+        let f = DistanceForce::from_mask(&sphere_mask(6.0), 1.5);
+        for p in [Vec3::new(-10.0, 12.0, 12.0), Vec3::new(12.0, 12.0, 200.0)] {
+            let v = f.force(p);
+            assert!(v.x.is_finite() && v.y.is_finite() && v.z.is_finite());
+            assert!(v.norm() <= 1.5 + 1e-9);
+        }
     }
 
     #[test]

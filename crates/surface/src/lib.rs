@@ -8,9 +8,12 @@
 //! volumetric simulation.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 pub mod evolve;
 pub mod forces;
 
-pub use evolve::{evolve_surface, ActiveSurfaceConfig, ActiveSurfaceResult};
+pub use evolve::{
+    evolve_surface, evolve_surface_with, ActiveSurfaceConfig, ActiveSurfaceResult, NeighborTable,
+};
 pub use forces::{DistanceForce, EdgeForce, ExternalForce};

@@ -25,6 +25,17 @@ cargo test -q --test conformance_gate
 cargo test -q -p brainshift-conformance
 cargo run -q --release -p brainshift-conformance --bin conformance_report
 
+# Segment stage: the per-scan hot path. Property tests prove the
+# incremental classifier bitwise-exact at threshold 0 and the parallel
+# slab classifier equal to the serial oracle; running the suites under
+# two different worker counts extends the equality across thread counts.
+# Then a short hot-path bench run, which asserts the exactness invariant
+# on a real phantom sequence and that the thresholded pass skips work,
+# writing bench_out/segment_hot.json.
+RAYON_NUM_THREADS=1 cargo test -q -p brainshift-segment -p brainshift-surface
+RAYON_NUM_THREADS=4 cargo test -q -p brainshift-segment -p brainshift-surface
+cargo run -q --release -p brainshift-bench --bin segment_hot_json -- 4
+
 # Service stage: scheduler/cache property tests + threaded fault
 # injection, then a small-scale smoke of the open-loop load generator
 # (3 surgeries × 3 scans, 1.5 s cadence — ~40% utilization on one CPU)
@@ -36,7 +47,8 @@ cargo run -q --release -p brainshift-bench --bin service_throughput_json -- 3 3 
 cargo clippy --all-targets -- -D warnings
 
 # The numeric kernels must not panic on bad input — constructors return
-# typed errors instead. The obs, sparse, FEM, core and service crates
-# deny clippy::unwrap_used / clippy::panic in their non-test code (see
-# the cfg_attr in each crate's lib.rs); lint the libs to enforce it.
-cargo clippy -p brainshift-obs -p brainshift-sparse -p brainshift-fem -p brainshift-core -p brainshift-service --lib -- -D warnings
+# typed errors instead. The obs, sparse, FEM, core, service, segment and
+# surface crates deny clippy::unwrap_used / clippy::panic in their
+# non-test code (see the cfg_attr in each crate's lib.rs); lint the libs
+# to enforce it.
+cargo clippy -p brainshift-obs -p brainshift-sparse -p brainshift-fem -p brainshift-core -p brainshift-service -p brainshift-segment -p brainshift-surface --lib -- -D warnings
