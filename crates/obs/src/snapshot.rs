@@ -213,6 +213,81 @@ impl Snapshot {
     pub fn from_json_str(text: &str) -> Result<Snapshot, JsonError> {
         Snapshot::from_json(&parse_json(text)?)
     }
+
+    /// A copy with every metric name (and span path) prefixed with
+    /// `"{prefix}."` — how a fleet namespaces its shards' registries
+    /// (`shard0.service.jobs.completed`, …) before merging them into one
+    /// document. Prefixing every name with the same string preserves the
+    /// sorted order, so the result is still a valid deterministic
+    /// snapshot.
+    pub fn prefixed(&self, prefix: &str) -> Snapshot {
+        let pre = |n: &String| format!("{prefix}.{n}");
+        Snapshot {
+            counters: self.counters.iter().map(|(n, v)| (pre(n), *v)).collect(),
+            gauges: self.gauges.iter().map(|(n, v)| (pre(n), *v)).collect(),
+            histograms: self.histograms.iter().map(|(n, h)| (pre(n), h.clone())).collect(),
+            spans: self.spans.iter().map(|(n, s)| (pre(n), s.clone())).collect(),
+        }
+    }
+
+    /// Merge several snapshots into one, re-sorted by name. Metric names
+    /// are expected to be disjoint (the fleet guarantees this by
+    /// [`Snapshot::prefixed`]-ing each shard); a name that does appear in
+    /// several inputs keeps one entry: counters / histogram and span
+    /// summaries are summed element-wise, gauges keep their maximum —
+    /// the aggregations that stay truthful for the fleet's additive
+    /// counters and peak-style gauges.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a Snapshot>) -> Snapshot {
+        let mut out = Snapshot::default();
+        for part in parts {
+            for (n, v) in &part.counters {
+                match out.counters.iter_mut().find(|(m, _)| m == n) {
+                    Some((_, acc)) => *acc += v,
+                    None => out.counters.push((n.clone(), *v)),
+                }
+            }
+            for (n, v) in &part.gauges {
+                match out.gauges.iter_mut().find(|(m, _)| m == n) {
+                    Some((_, acc)) => *acc = acc.max(*v),
+                    None => out.gauges.push((n.clone(), *v)),
+                }
+            }
+            for (n, h) in &part.histograms {
+                match out.histograms.iter_mut().find(|(m, _)| m == n) {
+                    // An empty side contributes nothing — and must not
+                    // drag min/max toward their 0.0 placeholders.
+                    Some((_, acc)) if h.count > 0 => {
+                        acc.min = if acc.count == 0 { h.min } else { acc.min.min(h.min) };
+                        acc.max = if acc.count == 0 { h.max } else { acc.max.max(h.max) };
+                        acc.count += h.count;
+                        acc.sum += h.sum;
+                        for (b, c) in acc.buckets.iter_mut().zip(&h.buckets) {
+                            *b += c;
+                        }
+                    }
+                    Some(_) => {}
+                    None => out.histograms.push((n.clone(), h.clone())),
+                }
+            }
+            for (n, s) in &part.spans {
+                match out.spans.iter_mut().find(|(m, _)| m == n) {
+                    Some((_, acc)) if s.count > 0 => {
+                        acc.min_s = if acc.count == 0 { s.min_s } else { acc.min_s.min(s.min_s) };
+                        acc.max_s = if acc.count == 0 { s.max_s } else { acc.max_s.max(s.max_s) };
+                        acc.count += s.count;
+                        acc.total_s += s.total_s;
+                    }
+                    Some(_) => {}
+                    None => out.spans.push((n.clone(), s.clone())),
+                }
+            }
+        }
+        out.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        out.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        out.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        out.spans.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +328,73 @@ mod tests {
         assert_eq!(HistogramSummary::bucket_index(2.0), 1);
         assert_eq!(HistogramSummary::bucket_index(1023.0), 9);
         assert_eq!(HistogramSummary::bucket_index(1e30), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn prefixed_renames_everything_and_stays_sorted() {
+        let snap = Snapshot {
+            counters: vec![("jobs.completed".into(), 7)],
+            gauges: vec![("queue.depth".into(), 3.0)],
+            histograms: vec![("latency_us".into(), HistogramSummary::empty())],
+            spans: vec![("scan/solve".into(), SpanSummary { count: 1, total_s: 0.1, min_s: 0.1, max_s: 0.1 })],
+        };
+        let p = snap.prefixed("shard2");
+        assert_eq!(p.counter("shard2.jobs.completed"), Some(7));
+        assert_eq!(p.gauge("shard2.queue.depth"), Some(3.0));
+        assert!(p.histogram("shard2.latency_us").is_some());
+        assert!(p.span("shard2.scan/solve").is_some());
+        assert_eq!(p.counter("jobs.completed"), None, "old names are gone");
+    }
+
+    #[test]
+    fn merged_sums_counters_and_keeps_disjoint_names_sorted() {
+        let a = Snapshot {
+            counters: vec![("shard0.done".into(), 3), ("total".into(), 3)],
+            gauges: vec![("peak".into(), 2.0)],
+            histograms: vec![],
+            spans: vec![],
+        };
+        let mut h = HistogramSummary::empty();
+        h.count = 2;
+        h.sum = 30.0;
+        h.min = 10.0;
+        h.max = 20.0;
+        h.buckets[HistogramSummary::bucket_index(10.0)] += 1;
+        h.buckets[HistogramSummary::bucket_index(20.0)] += 1;
+        let b = Snapshot {
+            counters: vec![("shard1.done".into(), 4), ("total".into(), 4)],
+            gauges: vec![("peak".into(), 5.0)],
+            histograms: vec![("lat".into(), h.clone())],
+            spans: vec![],
+        };
+        let m = Snapshot::merged([&a, &b]);
+        assert_eq!(m.counter("shard0.done"), Some(3));
+        assert_eq!(m.counter("shard1.done"), Some(4));
+        assert_eq!(m.counter("total"), Some(7), "colliding counters sum");
+        assert_eq!(m.gauge("peak"), Some(5.0), "colliding gauges keep the max");
+        assert_eq!(m.histogram("lat"), Some(&h));
+        let names: Vec<&str> = m.counters.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "merged snapshot stays name-sorted");
+    }
+
+    #[test]
+    fn merged_histograms_ignore_empty_placeholder_extremes() {
+        let mut h = HistogramSummary::empty();
+        h.count = 1;
+        h.sum = 50.0;
+        h.min = 50.0;
+        h.max = 50.0;
+        h.buckets[HistogramSummary::bucket_index(50.0)] += 1;
+        let full = Snapshot { histograms: vec![("lat".into(), h)], ..Snapshot::default() };
+        let empty =
+            Snapshot { histograms: vec![("lat".into(), HistogramSummary::empty())], ..Snapshot::default() };
+        let m = Snapshot::merged([&empty, &full]);
+        let lat = m.histogram("lat").expect("merged");
+        assert_eq!(lat.count, 1);
+        assert_eq!(lat.min, 50.0, "empty side's 0.0 placeholder must not leak into min");
+        assert_eq!(lat.max, 50.0);
     }
 
     #[test]

@@ -69,6 +69,14 @@ pub enum ServiceError {
     /// The job's result channel was dropped before a result arrived —
     /// the worker executing it panicked or the service was torn down.
     JobLost,
+    /// The job was still queued (admitted, never claimed by a worker)
+    /// when the service shut down and drained its queues. The ticket
+    /// resolves with this instead of hanging; the caller may resubmit the
+    /// scan to another service.
+    Cancelled {
+        /// The cancelled job's id.
+        job: u64,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -76,6 +84,9 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::Pipeline(e) => write!(f, "job execution failed: {e}"),
             ServiceError::JobLost => write!(f, "job result lost (worker died or service torn down)"),
+            ServiceError::Cancelled { job } => {
+                write!(f, "job {job} cancelled: still queued when the service shut down")
+            }
         }
     }
 }
@@ -84,7 +95,7 @@ impl std::error::Error for ServiceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServiceError::Pipeline(e) => Some(e),
-            ServiceError::JobLost => None,
+            ServiceError::JobLost | ServiceError::Cancelled { .. } => None,
         }
     }
 }

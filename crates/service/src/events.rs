@@ -44,6 +44,12 @@ pub enum EventKind {
         /// True when the session's solver context was served warm from
         /// the cache (false = cold build / rebuild after eviction).
         warm: bool,
+        /// Index of the worker executing the job.
+        worker: usize,
+        /// True when `worker` is not the session's preferred worker (the
+        /// job was stolen because the preferred worker's backlog exceeded
+        /// the steal threshold).
+        stolen: bool,
     },
     /// The job's solve walked at least one escalation rung.
     Escalate {
@@ -73,6 +79,16 @@ pub enum EventKind {
         session: u64,
         /// Bytes returned to the budget.
         freed_bytes: usize,
+    },
+    /// A job still queued when the service shut down was cancelled; its
+    /// ticket resolves with a typed
+    /// [`ServiceError::Cancelled`](crate::error::ServiceError) instead of
+    /// hanging.
+    Cancel {
+        /// Session the job belonged to.
+        session: u64,
+        /// Job id.
+        job: u64,
     },
     /// The job finished and its result was delivered.
     Complete {
@@ -125,8 +141,16 @@ impl Event {
                 };
                 let _ = write!(s, "reject s{session} {tag}");
             }
-            EventKind::Start { session, job, warm } => {
-                let _ = write!(s, "start s{session} j{job} {}", if *warm { "warm" } else { "cold" });
+            EventKind::Start { session, job, warm, worker, stolen } => {
+                let _ = write!(
+                    s,
+                    "start s{session} j{job} {} w{worker}{}",
+                    if *warm { "warm" } else { "cold" },
+                    if *stolen { " stolen" } else { "" }
+                );
+            }
+            EventKind::Cancel { session, job } => {
+                let _ = write!(s, "cancel s{session} j{job}");
             }
             EventKind::Escalate { session, job, attempts, reasons } => {
                 let _ = write!(s, "escalate s{session} j{job} a{attempts} {reasons:?}");
@@ -223,7 +247,7 @@ mod tests {
     fn sequence_numbers_are_dense_and_ordered() {
         let log = EventLog::new();
         log.record(5, 1, EventKind::Enqueue { session: 1, job: 0, deadline_us: 100, priority: 0 });
-        log.record(9, 0, EventKind::Start { session: 1, job: 0, warm: false });
+        log.record(9, 0, EventKind::Start { session: 1, job: 0, warm: false, worker: 0, stolen: false });
         log.record(20, 0, EventKind::Complete { session: 1, job: 0, missed_deadline: false });
         let ev = log.snapshot();
         assert_eq!(ev.len(), 3);
@@ -236,13 +260,13 @@ mod tests {
     fn script_omits_time_but_keeps_order_and_depths() {
         let log = EventLog::new();
         log.record(123, 2, EventKind::Enqueue { session: 7, job: 3, deadline_us: 900, priority: 1 });
-        log.record(456, 1, EventKind::Start { session: 7, job: 3, warm: true });
+        log.record(456, 1, EventKind::Start { session: 7, job: 3, warm: true, worker: 1, stolen: false });
         let s = log.script();
-        assert_eq!(s, "enqueue s7 j3 d900 p1 q=2\nstart s7 j3 warm q=1\n");
+        assert_eq!(s, "enqueue s7 j3 d900 p1 q=2\nstart s7 j3 warm w1 q=1\n");
         // Same events at different wall-clock times → identical script.
         let log2 = EventLog::new();
         log2.record(999, 2, EventKind::Enqueue { session: 7, job: 3, deadline_us: 900, priority: 1 });
-        log2.record(1999, 1, EventKind::Start { session: 7, job: 3, warm: true });
+        log2.record(1999, 1, EventKind::Start { session: 7, job: 3, warm: true, worker: 1, stolen: false });
         assert_eq!(log2.script(), s);
     }
 
@@ -252,11 +276,11 @@ mod tests {
         let stamped = EventLog::with_wall_clock();
         for log in [&plain, &stamped] {
             log.record(123, 2, EventKind::Enqueue { session: 7, job: 3, deadline_us: 900, priority: 1 });
-            log.record(456, 1, EventKind::Start { session: 7, job: 3, warm: true });
+            log.record(456, 1, EventKind::Start { session: 7, job: 3, warm: true, worker: 1, stolen: false });
         }
         // The determinism oracle is byte-identical either way.
         assert_eq!(plain.script(), stamped.script());
-        assert_eq!(stamped.script(), "enqueue s7 j3 d900 p1 q=2\nstart s7 j3 warm q=1\n");
+        assert_eq!(stamped.script(), "enqueue s7 j3 d900 p1 q=2\nstart s7 j3 warm w1 q=1\n");
         assert!(plain.snapshot().iter().all(|e| e.wall_unix_us.is_none()));
         let stamps: Vec<u64> = stamped.snapshot().iter().map(|e| e.wall_unix_us.expect("stamped")).collect();
         // Sanity: epoch-µs in the 21st century, non-decreasing.

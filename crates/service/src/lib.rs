@@ -29,17 +29,24 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 pub mod cache;
+pub mod dispatch;
 pub mod error;
 pub mod events;
+pub mod fleet;
 pub mod scheduler;
 pub mod service;
 pub mod session;
 pub mod sim;
 
 pub use cache::{CacheStats, ContextCache};
+pub use dispatch::{preferred_worker, route_shard, StealPolicy};
 pub use error::{Rejected, ServiceError};
 pub use events::{Event, EventKind, EventLog};
+pub use fleet::{Fleet, FleetConfig};
 pub use scheduler::{DeadlineQueue, QueuedJob, SchedulerPolicy};
 pub use service::{JobOutcome, JobTicket, ScanJob, Service, ServiceConfig};
 pub use session::{MeshFingerprint, SessionStats, SurgerySession};
-pub use sim::{simulate, SimConfig, SimJob, SimOutcome, SimReport};
+pub use sim::{
+    simulate, simulate_affinity, simulate_fleet, AffinityConfig, FleetSimConfig, FleetSimReport,
+    SimConfig, SimJob, SimOutcome, SimReport, StealRecord,
+};

@@ -1,24 +1,49 @@
 //! The threaded intraoperative service: a fixed worker pool executing
-//! deadline-queued scan jobs against cached warm solver contexts.
+//! deadline-queued scan jobs against cached warm solver contexts, with
+//! **session-affinity dispatch**.
 //!
 //! Lifecycle: [`Service::start`] spawns the workers; [`Service::open_session`]
-//! registers a prepared surgery; [`Service::submit`] admits a [`ScanJob`]
-//! through the bounded deadline queue (explicit [`Rejected`] backpressure)
-//! and returns a [`JobTicket`] the caller blocks on with
-//! [`JobTicket::wait`]; [`Service::shutdown`] stops admissions, drains the
-//! queue, and joins the workers.
+//! registers a prepared surgery and pins it to a preferred worker;
+//! [`Service::submit`] admits a [`ScanJob`] onto that worker's run queue
+//! (explicit [`Rejected`] backpressure) and returns a [`JobTicket`] the
+//! caller blocks on with [`JobTicket::wait`]; [`Service::shutdown`] stops
+//! admissions, cancels still-queued jobs with a typed
+//! [`ServiceError::Cancelled`], and joins the workers.
 //!
-//! Execution of one job: the worker claims the earliest-effective-deadline
-//! job whose session is idle, checks the session's [`SolverContext`] out
-//! of the memory-budgeted cache (warm hit) or rebuilds it (cold miss after
-//! eviction — a latency cost, never an error), derives the escalation
-//! ladder's `time_budget` from the job's *remaining* deadline, and runs
-//! [`PreparedSurgery::register_scan`]. A job that exhausts its budget
-//! comes back [`ScanStatus::Degraded`] with the session's carry-forward
-//! field — the session keeps its slot and its next scan proceeds from the
-//! last good state. Every decision lands in the [`EventLog`].
+//! ## Lock map
+//!
+//! The first version of this service serialized *every* dispatch on one
+//! `Mutex<Inner>` holding the queue, the cache, the session table, and
+//! the in-flight set — `claim_next` scanned the EDF queue and touched the
+//! context cache under the global lock, so adding workers made p95
+//! latency worse. The state is now split by access pattern:
+//!
+//! | lock                   | guards                               | held for |
+//! |------------------------|--------------------------------------|----------|
+//! | `admission` (narrow)   | session table, ids, shutdown flag    | submit / open / close / stats lookup |
+//! | `workers[w]` (per-worker) | that worker's run queue + payloads | one push or one pop |
+//! | `cache`                | the warm-context LRU                 | one take or one insert |
+//!
+//! Lock order is `admission → workers[w] → cache`, each section a few
+//! loads/stores; nothing is ever held across a queue *scan* of another
+//! worker, a context rebuild, or a solve. Queue depth and per-session
+//! backlog are atomics, so `queue_depth()` / `session_stats()` probes
+//! never contend with dispatch at all.
+//!
+//! ## Affinity
+//!
+//! Each session's jobs are enqueued on its preferred worker's run queue
+//! ([`dispatch::preferred_worker`]), so a session's warm
+//! [`SolverContext`] is repeatedly solved on one core. A worker whose own
+//! queue is empty may steal from another worker's queue **only** when
+//! that queue's backlog exceeds [`StealPolicy::backlog_threshold`] —
+//! below it, stickiness wins over instantaneous latency. Jobs of one
+//! session never run concurrently: all of a session's queued jobs live
+//! on one queue, and the session's `busy` flag is claimed under that
+//! queue's lock.
 
 use crate::cache::{CacheStats, ContextCache};
+use crate::dispatch::{preferred_worker, StealPolicy};
 use crate::error::{Rejected, ServiceError};
 use crate::events::{Event, EventKind, EventLog};
 use crate::scheduler::{DeadlineQueue, QueuedJob, SchedulerPolicy};
@@ -30,7 +55,8 @@ use brainshift_obs::{Registry, Snapshot};
 use brainshift_sparse::StopReason;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -40,7 +66,8 @@ use std::time::{Duration, Instant};
 pub struct ServiceConfig {
     /// Worker threads executing jobs.
     pub workers: usize,
-    /// Bounded ready-queue capacity (admission backpressure).
+    /// Bounded ready-queue capacity across all workers (admission
+    /// backpressure).
     pub queue_capacity: usize,
     /// Byte budget for resident warm solver contexts; exceeding it evicts
     /// least-recently-used sessions to cold.
@@ -55,6 +82,9 @@ pub struct ServiceConfig {
     pub priority_boost_us: u64,
     /// Max jobs one session may have queued at once.
     pub max_session_backlog: usize,
+    /// Work-stealing reluctance: a worker may steal from another worker's
+    /// run queue only when that queue holds more than this many jobs.
+    pub steal_backlog_threshold: usize,
 }
 
 impl Default for ServiceConfig {
@@ -67,6 +97,7 @@ impl Default for ServiceConfig {
             min_service_us: 0,
             priority_boost_us: 1_000_000,
             max_session_backlog: 8,
+            steal_backlog_threshold: StealPolicy::default().backlog_threshold,
         }
     }
 }
@@ -108,6 +139,11 @@ pub struct JobOutcome {
     pub missed_deadline: bool,
     /// True when the solver context came warm from the cache.
     pub warm: bool,
+    /// Index of the worker that executed the job.
+    pub worker: usize,
+    /// True when the job ran on a worker other than the session's
+    /// preferred one (stolen under backlog pressure).
+    pub stolen: bool,
     /// Submission-to-completion latency.
     pub latency: Duration,
 }
@@ -124,7 +160,9 @@ impl JobTicket {
         self.job
     }
 
-    /// Block until the job completes (or fails).
+    /// Block until the job completes (or fails). A job still queued when
+    /// the service shuts down resolves with
+    /// [`ServiceError::Cancelled`] — a ticket never hangs.
     pub fn wait(self) -> Result<JobOutcome, ServiceError> {
         match self.rx.recv() {
             Ok(result) => result,
@@ -144,22 +182,29 @@ impl JobTicket {
     }
 }
 
-/// Payload + reply channel of an admitted job, keyed by job id until a
-/// worker claims it.
+/// Payload + reply channel of an admitted job, keyed by job id on its
+/// preferred worker's queue until claimed. Carries the session `Arc` so
+/// eligibility checks and execution never need the session table.
 struct Pending {
     intensity: Volume<f32>,
     submitted_us: u64,
+    session: Arc<SurgerySession>,
     tx: Sender<Result<JobOutcome, ServiceError>>,
 }
 
-struct Inner {
+/// One worker's run queue and the payloads of the jobs on it. Its own
+/// mutex: a push (submit) or pop (claim) on worker A never contends with
+/// worker B's queue.
+struct WorkerState {
     queue: DeadlineQueue,
-    cache: ContextCache<SolverContext>,
-    sessions: HashMap<u64, Arc<SurgerySession>>,
-    /// Sessions currently executing on a worker (their queued jobs are
-    /// ineligible; their contexts are checked out and uncacheable).
-    running: HashSet<u64>,
     pending: HashMap<u64, Pending>,
+}
+
+/// The narrow shared admission state: the session table and id counters.
+/// Held for a handful of loads per submit/open/close — never across a
+/// queue scan, a cache operation, or a solve.
+struct Admission {
+    sessions: HashMap<u64, Arc<SurgerySession>>,
     shutting_down: bool,
     next_session: u64,
     next_job: u64,
@@ -177,7 +222,17 @@ struct Shared {
     /// metric names as the simulator's registry so one dashboard reads
     /// both.
     metrics: Registry,
-    inner: Mutex<Inner>,
+    admission: Mutex<Admission>,
+    workers: Vec<Mutex<WorkerState>>,
+    cache: Mutex<ContextCache<SolverContext>>,
+    /// Jobs queued across all workers (admitted, not yet claimed).
+    depth: AtomicUsize,
+    /// Lock-free shutdown signal for the workers' claim loops; the
+    /// authoritative admission gate is `Admission::shutting_down`.
+    down: AtomicBool,
+    steal: StealPolicy,
+    queue_capacity: usize,
+    max_session_backlog: usize,
 }
 
 impl Shared {
@@ -187,94 +242,121 @@ impl Shared {
 }
 
 /// The running service. Dropping it without [`Service::shutdown`] detaches
-/// the workers, which drain the queue and exit.
+/// the workers, which cancel their queues and exit.
 pub struct Service {
     shared: Arc<Shared>,
+    /// One wake channel per worker: submissions wake the preferred
+    /// worker; crossing the steal threshold wakes everyone.
     wake: Vec<Sender<()>>,
     handles: Vec<JoinHandle<()>>,
-    max_session_backlog: usize,
 }
 
 impl Service {
     /// Spawn the worker pool and start serving.
     pub fn start(cfg: ServiceConfig) -> Self {
+        let n_workers = cfg.workers.max(1);
+        let per_worker_policy = SchedulerPolicy {
+            // The global bound is enforced by the depth atomic at
+            // admission; each queue's own capacity only has to never bind
+            // first.
+            queue_capacity: cfg.queue_capacity,
+            aging_weight: cfg.aging_weight,
+            min_service_us: cfg.min_service_us,
+            priority_boost_us: cfg.priority_boost_us,
+        };
         let shared = Arc::new(Shared {
             epoch: Instant::now(),
             log: EventLog::with_wall_clock(),
             metrics: Registry::with_wall_clock(),
-            inner: Mutex::new(Inner {
-                queue: DeadlineQueue::new(SchedulerPolicy {
-                    queue_capacity: cfg.queue_capacity,
-                    aging_weight: cfg.aging_weight,
-                    min_service_us: cfg.min_service_us,
-                    priority_boost_us: cfg.priority_boost_us,
-                }),
-                cache: ContextCache::new(cfg.memory_budget_bytes),
+            admission: Mutex::new(Admission {
                 sessions: HashMap::new(),
-                running: HashSet::new(),
-                pending: HashMap::new(),
                 shutting_down: false,
                 next_session: 1,
                 next_job: 0,
             }),
+            workers: (0..n_workers)
+                .map(|_| {
+                    Mutex::new(WorkerState {
+                        queue: DeadlineQueue::new(per_worker_policy.clone()),
+                        pending: HashMap::new(),
+                    })
+                })
+                .collect(),
+            cache: Mutex::new(ContextCache::new(cfg.memory_budget_bytes)),
+            depth: AtomicUsize::new(0),
+            down: AtomicBool::new(false),
+            steal: StealPolicy { backlog_threshold: cfg.steal_backlog_threshold },
+            queue_capacity: cfg.queue_capacity,
+            max_session_backlog: cfg.max_session_backlog,
         });
         let mut wake = Vec::new();
         let mut handles = Vec::new();
-        for w in 0..cfg.workers.max(1) {
+        for w in 0..n_workers {
             let (tx, rx) = unbounded();
             wake.push(tx);
             let shared = Arc::clone(&shared);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("brainshift-worker-{w}"))
-                    .spawn(move || worker_loop(&shared, &rx))
+                    .spawn(move || worker_loop(&shared, w, &rx))
                     // Spawn failure at startup is resource exhaustion;
                     // there is no service to run without its workers.
                     .expect("spawn service worker"),
             );
         }
-        Service { shared, wake, handles, max_session_backlog: cfg.max_session_backlog }
+        Service { shared, wake, handles }
     }
 
-    /// Register a prepared surgery; returns its session id. The
-    /// preparation is shared (`Arc`) — one build can back sessions on
+    /// Register a prepared surgery; returns its session id. The session
+    /// is pinned to a preferred worker (round-robin by id), which all of
+    /// its jobs are dispatched to unless stolen under backlog pressure.
+    /// The preparation is shared (`Arc`) — one build can back sessions on
     /// several services, e.g. a failover pair. The first scan of the
     /// session is necessarily a cold build (cache miss).
     pub fn open_session(&self, prepared: Arc<PreparedSurgery>) -> u64 {
-        let mut inner = self.shared.inner.lock();
-        let id = inner.next_session;
-        inner.next_session += 1;
-        inner.sessions.insert(id, Arc::new(SurgerySession::new(id, prepared)));
+        let mut adm = self.shared.admission.lock();
+        let id = adm.next_session;
+        adm.next_session += 1;
+        let pref = preferred_worker(id, self.shared.workers.len());
+        adm.sessions.insert(id, Arc::new(SurgerySession::new(id, prepared, pref)));
         id
     }
 
     /// Forget a session: drops its warm context (if resident) and its
-    /// carry-forward state. Queued jobs of the session fail with
-    /// [`ServiceError::JobLost`]-style pipeline errors when claimed.
+    /// carry-forward state. Queued jobs of the session fail with typed
+    /// pipeline errors when claimed; an in-flight job completes but its
+    /// context is not re-cached.
     pub fn close_session(&self, session: u64) -> bool {
-        let mut inner = self.shared.inner.lock();
-        if let Some(freed) = inner.cache.discard(session) {
-            let depth = inner.queue.len();
+        let existed = self.shared.admission.lock().sessions.remove(&session);
+        let Some(s) = existed else { return false };
+        // The `closed` flag is the cache's authority: `finish` re-checks
+        // it under the cache lock, so this store + the discard below
+        // cannot interleave with a re-insert (no orphaned entries).
+        s.closed.store(true, Ordering::SeqCst);
+        let freed = self.shared.cache.lock().discard(session);
+        if let Some(freed) = freed {
             self.shared.metrics.counter_add("service.cache.evictions", 1);
-            self.shared
-                .log
-                .record(self.shared.now_us(), depth, EventKind::Evict { session, freed_bytes: freed });
+            self.shared.log.record(
+                self.shared.now_us(),
+                self.shared.depth.load(Ordering::SeqCst),
+                EventKind::Evict { session, freed_bytes: freed },
+            );
         }
-        inner.sessions.remove(&session).is_some()
+        true
     }
 
-    /// Admit one scan job. Rejections are immediate and typed; an `Ok`
-    /// ticket is a promise the job will run (or fail with a typed
-    /// execution error), never be silently dropped.
+    /// Admit one scan job onto the session's preferred worker queue.
+    /// Rejections are immediate and typed; an `Ok` ticket is a promise
+    /// the job will resolve — with an outcome, a typed execution error,
+    /// or [`ServiceError::Cancelled`] at shutdown — never hang.
     pub fn submit(&self, job: ScanJob) -> Result<JobTicket, Rejected> {
         let ScanJob { session, intensity, priority, deadline } = job;
         let now = self.shared.now_us();
         let deadline_us = now.saturating_add(deadline.as_micros() as u64);
-        let mut inner = self.shared.inner.lock();
-        let verdict = self.admit(&mut inner, session, intensity, priority, now, deadline_us);
+        let verdict = self.admit(session, intensity, priority, now, deadline_us);
         match verdict {
-            Ok(ticket) => {
-                let depth = inner.queue.len();
+            Ok((ticket, pref, backlog_len)) => {
+                let depth = self.shared.depth.load(Ordering::SeqCst);
                 self.shared.metrics.counter_add("service.jobs.submitted", 1);
                 self.shared.metrics.gauge_set("service.queue.depth", depth as f64);
                 self.shared.metrics.gauge_max("service.queue.peak_depth", depth as f64);
@@ -283,14 +365,20 @@ impl Service {
                     depth,
                     EventKind::Enqueue { session, job: ticket.job, deadline_us, priority },
                 );
-                drop(inner);
-                for tx in &self.wake {
+                // Wake the preferred worker; once its backlog crosses the
+                // steal threshold the job became claimable by anyone, so
+                // announce it to the whole pool.
+                if self.shared.steal.may_steal(backlog_len) {
+                    for tx in &self.wake {
+                        let _ = tx.send(());
+                    }
+                } else if let Some(tx) = self.wake.get(pref) {
                     let _ = tx.send(());
                 }
                 Ok(ticket)
             }
             Err(reason) => {
-                let depth = inner.queue.len();
+                let depth = self.shared.depth.load(Ordering::SeqCst);
                 self.shared.metrics.counter_add("service.jobs.rejected", 1);
                 self.shared
                     .log
@@ -302,55 +390,79 @@ impl Service {
 
     fn admit(
         &self,
-        inner: &mut Inner,
         session: u64,
         intensity: Volume<f32>,
         priority: u8,
         now: u64,
         deadline_us: u64,
-    ) -> Result<JobTicket, Rejected> {
-        if inner.shutting_down {
+    ) -> Result<(JobTicket, usize, usize), Rejected> {
+        // Admission order (and therefore which rejection the caller
+        // sees) matches the original service: shutdown, unknown session,
+        // session backlog, global capacity, deadline feasibility.
+        let mut adm = self.shared.admission.lock();
+        if adm.shutting_down {
             return Err(Rejected::ShuttingDown);
         }
-        if !inner.sessions.contains_key(&session) {
+        let Some(sess) = adm.sessions.get(&session).cloned() else {
             return Err(Rejected::UnknownSession { session });
-        }
-        let backlog = inner.queue.iter().filter(|q| q.session == session).count();
-        if backlog >= self.max_session_backlog {
+        };
+        if sess.backlog.load(Ordering::SeqCst) >= self.shared.max_session_backlog {
             return Err(Rejected::SessionBacklogFull { session });
         }
-        let id = inner.next_job;
-        inner.queue.push(id, session, deadline_us, priority, now)?;
-        inner.next_job += 1;
+        if self.shared.depth.load(Ordering::SeqCst) >= self.shared.queue_capacity {
+            return Err(Rejected::QueueFull { capacity: self.shared.queue_capacity });
+        }
+        let id = adm.next_job;
+        let pref = sess.preferred_worker();
+        // Nested push under the admission lock (order: admission →
+        // worker queue). This is what makes shutdown race-free: any job
+        // admitted before the shutdown flag is set is fully enqueued
+        // before the workers begin their cancel drain.
+        let mut ws = self.shared.workers[pref].lock();
+        ws.queue.push(id, session, deadline_us, priority, now)?;
         let (tx, rx) = unbounded();
-        inner.pending.insert(id, Pending { intensity, submitted_us: now, tx });
-        Ok(JobTicket { job: id, rx })
+        ws.pending
+            .insert(id, Pending { intensity, submitted_us: now, session: Arc::clone(&sess), tx });
+        let backlog_len = ws.queue.len();
+        drop(ws);
+        // Only reached on successful push: the id is consumed and the
+        // depth/backlog accounting committed.
+        adm.next_job += 1;
+        drop(adm);
+        sess.backlog.fetch_add(1, Ordering::SeqCst);
+        self.shared.depth.fetch_add(1, Ordering::SeqCst);
+        Ok((JobTicket { job: id, rx }, pref, backlog_len))
     }
 
-    /// Jobs currently queued (not yet claimed by a worker).
+    /// Jobs currently queued (not yet claimed by a worker), across all
+    /// worker queues. Lock-free.
     pub fn queue_depth(&self) -> usize {
-        self.shared.inner.lock().queue.len()
+        self.shared.depth.load(Ordering::SeqCst)
     }
 
     /// Cache counters (hits / misses / evictions).
     pub fn cache_stats(&self) -> CacheStats {
-        self.shared.inner.lock().cache.stats()
+        self.shared.cache.lock().stats()
     }
 
     /// Bytes currently charged by resident warm contexts (checked-out
     /// contexts are excluded until their job completes).
     pub fn cache_resident_bytes(&self) -> usize {
-        self.shared.inner.lock().cache.resident_bytes()
+        self.shared.cache.lock().resident_bytes()
     }
 
-    /// Counters of one session, if it exists.
+    /// Counters of one session, if it exists. Touches only the narrow
+    /// admission lock (a map lookup) and the session's own state lock —
+    /// never a run queue, the cache, or anything a solve holds.
     pub fn session_stats(&self, session: u64) -> Option<SessionStats> {
-        // Release `inner` before touching the session's state lock: the
-        // two are never held together anywhere in the service (see
-        // `execute`), which rules out AB-BA deadlocks and keeps this
-        // read-only probe from stalling admission.
-        let session = self.shared.inner.lock().sessions.get(&session).cloned();
+        let session = self.shared.admission.lock().sessions.get(&session).cloned();
         session.map(|s| s.stats())
+    }
+
+    /// The preferred worker a session's jobs are dispatched to.
+    pub fn session_preferred_worker(&self, session: u64) -> Option<usize> {
+        let session = self.shared.admission.lock().sessions.get(&session).cloned();
+        session.map(|s| s.preferred_worker())
     }
 
     /// Snapshot of the event log so far.
@@ -360,10 +472,10 @@ impl Service {
 
     /// Point-in-time copy of the service metrics: queue depth and peak,
     /// cache hit/miss/eviction counters, job completion / rejection /
-    /// escalation / degradation / missed-deadline counters, deadline
-    /// slack and latency histograms, per-stage solve spans. The names
-    /// match the simulator's registry, so dashboards and tests read one
-    /// schema.
+    /// escalation / degradation / missed-deadline / steal counters,
+    /// deadline slack and latency histograms, per-stage solve spans. The
+    /// names match the simulator's registry, so dashboards and tests read
+    /// one schema.
     pub fn metrics_snapshot(&self) -> Snapshot {
         self.shared.metrics.snapshot()
     }
@@ -373,18 +485,36 @@ impl Service {
         self.shared.log.script()
     }
 
-    /// Stop admitting work, drain every queued job, join the workers, and
-    /// return the final event log.
+    /// Stop admitting work, let in-flight jobs complete, cancel every
+    /// still-queued job with [`ServiceError::Cancelled`], join the
+    /// workers, and return the final event log. No ticket is left
+    /// hanging.
     pub fn shutdown(self) -> Vec<Event> {
-        self.shared.inner.lock().shutting_down = true;
+        {
+            let mut adm = self.shared.admission.lock();
+            adm.shutting_down = true;
+            // Set under the admission lock: every submit either saw the
+            // flag, or finished its queue push before the workers can
+            // observe `down` / the dropped wake channels below.
+            self.shared.down.store(true, Ordering::SeqCst);
+        }
         // Dropping the wake senders is the shutdown signal: each worker's
-        // recv fails, switching it into drain mode.
+        // recv fails, switching it into cancel-drain mode.
         drop(self.wake);
         for h in self.handles {
             let _ = h.join();
         }
-        let depth = self.shared.inner.lock().queue.len();
-        self.shared.log.record(self.shared.now_us(), depth, EventKind::Shutdown);
+        // Belt and braces: every queue was drained by its owner before
+        // exiting, but sweep once more so a ticket can never outlive the
+        // pool un-resolved.
+        for w in 0..self.shared.workers.len() {
+            cancel_drain(&self.shared, w);
+        }
+        self.shared.log.record(
+            self.shared.now_us(),
+            self.shared.depth.load(Ordering::SeqCst),
+            EventKind::Shutdown,
+        );
         self.shared.log.snapshot()
     }
 }
@@ -393,30 +523,50 @@ impl Service {
 struct Claim {
     q: QueuedJob,
     pending: Pending,
-    session: Option<Arc<SurgerySession>>,
     ctx: Option<SolverContext>,
     warm: bool,
+    worker: usize,
+    stolen: bool,
 }
 
-fn claim_next(shared: &Shared) -> Option<Claim> {
-    let mut guard = shared.inner.lock();
-    let inner = &mut *guard;
-    let running = &inner.running;
-    let q = inner.queue.pop_next(|j| !running.contains(&j.session))?;
-    let pending = inner.pending.remove(&q.job)?;
-    let session = inner.sessions.get(&q.session).cloned();
-    let (ctx, warm) = if session.is_some() {
-        let ctx = inner.cache.take(q.session);
+/// Try to claim one job from `owner`'s queue for `runner`. Steal
+/// attempts (`runner != owner`) are gated on the owner's backlog
+/// exceeding the steal threshold. The owner queue's lock is held for the
+/// pop + busy-claim only; the cache is touched under its own lock after.
+fn try_claim_from(shared: &Shared, owner: usize, runner: usize) -> Option<Claim> {
+    let stealing = owner != runner;
+    let mut ws = shared.workers[owner].lock();
+    if stealing && !shared.steal.may_steal(ws.queue.len()) {
+        return None;
+    }
+    let q = {
+        let WorkerState { queue, pending } = &mut *ws;
+        // Eligible = the job's session is not mid-solve on any worker.
+        // The busy flag is only set under this same queue lock (all of a
+        // session's jobs live here), so check-then-claim cannot race.
+        queue.pop_next(|j| {
+            pending.get(&j.job).is_none_or(|p| !p.session.busy.load(Ordering::SeqCst))
+        })?
+    };
+    let pending = ws.pending.remove(&q.job)?;
+    pending.session.busy.store(true, Ordering::SeqCst);
+    drop(ws);
+
+    pending.session.backlog.fetch_sub(1, Ordering::SeqCst);
+    let depth = shared.depth.fetch_sub(1, Ordering::SeqCst).saturating_sub(1);
+
+    // Cache checkout under its own short lock; a closed session skips it
+    // (close_session already discarded the entry).
+    let (ctx, warm) = if pending.session.closed.load(Ordering::SeqCst) {
+        (None, false)
+    } else {
+        let ctx = shared.cache.lock().take(q.session);
         let warm = ctx.is_some();
         shared
             .metrics
             .counter_add(if warm { "service.cache.hit" } else { "service.cache.miss" }, 1);
         (ctx, warm)
-    } else {
-        (None, false)
     };
-    inner.running.insert(q.session);
-    let depth = inner.queue.len();
     let now = shared.now_us();
     // How much of the deadline is left as the job *starts* — the number
     // an operator reads to see whether misses come from queueing or from
@@ -425,34 +575,62 @@ fn claim_next(shared: &Shared) -> Option<Claim> {
         .metrics
         .observe("service.deadline.slack_at_start_us", q.deadline_us.saturating_sub(now) as f64);
     shared.metrics.gauge_set("service.queue.depth", depth as f64);
-    shared
-        .log
-        .record(now, depth, EventKind::Start { session: q.session, job: q.job, warm });
-    Some(Claim { q, pending, session, ctx, warm })
+    shared.metrics.counter_add(
+        if stealing { "service.jobs.stolen" } else { "service.jobs.preferred" },
+        1,
+    );
+    shared.log.record(
+        now,
+        depth,
+        EventKind::Start { session: q.session, job: q.job, warm, worker: runner, stolen: stealing },
+    );
+    Some(Claim { q, pending, ctx, warm, worker: runner, stolen: stealing })
 }
 
-fn finish(shared: &Shared, session: u64, ctx: Option<SolverContext>, job: u64, missed: bool) {
-    let mut inner = shared.inner.lock();
-    // Only re-cache the context for a session that still exists: if
-    // `close_session` ran while this job was executing, caching it would
-    // orphan the entry forever (session ids are never reused), silently
-    // pinning the memory budget against live sessions.
-    if let Some(ctx) = ctx {
-        if inner.sessions.contains_key(&session) {
-            let bytes = ctx.memory_bytes();
-            inner.cache.insert(session, ctx, bytes);
-            let evicted = inner.cache.drain_evicted();
-            let depth = inner.queue.len();
-            for (sess, freed) in evicted {
-                shared.metrics.counter_add("service.cache.evictions", 1);
-                shared
-                    .log
-                    .record(shared.now_us(), depth, EventKind::Evict { session: sess, freed_bytes: freed });
-            }
+/// Claim the next job for worker `w`: own queue first, then a steal scan
+/// over the other queues in ring order.
+fn claim_next(shared: &Shared, w: usize) -> Option<Claim> {
+    if let Some(c) = try_claim_from(shared, w, w) {
+        return Some(c);
+    }
+    let n = shared.workers.len();
+    for d in 1..n {
+        let owner = (w + d) % n;
+        if let Some(c) = try_claim_from(shared, owner, w) {
+            return Some(c);
         }
     }
-    inner.running.remove(&session);
-    let depth = inner.queue.len();
+    None
+}
+
+fn finish(shared: &Shared, session: &Arc<SurgerySession>, ctx: Option<SolverContext>, job: u64, missed: bool) {
+    if let Some(ctx) = ctx {
+        // Re-cache only for a live session: `closed` is re-checked under
+        // the cache lock, and `close_session` discards under the same
+        // lock *after* setting the flag — whichever order the two
+        // critical sections run in, no entry for a dead id survives
+        // (session ids are never reused, so an orphan would pin the
+        // memory budget forever).
+        let evicted = {
+            let mut cache = shared.cache.lock();
+            if session.closed.load(Ordering::SeqCst) {
+                Vec::new()
+            } else {
+                let bytes = ctx.memory_bytes();
+                cache.insert(session.id(), ctx, bytes);
+                cache.drain_evicted()
+            }
+        };
+        let depth = shared.depth.load(Ordering::SeqCst);
+        for (sess, freed) in evicted {
+            shared.metrics.counter_add("service.cache.evictions", 1);
+            shared
+                .log
+                .record(shared.now_us(), depth, EventKind::Evict { session: sess, freed_bytes: freed });
+        }
+    }
+    session.busy.store(false, Ordering::SeqCst);
+    let depth = shared.depth.load(Ordering::SeqCst);
     shared.metrics.counter_add("service.jobs.completed", 1);
     if missed {
         shared.metrics.counter_add("service.jobs.missed_deadline", 1);
@@ -460,31 +638,32 @@ fn finish(shared: &Shared, session: u64, ctx: Option<SolverContext>, job: u64, m
     shared.metrics.gauge_set("service.queue.depth", depth as f64);
     shared
         .log
-        .record(shared.now_us(), depth, EventKind::Complete { session, job, missed_deadline: missed });
+        .record(shared.now_us(), depth, EventKind::Complete { session: session.id(), job, missed_deadline: missed });
 }
 
 fn execute(shared: &Shared, claim: Claim) {
-    let Claim { q, pending, session, ctx, warm } = claim;
-    let Some(session) = session else {
+    let Claim { q, pending, ctx, warm, worker, stolen } = claim;
+    let session = Arc::clone(&pending.session);
+    if session.closed.load(Ordering::SeqCst) {
         // Session closed while the job was queued.
-        finish(shared, q.session, None, q.job, shared.now_us() > q.deadline_us);
+        finish(shared, &session, None, q.job, shared.now_us() > q.deadline_us);
         let _ = pending.tx.send(Err(ServiceError::Pipeline(CoreError::Pipeline(format!(
             "session {} closed before job {} ran",
             q.session, q.job
         )))));
         return;
-    };
+    }
     let prepared = Arc::clone(session.prepared());
 
     // Cold path: rebuild the context evicted (or never built) for this
     // session. This is the designed degradation mode of the memory
-    // budget — slower, never wrong.
+    // budget — slower, never wrong. No lock is held across the rebuild.
     let mut ctx = match ctx {
         Some(c) => c,
         None => match prepared.build_solver_context() {
             Ok(c) => c,
             Err(e) => {
-                finish(shared, q.session, None, q.job, shared.now_us() > q.deadline_us);
+                finish(shared, &session, None, q.job, shared.now_us() > q.deadline_us);
                 let _ = pending.tx.send(Err(ServiceError::Pipeline(e)));
                 return;
             }
@@ -501,12 +680,10 @@ fn execute(shared: &Shared, claim: Claim) {
         None => Duration::from_micros(remaining),
     });
 
-    // Lock discipline: the session state lock and the service `inner`
-    // lock are never held at the same time. The scheduler's `running` set
-    // already serializes jobs of one session, so state only needs a short
-    // lock around each read/write — never across the solve, and never
-    // across an `inner` acquisition (which would invert the order against
-    // readers like `session_stats`).
+    // Lock discipline: the session state lock is never held across the
+    // solve or any other lock. The busy flag already serializes jobs of
+    // one session, so state only needs a short lock around each
+    // read/write.
     let carry = session.state.lock().carry_forward.clone();
     let result = prepared.register_scan(&mut ctx, &pending.intensity, carry.as_ref(), None, Some(&policy));
     let now = shared.now_us();
@@ -548,10 +725,9 @@ fn execute(shared: &Shared, claim: Claim) {
             match &reg.status {
                 ScanStatus::Converged => {}
                 ScanStatus::Escalated { attempts } => {
-                    let depth = shared.inner.lock().queue.len();
                     shared.log.record(
                         now,
-                        depth,
+                        shared.depth.load(Ordering::SeqCst),
                         EventKind::Escalate {
                             session: q.session,
                             job: q.job,
@@ -561,10 +737,9 @@ fn execute(shared: &Shared, claim: Claim) {
                     );
                 }
                 ScanStatus::Degraded => {
-                    let depth = shared.inner.lock().queue.len();
                     shared.log.record(
                         now,
-                        depth,
+                        shared.depth.load(Ordering::SeqCst),
                         EventKind::Degrade {
                             session: q.session,
                             job: q.job,
@@ -573,7 +748,7 @@ fn execute(shared: &Shared, claim: Claim) {
                     );
                 }
             }
-            finish(shared, q.session, Some(ctx), q.job, missed);
+            finish(shared, &session, Some(ctx), q.job, missed);
             let _ = pending.tx.send(Ok(JobOutcome {
                 job: q.job,
                 session: q.session,
@@ -585,6 +760,8 @@ fn execute(shared: &Shared, claim: Claim) {
                 surface_residual: reg.surface_residual,
                 missed_deadline: missed,
                 warm,
+                worker,
+                stolen,
                 latency: Duration::from_micros(now.saturating_sub(pending.submitted_us)),
             }));
         }
@@ -593,35 +770,48 @@ fn execute(shared: &Shared, claim: Claim) {
             // carry-forward state is untouched) nor the context cache
             // (the context is dropped; next scan rebuilds cold).
             session.state.lock().stats.completed += 1;
-            finish(shared, q.session, None, q.job, missed);
+            finish(shared, &session, None, q.job, missed);
             let _ = pending.tx.send(Err(ServiceError::Pipeline(e)));
         }
     }
 }
 
-fn worker_loop(shared: &Shared, wake: &Receiver<()>) {
-    let mut draining = false;
+/// Cancel every job still queued on worker `w`: each ticket resolves
+/// with [`ServiceError::Cancelled`] — typed, never a hang.
+fn cancel_drain(shared: &Shared, w: usize) {
     loop {
-        if !draining {
-            match wake.recv() {
-                Ok(()) => {}
-                Err(_) => draining = true,
-            }
-        }
-        // Serve everything claimable right now. Re-checking after each
-        // job matters: completing a session's job makes its next queued
-        // job eligible, and no new wake token announces that.
-        while let Some(claim) = claim_next(shared) {
-            execute(shared, claim);
-        }
-        if draining {
-            // Jobs can remain queued but ineligible (their session busy
-            // on another worker). Spin-yield until the queue is truly
-            // empty, then exit.
-            if shared.inner.lock().queue.is_empty() {
-                return;
-            }
-            std::thread::yield_now();
+        let (q, pending) = {
+            let mut ws = shared.workers[w].lock();
+            let Some(q) = ws.queue.pop_any() else { break };
+            let pending = ws.pending.remove(&q.job);
+            (q, pending)
+        };
+        let depth = shared.depth.fetch_sub(1, Ordering::SeqCst).saturating_sub(1);
+        shared.metrics.counter_add("service.jobs.cancelled", 1);
+        shared.metrics.gauge_set("service.queue.depth", depth as f64);
+        shared
+            .log
+            .record(shared.now_us(), depth, EventKind::Cancel { session: q.session, job: q.job });
+        if let Some(p) = pending {
+            p.session.backlog.fetch_sub(1, Ordering::SeqCst);
+            let _ = p.tx.send(Err(ServiceError::Cancelled { job: q.job }));
         }
     }
+}
+
+fn worker_loop(shared: &Shared, w: usize, wake: &Receiver<()>) {
+    while wake.recv().is_ok() {
+        // Serve everything claimable right now. Re-checking after each
+        // job matters: completing a session's job makes its next queued
+        // job eligible, and no new wake token announces that. Stop
+        // promptly once shutdown is signalled — remaining queued jobs
+        // are cancelled, not served.
+        while !shared.down.load(Ordering::SeqCst) {
+            match claim_next(shared, w) {
+                Some(claim) => execute(shared, claim),
+                None => break,
+            }
+        }
+    }
+    cancel_drain(shared, w);
 }

@@ -18,6 +18,7 @@
 use brainshift_core::PreparedSurgery;
 use brainshift_imaging::DisplacementField;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize};
 use std::sync::Arc;
 
 /// Lifetime counters for one session.
@@ -50,6 +51,23 @@ pub struct SurgerySession {
     /// context is only trusted for a session with a matching fingerprint.
     fingerprint: MeshFingerprint,
     prepared: Arc<PreparedSurgery>,
+    /// The sticky worker this session's jobs are enqueued on (see
+    /// [`crate::dispatch::preferred_worker`]). Immutable for the life of
+    /// the session — affinity is an open-time decision.
+    preferred_worker: usize,
+    /// True while a worker is executing one of this session's jobs. The
+    /// flag is only ever *set* under the session's preferred run-queue
+    /// lock (every queued job of the session lives there), which makes
+    /// the check-then-claim in `claim` race-free; it is cleared lock-free
+    /// when the job finishes.
+    pub(crate) busy: AtomicBool,
+    /// Set by `close_session`; a closed session's jobs fail typed and its
+    /// context is never re-cached.
+    pub(crate) closed: AtomicBool,
+    /// Jobs currently queued (admitted, not yet claimed) for this
+    /// session — the per-session admission bound, maintained without
+    /// scanning any queue.
+    pub(crate) backlog: AtomicUsize,
     pub(crate) state: Mutex<SessionState>,
 }
 
@@ -63,7 +81,7 @@ pub struct MeshFingerprint {
 }
 
 impl SurgerySession {
-    pub(crate) fn new(id: u64, prepared: Arc<PreparedSurgery>) -> Self {
+    pub(crate) fn new(id: u64, prepared: Arc<PreparedSurgery>, preferred_worker: usize) -> Self {
         let fingerprint = MeshFingerprint {
             nodes: prepared.mesh().nodes.len(),
             tets: prepared.mesh().tets.len(),
@@ -72,6 +90,10 @@ impl SurgerySession {
             id,
             fingerprint,
             prepared,
+            preferred_worker,
+            busy: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+            backlog: AtomicUsize::new(0),
             state: Mutex::new(SessionState { carry_forward: None, stats: SessionStats::default() }),
         }
     }
@@ -79,6 +101,11 @@ impl SurgerySession {
     /// The service-assigned session id.
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// The sticky worker this session's jobs are enqueued on.
+    pub fn preferred_worker(&self) -> usize {
+        self.preferred_worker
     }
 
     /// Structural identity of this session's mesh.

@@ -17,6 +17,8 @@
 //! admission check, matching the real service's admission-under-lock).
 
 use crate::cache::{CacheStats, ContextCache};
+use crate::dispatch::{preferred_worker, route_shard, StealPolicy};
+use crate::error::Rejected;
 use crate::events::{EventKind, EventLog};
 use crate::scheduler::{DeadlineQueue, SchedulerPolicy};
 use brainshift_obs::{Clock, Registry, Snapshot};
@@ -65,6 +67,29 @@ pub struct SimOutcome {
     pub missed_deadline: bool,
     /// Whether its context came warm from the cache.
     pub warm: bool,
+    /// Worker (slot) that executed it, or `None` if rejected.
+    pub worker: Option<usize>,
+    /// Whether it ran on a worker other than its session's preferred one
+    /// (always `false` in the shared-queue [`simulate`], which has no
+    /// affinity to violate).
+    pub stolen: bool,
+}
+
+/// One work-stealing decision taken by [`simulate_affinity`] — the raw
+/// material for the steal-only-under-pressure property test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealRecord {
+    /// Index of the stolen job in the submission script.
+    pub script_index: usize,
+    /// Session the job belonged to.
+    pub session: u64,
+    /// The preferred worker whose queue it was stolen from.
+    pub owner: usize,
+    /// The worker that took it.
+    pub thief: usize,
+    /// The owner queue's backlog at the moment of the steal (including
+    /// the stolen job) — must exceed the policy threshold.
+    pub owner_backlog: usize,
 }
 
 /// Everything a property test wants to assert on.
@@ -81,6 +106,9 @@ pub struct SimReport {
     pub peak_resident_bytes: usize,
     /// Largest queue depth ever observed (must stay ≤ capacity).
     pub peak_queue_depth: usize,
+    /// Every steal taken, in order (empty for the shared-queue
+    /// [`simulate`], which has no affinity).
+    pub steals: Vec<StealRecord>,
     /// Metric snapshot taken on the simulator's logical clock with the
     /// same names the threaded service records
     /// (`service.jobs.*` / `service.cache.*` / `service.queue.*`), so
@@ -120,6 +148,8 @@ pub fn simulate(cfg: &SimConfig, jobs: &[SimJob]) -> SimReport {
             completed_us: None,
             missed_deadline: false,
             warm: false,
+            worker: None,
+            stolen: false,
         })
         .collect();
     let mut completion_order = Vec::new();
@@ -220,13 +250,20 @@ pub fn simulate(cfg: &SimConfig, jobs: &[SimJob]) -> SimReport {
             metrics.gauge_set("service.queue.depth", queue.len() as f64);
             outcomes[idx].started_us = Some(now);
             outcomes[idx].warm = warm;
+            outcomes[idx].worker = Some(free);
             workers[free] = Some(Running {
                 script_index: idx,
                 session: q.session,
                 deadline_us: q.deadline_us,
                 done_us: now + jobs[idx].cost_us.max(1),
             });
-            log.record(now, queue.len(), EventKind::Start { session: q.session, job: q.job, warm });
+            log.record(
+                now,
+                queue.len(),
+                // The shared queue has no affinity: the slot index is
+                // the worker, and nothing is ever "stolen".
+                EventKind::Start { session: q.session, job: q.job, warm, worker: free, stolen: false },
+            );
         }
     }
 
@@ -241,8 +278,357 @@ pub fn simulate(cfg: &SimConfig, jobs: &[SimJob]) -> SimReport {
         cache: cache.stats(),
         peak_resident_bytes: peak_resident,
         peak_queue_depth: peak_depth,
+        steals: Vec::new(),
         metrics: metrics.snapshot(),
         log,
+    }
+}
+
+/// Parameters of the affinity simulator — the shared-queue [`SimConfig`]
+/// plus the steal policy.
+#[derive(Debug, Clone)]
+pub struct AffinityConfig {
+    /// Worker slots, each with its own run queue.
+    pub workers: usize,
+    /// Queue policy. `queue_capacity` is the **global** bound across all
+    /// per-worker queues, enforced at admission exactly like the threaded
+    /// service's depth check.
+    pub policy: SchedulerPolicy,
+    /// Warm-context cache budget in bytes (one cache shared by the
+    /// workers, as in the threaded service).
+    pub budget_bytes: usize,
+    /// When a worker may steal from another worker's queue.
+    pub steal: StealPolicy,
+}
+
+/// Run the script through the **affinity** dispatch model: per-worker
+/// run queues, each session pinned to [`preferred_worker`], stealing
+/// only from queues whose backlog exceeds the [`StealPolicy`] threshold.
+///
+/// This is the deterministic twin of the threaded [`Service`]'s
+/// dispatch — same `DeadlineQueue` per worker, same shared
+/// `ContextCache`, same placement and steal policy functions — so the
+/// affinity and scaling properties proved here hold for the production
+/// policy code. Jobs must be scripted in non-decreasing `submit_us`
+/// order (as in [`simulate`]).
+pub fn simulate_affinity(cfg: &AffinityConfig, jobs: &[SimJob]) -> SimReport {
+    let n = cfg.workers.max(1);
+    let mut queues: Vec<DeadlineQueue> = (0..n)
+        .map(|_| {
+            // Per-queue capacity = the global capacity: the global
+            // admission check below always binds first, mirroring the
+            // threaded service's depth atomic.
+            DeadlineQueue::new(cfg.policy.clone())
+        })
+        .collect();
+    let mut cache: ContextCache<u64> = ContextCache::new(cfg.budget_bytes);
+    let log = EventLog::new();
+    let clock = Clock::logical();
+    let metrics = Registry::new(clock.clone());
+    let mut outcomes: Vec<SimOutcome> = (0..jobs.len())
+        .map(|i| SimOutcome {
+            script_index: i,
+            session: jobs[i].session,
+            started_us: None,
+            completed_us: None,
+            missed_deadline: false,
+            warm: false,
+            worker: None,
+            stolen: false,
+        })
+        .collect();
+    let mut completion_order = Vec::new();
+    let mut steals = Vec::new();
+    let mut workers: Vec<Option<Running>> = vec![None; n];
+    let mut next_submit = 0usize;
+    let mut peak_resident = 0usize;
+    let mut peak_depth = 0usize;
+    let depth_of = |queues: &[DeadlineQueue]| queues.iter().map(DeadlineQueue::len).sum::<usize>();
+
+    loop {
+        let busy_min = workers.iter().flatten().map(|r| r.done_us).min();
+        let submit_t = jobs.get(next_submit).map(|j| j.submit_us);
+        let now = match (busy_min, submit_t) {
+            (None, None) => break,
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (Some(a), Some(b)) => a.min(b),
+        };
+        clock.advance_to_us(now);
+
+        // 1. Completions at `now` (capacity frees before admission, as in
+        // the threaded service).
+        for slot in workers.iter_mut() {
+            let Some(r) = *slot else { continue };
+            if r.done_us != now {
+                continue;
+            }
+            *slot = None;
+            cache.insert(r.session, r.script_index as u64, jobs[r.script_index].ctx_bytes);
+            peak_resident = peak_resident.max(cache.resident_bytes());
+            let depth = depth_of(&queues);
+            for (sess, freed) in cache.drain_evicted() {
+                metrics.counter_add("service.cache.evictions", 1);
+                log.record(now, depth, EventKind::Evict { session: sess, freed_bytes: freed });
+            }
+            let missed = now > r.deadline_us;
+            outcomes[r.script_index].completed_us = Some(now);
+            outcomes[r.script_index].missed_deadline = missed;
+            completion_order.push(r.script_index);
+            metrics.counter_add("service.jobs.completed", 1);
+            if missed {
+                metrics.counter_add("service.jobs.missed_deadline", 1);
+            }
+            metrics.gauge_set("service.queue.depth", depth as f64);
+            metrics.observe(
+                "service.job.latency_us",
+                now.saturating_sub(jobs[r.script_index].submit_us) as f64,
+            );
+            log.record(
+                now,
+                depth,
+                EventKind::Complete {
+                    session: r.session,
+                    job: r.script_index as u64,
+                    missed_deadline: missed,
+                },
+            );
+        }
+
+        // 2. Submissions at `now`: global capacity first, then the
+        // session's preferred queue (affinity placement).
+        while next_submit < jobs.len() && jobs[next_submit].submit_us == now {
+            let j = &jobs[next_submit];
+            let id = next_submit as u64;
+            let pref = preferred_worker(j.session, n);
+            let verdict = if depth_of(&queues) >= cfg.policy.queue_capacity {
+                Err(Rejected::QueueFull { capacity: cfg.policy.queue_capacity })
+            } else {
+                queues[pref].push(id, j.session, j.deadline_us, j.priority, now)
+            };
+            let depth = depth_of(&queues);
+            match verdict {
+                Ok(()) => {
+                    peak_depth = peak_depth.max(depth);
+                    metrics.counter_add("service.jobs.submitted", 1);
+                    metrics.gauge_set("service.queue.depth", depth as f64);
+                    metrics.gauge_max("service.queue.peak_depth", depth as f64);
+                    log.record(
+                        now,
+                        depth,
+                        EventKind::Enqueue {
+                            session: j.session,
+                            job: id,
+                            deadline_us: j.deadline_us,
+                            priority: j.priority,
+                        },
+                    );
+                }
+                Err(reason) => {
+                    metrics.counter_add("service.jobs.rejected", 1);
+                    log.record(now, depth, EventKind::Reject { session: j.session, reason });
+                }
+            }
+            next_submit += 1;
+        }
+
+        // 3. Dispatch pass, workers in ascending order (deterministic):
+        // own queue first, then a ring steal scan gated on the owner's
+        // backlog exceeding the threshold. One claim per free worker —
+        // a claim never makes another worker's claim possible, so a
+        // single pass reaches the fixpoint.
+        for w in 0..n {
+            if workers[w].is_some() {
+                continue;
+            }
+            let running: Vec<u64> = workers.iter().flatten().map(|r| r.session).collect();
+            let mut claim: Option<(crate::scheduler::QueuedJob, bool, usize, usize)> = None;
+            if let Some(q) = queues[w].pop_next(|j| !running.contains(&j.session)) {
+                claim = Some((q, false, w, 0));
+            } else {
+                for d in 1..n {
+                    let owner = (w + d) % n;
+                    let backlog = queues[owner].len();
+                    if !cfg.steal.may_steal(backlog) {
+                        continue;
+                    }
+                    if let Some(q) = queues[owner].pop_next(|j| !running.contains(&j.session)) {
+                        claim = Some((q, true, owner, backlog));
+                        break;
+                    }
+                }
+            }
+            let Some((q, stolen, owner, owner_backlog)) = claim else { continue };
+            let idx = q.job as usize;
+            if stolen {
+                steals.push(StealRecord {
+                    script_index: idx,
+                    session: q.session,
+                    owner,
+                    thief: w,
+                    owner_backlog,
+                });
+            }
+            let warm = cache.take(q.session).is_some();
+            let depth = depth_of(&queues);
+            metrics.counter_add(if warm { "service.cache.hit" } else { "service.cache.miss" }, 1);
+            metrics.counter_add(
+                if stolen { "service.jobs.stolen" } else { "service.jobs.preferred" },
+                1,
+            );
+            metrics
+                .observe("service.deadline.slack_at_start_us", q.deadline_us.saturating_sub(now) as f64);
+            metrics.gauge_set("service.queue.depth", depth as f64);
+            outcomes[idx].started_us = Some(now);
+            outcomes[idx].warm = warm;
+            outcomes[idx].worker = Some(w);
+            outcomes[idx].stolen = stolen;
+            workers[w] = Some(Running {
+                script_index: idx,
+                session: q.session,
+                deadline_us: q.deadline_us,
+                done_us: now + jobs[idx].cost_us.max(1),
+            });
+            log.record(
+                now,
+                depth,
+                EventKind::Start { session: q.session, job: q.job, warm, worker: w, stolen },
+            );
+        }
+    }
+
+    log.record(
+        outcomes.iter().filter_map(|o| o.completed_us).max().unwrap_or(0),
+        depth_of(&queues),
+        EventKind::Shutdown,
+    );
+    SimReport {
+        outcomes,
+        completion_order,
+        cache: cache.stats(),
+        peak_resident_bytes: peak_resident,
+        peak_queue_depth: peak_depth,
+        steals,
+        metrics: metrics.snapshot(),
+        log,
+    }
+}
+
+/// Parameters of the fleet simulator: N identically configured affinity
+/// shards behind the [`route_shard`] router.
+#[derive(Debug, Clone)]
+pub struct FleetSimConfig {
+    /// Number of shards (each an independent [`simulate_affinity`] run).
+    pub shards: usize,
+    /// Per-shard configuration.
+    pub shard: AffinityConfig,
+}
+
+/// Aggregate view of a fleet simulation.
+pub struct FleetSimReport {
+    /// One full report per shard, indexed by shard id.
+    pub shards: Vec<SimReport>,
+    /// Jobs that passed admission, fleet-wide.
+    pub submitted: u64,
+    /// Jobs that completed, fleet-wide.
+    pub completed: u64,
+    /// Jobs refused at admission (shed), fleet-wide.
+    pub shed: u64,
+    /// `shed / (shed + submitted)` — the fleet's load-shedding fraction.
+    pub shed_rate: f64,
+    /// Completions past their deadline, fleet-wide.
+    pub missed_deadlines: u64,
+    /// Median completion latency (submit → complete), logical µs.
+    pub p50_latency_us: u64,
+    /// 99th-percentile completion latency, logical µs (nearest-rank).
+    pub p99_latency_us: u64,
+    /// Warm-cache hit rate per shard, indexed by shard id.
+    pub per_shard_hit_rate: Vec<f64>,
+    /// All shard registries merged into one snapshot, each shard's
+    /// metrics under a `shard{i}.` prefix plus unprefixed fleet totals
+    /// (`fleet.jobs.completed`, …).
+    pub metrics: Snapshot,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile_us(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Route the script across `shards` affinity shards by session key and
+/// simulate each shard independently (shards share nothing — separate
+/// queues, caches, and worker pools — exactly like the threaded
+/// [`Fleet`](crate::fleet::Fleet)).
+///
+/// Deterministic end to end: the router is a pure hash, each shard's
+/// simulation is bit-deterministic, and the merged metrics snapshot is
+/// assembled in shard order.
+pub fn simulate_fleet(cfg: &FleetSimConfig, jobs: &[SimJob]) -> FleetSimReport {
+    let s = cfg.shards.max(1);
+    let mut per_shard: Vec<Vec<SimJob>> = vec![Vec::new(); s];
+    for j in jobs {
+        per_shard[route_shard(j.session, s)].push(j.clone());
+    }
+    let shards: Vec<SimReport> =
+        per_shard.iter().map(|script| simulate_affinity(&cfg.shard, script)).collect();
+
+    let mut submitted = 0u64;
+    let mut completed = 0u64;
+    let mut shed = 0u64;
+    let mut missed = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    for (i, r) in shards.iter().enumerate() {
+        for o in &r.outcomes {
+            match o.completed_us {
+                Some(done) => {
+                    submitted += 1;
+                    completed += 1;
+                    if o.missed_deadline {
+                        missed += 1;
+                    }
+                    latencies.push(done.saturating_sub(per_shard[i][o.script_index].submit_us));
+                }
+                None if o.started_us.is_some() => submitted += 1,
+                None => shed += 1,
+            }
+        }
+    }
+    latencies.sort_unstable();
+    let admitted_or_shed = (submitted + shed).max(1);
+
+    let mut parts: Vec<Snapshot> =
+        shards.iter().enumerate().map(|(i, r)| r.metrics.prefixed(&format!("shard{i}"))).collect();
+    parts.push(Snapshot {
+        counters: vec![
+            ("fleet.jobs.completed".to_string(), completed),
+            ("fleet.jobs.missed_deadline".to_string(), missed),
+            ("fleet.jobs.shed".to_string(), shed),
+            ("fleet.jobs.submitted".to_string(), submitted),
+        ],
+        gauges: vec![
+            ("fleet.latency.p50_us".to_string(), percentile_us(&latencies, 50.0) as f64),
+            ("fleet.latency.p99_us".to_string(), percentile_us(&latencies, 99.0) as f64),
+            ("fleet.shed_rate".to_string(), shed as f64 / admitted_or_shed as f64),
+        ],
+        ..Snapshot::default()
+    });
+    let metrics = Snapshot::merged(parts.iter());
+
+    FleetSimReport {
+        per_shard_hit_rate: shards.iter().map(|r| r.cache.hit_rate()).collect(),
+        submitted,
+        completed,
+        shed,
+        shed_rate: shed as f64 / admitted_or_shed as f64,
+        missed_deadlines: missed,
+        p50_latency_us: percentile_us(&latencies, 50.0),
+        p99_latency_us: percentile_us(&latencies, 99.0),
+        metrics,
+        shards,
     }
 }
 

@@ -38,11 +38,20 @@ cargo run -q --release -p brainshift-bench --bin segment_hot_json -- 4
 
 # Service stage: scheduler/cache property tests + threaded fault
 # injection, then a small-scale smoke of the open-loop load generator
-# (3 surgeries × 3 scans, 1.5 s cadence — ~40% utilization on one CPU)
-# — it asserts zero deadline misses at 8 workers and no errors at half
-# memory budget internally.
+# (3 surgeries × 3 scans, 1.5 s cadence — ~10% utilization on one CPU).
+# It internally asserts deadline behaviour never worsens as workers are
+# added, no errors at half memory budget, and — always, on a logical
+# clock — p95 monotone non-increasing across the 1→2→4 worker sweep.
 cargo test -q -p brainshift-service
 cargo run -q --release -p brainshift-bench --bin service_throughput_json -- 3 3 1500
+
+# Fleet stage: the affinity-dispatch and sharded-fleet contracts. The
+# property suites (preferred-worker under nominal load, threshold-gated
+# stealing, byte-deterministic scripts across shard counts) plus the
+# threaded affinity/fleet end-to-end tests, under two worker counts so
+# the determinism claims survive thread-count changes.
+RAYON_NUM_THREADS=1 cargo test -q -p brainshift-service --test affinity_props --test service_affinity
+RAYON_NUM_THREADS=4 cargo test -q -p brainshift-service --test affinity_props --test service_affinity
 
 cargo clippy --all-targets -- -D warnings
 
