@@ -12,9 +12,10 @@
 //! acknowledgement followed by a rebuild.
 
 use brainshift_conformance::{
-    default_golden_cases, evaluate_goldens, golden_field, pure_shear_gradient, quantized_field_hash,
-    run_differential, run_mms, run_patch_test, uniaxial_stretch_gradient, write_json_report,
-    ConformanceReport, CHECKED_IN_GOLDENS, GOLDEN_QUANTUM_MM,
+    default_golden_cases, evaluate_goldens, evaluate_scenario_goldens, golden_field,
+    pure_shear_gradient, quantized_field_hash, run_differential, run_keypoint_recovery, run_mms,
+    run_patch_test, scenario_golden_cases, scenario_golden_field, uniaxial_stretch_gradient,
+    write_json_report, ConformanceReport, CHECKED_IN_GOLDENS, GOLDEN_QUANTUM_MM,
 };
 use brainshift_conformance::analytic::unit_cube_mesh;
 use brainshift_conformance::mms::manufactured_field;
@@ -34,6 +35,12 @@ fn update_goldens() {
         let hash = quantized_field_hash(&field, GOLDEN_QUANTUM_MM);
         eprintln!("{}: {} nodes, hash {hash:016x}", case.name, mesh.num_nodes());
         out.push_str(&format!("{}\t{hash:016x}\n", case.name));
+    }
+    for (name, kind, seed) in scenario_golden_cases() {
+        let field = scenario_golden_field(kind, seed);
+        let hash = quantized_field_hash(&field, GOLDEN_QUANTUM_MM);
+        eprintln!("{name}: {} nodes, hash {hash:016x}", field.len());
+        out.push_str(&format!("{name}\t{hash:016x}\n"));
     }
     print!("{out}");
     let path = Path::new("crates/conformance/goldens/golden_fields.tsv");
@@ -93,10 +100,11 @@ fn main() {
     eprintln!("  max pairwise deviation {:.3e}", differential.max_pairwise_rel);
 
     eprintln!("level 4: golden fields");
-    let goldens = evaluate_goldens(&default_golden_cases(), CHECKED_IN_GOLDENS);
+    let mut goldens = evaluate_goldens(&default_golden_cases(), CHECKED_IN_GOLDENS);
+    goldens.extend(evaluate_scenario_goldens(CHECKED_IN_GOLDENS));
     for g in &goldens {
         eprintln!(
-            "  {:<24} {:016x} {} ({} nodes, peak {:.2} mm)",
+            "  {:<28} {:016x} {} ({} nodes, peak {:.2} mm)",
             g.name,
             g.hash,
             if g.matches { "ok" } else { "MISMATCH" },
@@ -105,7 +113,17 @@ fn main() {
         );
     }
 
-    let report = ConformanceReport { patch, mms, differential, goldens };
+    eprintln!("level 5: sparse-keypoint recovery");
+    let keypoints = run_keypoint_recovery(2, &[0.1, 0.25, 0.5]);
+    for p in &keypoints.curve {
+        eprintln!("  k={:<4} rms {:.4} mm  max {:.4} mm  rel {:.3e}", p.k, p.rms_mm, p.max_mm, p.rel_max);
+    }
+    eprintln!(
+        "  monotone: {}, full-coverage rel {:.3e}",
+        keypoints.monotone, keypoints.full_coverage_rel
+    );
+
+    let report = ConformanceReport { patch, mms, differential, goldens, keypoints };
     let path = Path::new("bench_out/conformance.json");
     write_json_report(&report, path).expect("write conformance.json");
     eprintln!("wrote {} (all_pass: {})", path.display(), report.all_pass());

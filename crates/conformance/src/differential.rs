@@ -16,6 +16,8 @@ use brainshift_fem::{
 };
 use brainshift_imaging::Vec3;
 use brainshift_mesh::TetMesh;
+use brainshift_scenario::{generate_scenario, keypoint_recovery_curve, ScenarioKind};
+pub use brainshift_scenario::RecoveryPoint;
 use brainshift_sparse::{
     bicgstab, gmres, partition::even_offsets, solve_escalated, BlockJacobiPrecond, BlockSolve,
     EscalationPolicy, KrylovWorkspace, SolverOptions,
@@ -237,6 +239,48 @@ pub fn run_differential(
         }
     }
     DifferentialResult { paths, pairwise, max_pairwise_rel }
+}
+
+/// Outcome of the sparse-keypoint differential: the dense ground truth
+/// re-solved from nested K-keypoint subsets.
+#[derive(Debug, Clone)]
+pub struct KeypointRecoveryResult {
+    /// Seed of the generated sparse-keypoint scenario.
+    pub seed: u64,
+    /// Boundary nodes available as keypoints.
+    pub total_keypoints: usize,
+    /// Recovery error at each requested K, ascending.
+    pub curve: Vec<RecoveryPoint>,
+    /// RMS error non-increasing along the curve (the nested-subset
+    /// guarantee), with a 1e-9 mm slack for solver noise.
+    pub monotone: bool,
+    /// Relative max-node error at K = all boundary nodes, where the
+    /// constrained system *is* the dense system — must sit at solver
+    /// precision (≤ 1e-6).
+    pub full_coverage_rel: f64,
+}
+
+/// Run the keypoint-recovery differential on one seeded scenario:
+/// generate the dense ground truth, re-solve from nested keypoint
+/// prefixes at each fraction of the boundary (plus full coverage), and
+/// score the curve. `fractions` are clamped per
+/// [`brainshift_scenario::keypoint_recovery_curve`].
+pub fn run_keypoint_recovery(seed: u64, fractions: &[f64]) -> KeypointRecoveryResult {
+    let case = generate_scenario(ScenarioKind::SparseKeypoints, seed)
+        .unwrap_or_else(|e| panic!("sparse-keypoint scenario {seed} must generate: {e}"));
+    let total = case.keypoint_order.len();
+    let mut ks: Vec<usize> = fractions
+        .iter()
+        .map(|f| ((total as f64) * f.clamp(0.0, 1.0)).round() as usize)
+        .collect();
+    ks.push(total);
+    ks.sort_unstable();
+    ks.dedup();
+    let curve = keypoint_recovery_curve(&case, &ks)
+        .unwrap_or_else(|e| panic!("keypoint recovery solve failed: {e}"));
+    let monotone = curve.windows(2).all(|w| w[1].rms_mm <= w[0].rms_mm + 1e-9);
+    let full_coverage_rel = curve.last().map(|p| p.rel_max).unwrap_or(f64::INFINITY);
+    KeypointRecoveryResult { seed, total_keypoints: total, curve, monotone, full_coverage_rel }
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@ use brainshift_imaging::phantom::{generate_case, BrainShiftConfig, PhantomConfig
 use brainshift_imaging::volume::{Dims, Spacing};
 use brainshift_imaging::{labels, Vec3};
 use brainshift_mesh::{boundary_nodes, mesh_labeled_volume, MesherConfig, TetMesh};
+use brainshift_scenario::{generate_scenario, ScenarioKind};
 use brainshift_sparse::SolverOptions;
 
 /// Quantization step (mm) applied to every displacement component before
@@ -140,6 +141,50 @@ pub fn golden_field(case: &GoldenCase) -> (TetMesh, Vec<Vec3>) {
     (mesh, sol.displacements)
 }
 
+/// The scenario-factory golden suite: one canonical seed per workload
+/// class. The hashed field is the class's solved ground-truth nodal
+/// displacement — so drift anywhere in the generator chain (phantom,
+/// carve, snap, contact active set, body-force assembly, solver) flips
+/// the hash, not just drift in the solver.
+pub fn scenario_golden_cases() -> Vec<(&'static str, ScenarioKind, u64)> {
+    vec![
+        ("scenario-gravity-sag", ScenarioKind::GravitySag, 3),
+        ("scenario-resection-collapse", ScenarioKind::ResectionCollapse, 0),
+        ("scenario-skull-contact", ScenarioKind::SkullContact, 1),
+        ("scenario-sparse-keypoints", ScenarioKind::SparseKeypoints, 2),
+    ]
+}
+
+/// Generate one scenario golden case and return its ground-truth nodal
+/// displacement field (the quantity hashed into the goldens file).
+pub fn scenario_golden_field(kind: ScenarioKind, seed: u64) -> Vec<Vec3> {
+    let case = generate_scenario(kind, seed)
+        .unwrap_or_else(|e| panic!("scenario golden {}-{seed} must generate: {e}", kind.name()));
+    case.gt_displacements
+}
+
+/// Evaluate the scenario golden suite against `checked_in`, with the
+/// same missing-golden-is-a-failure semantics as [`evaluate_goldens`].
+pub fn evaluate_scenario_goldens(checked_in: &str) -> Vec<GoldenOutcome> {
+    let golden = parse_goldens(checked_in);
+    scenario_golden_cases()
+        .into_iter()
+        .map(|(name, kind, seed)| {
+            let field = scenario_golden_field(kind, seed);
+            let hash = quantized_field_hash(&field, GOLDEN_QUANTUM_MM);
+            let expected = golden.iter().find(|(n, _)| n == name).map(|&(_, h)| h);
+            GoldenOutcome {
+                name: name.to_string(),
+                hash,
+                expected,
+                matches: expected == Some(hash),
+                nodes: field.len(),
+                max_shift_mm: field.iter().fold(0.0f64, |m, u| m.max(u.norm())),
+            }
+        })
+        .collect()
+}
+
 /// Quantize each component to `quantum` and FNV-1a-hash the resulting
 /// integer stream. Fields that differ by less than half a quantum at
 /// every component hash identically (away from rounding boundaries, which
@@ -249,6 +294,19 @@ mod tests {
                 o.matches,
                 "golden drift in '{}': computed {:016x}, checked in {:?} (nodes {}, peak {:.3} mm)",
                 o.name, o.hash, o.expected.map(|h| format!("{h:016x}")), o.nodes, o.max_shift_mm
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_goldens_reproduce() {
+        for o in evaluate_scenario_goldens(CHECKED_IN_GOLDENS) {
+            assert!(
+                o.matches,
+                "scenario golden drift in '{}': computed {:016x}, checked in {:?}",
+                o.name,
+                o.hash,
+                o.expected.map(|h| format!("{h:016x}"))
             );
         }
     }

@@ -36,10 +36,14 @@ pub mod report;
 pub use analytic::{
     linear_field, pure_shear_gradient, run_patch_test, uniaxial_stretch_gradient, PatchResult,
 };
-pub use differential::{run_differential, DifferentialOptions, DifferentialResult, PathField};
+pub use differential::{
+    run_differential, run_keypoint_recovery, DifferentialOptions, DifferentialResult,
+    KeypointRecoveryResult, PathField,
+};
 pub use golden::{
-    default_golden_cases, evaluate_goldens, golden_field, parse_goldens, quantized_field_hash,
-    GoldenCase, GoldenOutcome, CHECKED_IN_GOLDENS, GOLDEN_QUANTUM_MM,
+    default_golden_cases, evaluate_goldens, evaluate_scenario_goldens, golden_field,
+    parse_goldens, quantized_field_hash, scenario_golden_cases, scenario_golden_field, GoldenCase,
+    GoldenOutcome, CHECKED_IN_GOLDENS, GOLDEN_QUANTUM_MM,
 };
 pub use mms::{run_mms, MmsLevel, MmsResult};
 pub use report::{write_json_report, ConformanceReport};

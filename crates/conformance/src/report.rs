@@ -4,7 +4,7 @@
 //! the perf trajectory writers emit — with the four oracle levels under
 //! `extra`, so one reader handles every file in `bench_out/`.
 
-use crate::differential::DifferentialResult;
+use crate::differential::{DifferentialResult, KeypointRecoveryResult};
 use crate::golden::GoldenOutcome;
 use crate::mms::MmsResult;
 use crate::PatchResult;
@@ -20,20 +20,26 @@ pub struct ConformanceReport {
     pub mms: MmsResult,
     /// Differential harness outcome (level 3).
     pub differential: DifferentialResult,
-    /// Golden-field outcomes (level 4).
+    /// Golden-field outcomes (level 4), phantom and scenario cases alike.
     pub goldens: Vec<GoldenOutcome>,
+    /// Sparse-keypoint recovery differential (level 5): monotone in K,
+    /// exact at full coverage.
+    pub keypoints: KeypointRecoveryResult,
 }
 
 impl ConformanceReport {
     /// True when every level passes its acceptance threshold: patch
     /// ≤ 1e-8 relative, every MMS order ≥ 1.9, all solve paths pairwise
-    /// within 1e-6, and every golden hash matching.
+    /// within 1e-6, every golden hash matching, and keypoint recovery
+    /// monotone with ≤ 1e-6 relative error at full coverage.
     pub fn all_pass(&self) -> bool {
         self.patch.iter().all(|p| p.converged && p.max_rel_err <= 1e-8)
             && self.mms.passes(1.9)
             && self.differential.agrees_within(1e-6)
             && !self.goldens.is_empty()
             && self.goldens.iter().all(|g| g.matches)
+            && self.keypoints.monotone
+            && self.keypoints.full_coverage_rel <= 1e-6
     }
 
     /// The report as a `brainshift.obs.v1` bench document, the shared
@@ -119,18 +125,39 @@ impl ConformanceReport {
             })
             .collect();
 
+        let curve: JsonValue = self
+            .keypoints
+            .curve
+            .iter()
+            .map(|p| {
+                JsonValue::obj()
+                    .with("k", p.k.into())
+                    .with("rms_mm", p.rms_mm.into())
+                    .with("max_mm", p.max_mm.into())
+                    .with("rel_max", p.rel_max.into())
+            })
+            .collect();
+        let keypoints = JsonValue::obj()
+            .with("seed", self.keypoints.seed.into())
+            .with("total_keypoints", self.keypoints.total_keypoints.into())
+            .with("curve", curve)
+            .with("monotone", self.keypoints.monotone.into())
+            .with("full_coverage_rel", self.keypoints.full_coverage_rel.into());
+
         let mut report = BenchReport::new("conformance");
         report.params = JsonValue::obj()
             .with("patch_cases", self.patch.len().into())
             .with("mms_levels", self.mms.levels.len().into())
             .with("solver_paths", self.differential.paths.len().into())
-            .with("golden_cases", self.goldens.len().into());
+            .with("golden_cases", self.goldens.len().into())
+            .with("keypoint_curve_points", self.keypoints.curve.len().into());
         report.extra = JsonValue::obj()
             .with("all_pass", self.all_pass().into())
             .with("patch_tests", patch_tests)
             .with("mms", mms)
             .with("differential", differential)
-            .with("goldens", goldens);
+            .with("goldens", goldens)
+            .with("keypoints", keypoints);
         report
     }
 
@@ -190,6 +217,18 @@ mod tests {
                 nodes: 100,
                 max_shift_mm: 7.5,
             }],
+            keypoints: KeypointRecoveryResult {
+                seed: 2,
+                total_keypoints: 120,
+                curve: vec![crate::differential::RecoveryPoint {
+                    k: 120,
+                    rms_mm: 0.0,
+                    max_mm: 0.0,
+                    rel_max: 1e-9,
+                }],
+                monotone: true,
+                full_coverage_rel: 1e-9,
+            },
         }
     }
 
@@ -198,7 +237,16 @@ mod tests {
         let j = tiny_report(true).to_json();
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
-        for key in ["patch_tests", "mms", "differential", "goldens", "all_pass", "asymptotic_order"] {
+        for key in [
+            "patch_tests",
+            "mms",
+            "differential",
+            "goldens",
+            "keypoints",
+            "full_coverage_rel",
+            "all_pass",
+            "asymptotic_order",
+        ] {
             assert!(j.contains(key), "missing {key}");
         }
         assert!(j.contains("\"all_pass\": true"));

@@ -15,8 +15,8 @@
 //! Figure 4 assesses visually.
 
 use brainshift_fem::{
-    apply_dirichlet, assemble_gravity, assemble_stiffness, displacement_field_from_mesh,
-    solve_deformation, DirichletBcs, FemSolveConfig, MaterialTable,
+    assemble_directed_gravity, displacement_field_from_mesh, solve_deformation, solve_with_loads,
+    DirichletBcs, FemSolveConfig, MaterialTable,
 };
 use brainshift_imaging::field::invert_field;
 use brainshift_imaging::phantom::{
@@ -134,7 +134,8 @@ pub fn generate_elastic_case(
         GroundTruthDrive::GravityCraniotomy { opening_radius_mm } => {
             // Fix the brain surface where the skull supports it; free it
             // under the opening; load everything with gravity directed
-            // into the head along the craniotomy axis.
+            // into the head along the craniotomy axis (patient oriented
+            // opening-up).
             let dir = shift.craniotomy_dir.normalized();
             let brain = &model.brain;
             let surf_pt = brain.center
@@ -145,41 +146,11 @@ pub fn generate_elastic_case(
                     bcs.set(n, Vec3::ZERO);
                 }
             }
-            let k = assemble_stiffness(&gt_mesh, &opts.materials);
-            let mut f = assemble_gravity(&gt_mesh);
-            // Redirect gravity along −axis (patient oriented opening-up).
-            let g_mag = brainshift_fem::gravity_load_density(
-                brainshift_fem::loads::BRAIN_DENSITY,
-                Vec3::new(0.0, 0.0, -9.81),
-            )
-            .norm();
-            let mut shares = vec![0.0f64; gt_mesh.num_nodes()];
-            for t in 0..gt_mesh.num_tets() {
-                let share = gt_mesh.tet_volume(t) / 4.0;
-                for &n in &gt_mesh.tets[t] {
-                    shares[n] += share;
-                }
-            }
-            for n in 0..gt_mesh.num_nodes() {
-                let w = -dir * g_mag;
-                f[3 * n] = w.x * shares[n];
-                f[3 * n + 1] = w.y * shares[n];
-                f[3 * n + 2] = w.z * shares[n];
-            }
-            let red = apply_dirichlet(&k, &f, &bcs).expect("ground-truth BC set malformed");
-            let pc = brainshift_sparse::BlockJacobiPrecond::new(
-                &red.matrix,
-                8,
-                brainshift_sparse::BlockSolve::Ilu0,
-            )
-            .expect("singular block in ground-truth preconditioner");
-            let mut x = vec![0.0; red.matrix.nrows()];
-            let stats = brainshift_sparse::gmres(&red.matrix, &pc, &red.rhs, &mut x, &fem_cfg.options);
-            assert!(stats.converged(), "gravity ground truth failed: {:?}", stats.reason);
-            let full = red.expand_solution(&x);
-            (0..gt_mesh.num_nodes())
-                .map(|n| Vec3::new(full[3 * n], full[3 * n + 1], full[3 * n + 2]))
-                .collect()
+            let f = assemble_directed_gravity(&gt_mesh, -dir);
+            let sol = solve_with_loads(&gt_mesh, &opts.materials, &bcs, &f, &fem_cfg)
+                .expect("ground-truth gravity solve rejected its inputs");
+            assert!(sol.stats.converged(), "gravity ground truth failed: {:?}", sol.stats.reason);
+            sol.displacements
         }
     };
     let gt_forward =

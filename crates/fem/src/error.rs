@@ -56,6 +56,14 @@ pub enum FemError {
         /// Equations (3 × nodes) of the mesh.
         equations: usize,
     },
+    /// An externally assembled load vector does not match the mesh's
+    /// equation count.
+    LoadVectorMismatch {
+        /// Length of the supplied load vector.
+        len: usize,
+        /// Equations (3 × nodes) of the mesh.
+        equations: usize,
+    },
 }
 
 impl fmt::Display for FemError {
@@ -80,6 +88,9 @@ impl fmt::Display for FemError {
             }
             FemError::MatrixShapeMismatch { rows, equations } => {
                 write!(f, "stiffness matrix has {rows} rows, mesh has {equations} equations")
+            }
+            FemError::LoadVectorMismatch { len, equations } => {
+                write!(f, "load vector has {len} entries, mesh has {equations} equations")
             }
         }
     }

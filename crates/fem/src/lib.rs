@@ -32,8 +32,13 @@ pub use context::{ContextStats, ContextTimings, SolverContext};
 pub use element::{stiffness_btdb, stiffness_isotropic, TetShape};
 pub use error::FemError;
 pub use interpolate::displacement_field_from_mesh;
-pub use loads::{assemble_body_force, assemble_gravity, gravity_load_density};
+pub use loads::{
+    assemble_body_force, assemble_directed_gravity, assemble_gravity, gravity_load_density,
+};
 pub use material::{Material, MaterialTable};
 pub use simulate::{simulate_assemble_solve, SimOptions, SimProblem, SimTimings};
 pub use stress::{evaluate_stress, summarize, ElementState, StressSummary};
-pub use solver::{solve_deformation, solve_with_matrix, FemSolveConfig, FemSolution, KrylovKind, PrecondKind};
+pub use solver::{
+    solve_deformation, solve_with_loads, solve_with_matrix, solve_with_matrix_and_loads,
+    FemSolveConfig, FemSolution, KrylovKind, PrecondKind,
+};

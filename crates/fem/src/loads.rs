@@ -52,6 +52,17 @@ pub fn assemble_gravity(mesh: &TetMesh) -> Vec<f64> {
     assemble_body_force(mesh, |_| w)
 }
 
+/// Uniform gravity load along an arbitrary direction: standard gravity
+/// magnitude, brain density, direction normalized from `dir`. This is the
+/// intraoperative situation — the patient's head is oriented so the
+/// craniotomy faces "up", so gravity points along the inward craniotomy
+/// axis rather than world −z.
+pub fn assemble_directed_gravity(mesh: &TetMesh, dir: Vec3) -> Vec<f64> {
+    let g_mag = gravity_load_density(BRAIN_DENSITY, standard_gravity()).norm();
+    let w = dir.normalized() * g_mag;
+    assemble_body_force(mesh, |_| w)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

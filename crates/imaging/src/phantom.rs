@@ -92,6 +92,42 @@ impl Ellipsoid {
         );
         (self.rotation * local).normalized()
     }
+
+    /// Radial projection of `p` onto the ellipsoid surface: the point
+    /// where the ray from the centre through `p` crosses `level == 1`.
+    /// The skull-contact scenario clamps penetrating boundary nodes to
+    /// this point, the rigid inner table the paper's model holds the
+    /// brain against. At the degenerate `p == center` the +z pole is
+    /// returned so the result is always a well-defined surface point.
+    pub fn project_surface(&self, p: Vec3) -> Vec3 {
+        let lvl = self.level(p);
+        if lvl > 1e-12 {
+            self.center + (p - self.center) / lvl
+        } else {
+            self.center + self.rotation * Vec3::new(0.0, 0.0, self.radii.z)
+        }
+    }
+}
+
+/// Carve an ellipsoidal resection cavity out of a label volume: voxels
+/// inside `cavity` whose label is deformable brain tissue become `fill`
+/// (typically [`labels::RESECTION`]). Rigid structures (skull, skin,
+/// background) are never carved — a cavity seeded near the skull simply
+/// stops at it, as a real resection does.
+pub fn carve_cavity(labels_vol: &Volume<u8>, cavity: &Ellipsoid, fill: Label) -> Volume<u8> {
+    let mut out = labels_vol.clone();
+    let dims = labels_vol.dims();
+    for z in 0..dims.nz {
+        for y in 0..dims.ny {
+            for x in 0..dims.nx {
+                let l = *labels_vol.get(x, y, z);
+                if labels::is_deformable(l) && cavity.contains(labels_vol.world(x, y, z)) {
+                    *out.get_mut(x, y, z) = fill;
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Configuration of the synthetic head.
@@ -571,6 +607,48 @@ mod tests {
         let c = model.brain.center;
         assert!(labels::is_brain_tissue(model.label_at(c)) || model.label_at(c) == labels::VENTRICLE);
         assert_eq!(model.label_at(Vec3::ZERO), labels::BACKGROUND);
+    }
+
+    #[test]
+    fn project_surface_lands_on_level_one() {
+        let e = Ellipsoid::axis_aligned(Vec3::new(10.0, 20.0, 30.0), Vec3::new(8.0, 5.0, 3.0));
+        for p in [
+            Vec3::new(11.0, 21.0, 30.5), // inside
+            Vec3::new(40.0, 0.0, 55.0),  // outside
+            e.center,                    // degenerate centre
+        ] {
+            let s = e.project_surface(p);
+            assert!((e.level(s) - 1.0).abs() < 1e-12, "level {}", e.level(s));
+        }
+        // Projection preserves the ray direction from the centre.
+        let p = Vec3::new(14.0, 22.0, 31.0);
+        let s = e.project_surface(p);
+        let d1 = (p - e.center).normalized();
+        let d2 = (s - e.center).normalized();
+        assert!((d1 - d2).norm() < 1e-12);
+    }
+
+    #[test]
+    fn carve_cavity_respects_rigid_structures() {
+        let cfg = small_cfg();
+        let scan = generate_preop(&cfg);
+        let model = HeadModel::fit(cfg.dims, cfg.spacing, &cfg);
+        // A cavity big enough to overlap skull and background.
+        let cavity = Ellipsoid::axis_aligned(
+            model.brain.center + Vec3::new(model.brain.radii.x * 0.8, 0.0, 0.0),
+            Vec3::splat(model.brain.radii.x * 0.6),
+        );
+        let carved = carve_cavity(&scan.labels, &cavity, labels::RESECTION);
+        assert!(carved.count_label(labels::RESECTION) > 0, "cavity carved nothing");
+        // Rigid labels are untouched voxel-for-voxel.
+        for (x, y, z, &l) in scan.labels.iter_voxels() {
+            let c = *carved.get(x, y, z);
+            if !labels::is_deformable(l) {
+                assert_eq!(c, l, "rigid voxel changed at ({x},{y},{z})");
+            } else {
+                assert!(c == l || c == labels::RESECTION);
+            }
+        }
     }
 
     #[test]

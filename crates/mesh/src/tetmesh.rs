@@ -123,7 +123,11 @@ impl TetMesh {
                 return Err(MeshError::RepeatedNode { tet: t });
             }
             let v = self.tet_volume(t);
-            if v <= 0.0 {
+            // `!(v > 0.0)` rather than `v <= 0.0`: NaN volumes (from
+            // non-finite node coordinates) must fail this gate too, and
+            // every comparison against NaN is false.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(v > 0.0) {
                 return Err(MeshError::InvertedTet { tet: t, volume: v });
             }
         }
@@ -145,7 +149,12 @@ impl TetMesh {
                 self.nodes[c],
                 self.nodes[d],
             );
-            if q.radius_ratio < min_radius_ratio {
+            // `!(ratio >= min)` so a NaN radius ratio — degenerate
+            // geometry whose circumsphere solve broke down — is rejected
+            // instead of slipping past a `<` comparison that is false for
+            // NaN.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(q.radius_ratio >= min_radius_ratio) {
                 return Err(crate::error::MeshError::SliverTet {
                     tet: t,
                     radius_ratio: q.radius_ratio,
@@ -283,6 +292,32 @@ mod tests {
         }
         // A healthy tet passes the same gate.
         assert!(unit_tet().validate_quality(1e-2).is_ok());
+    }
+
+    #[test]
+    fn nan_volume_rejected_by_validate() {
+        // A NaN coordinate makes the signed volume NaN; `v <= 0.0` is
+        // false for NaN, so the old gate silently passed poisoned meshes.
+        let mut m = unit_tet();
+        m.nodes[3] = Vec3::new(f64::NAN, 0.0, 1.0);
+        assert!(matches!(m.validate(), Err(crate::error::MeshError::InvertedTet { tet: 0, .. })));
+    }
+
+    #[test]
+    fn nan_radius_ratio_rejected_by_quality_gate() {
+        // Four exactly-coplanar points can drive the circumsphere solve
+        // to a NaN radius ratio while the (degenerate) volume check is
+        // bypassed; the quality gate must still reject. Build a tet whose
+        // quality is NaN but whose volume check we exercise through
+        // validate_quality's full path by giving it a tiny positive
+        // volume and a NaN-producing quality via infinite coordinates.
+        let mut m = unit_tet();
+        m.nodes[3] = Vec3::new(0.0, 0.0, f64::INFINITY);
+        // volume is +inf > 0 (passes validate), quality arithmetic on
+        // infinities yields NaN — the gate must reject, not pass.
+        let q = crate::quality::tet_quality(m.nodes[0], m.nodes[1], m.nodes[2], m.nodes[3]);
+        assert!(q.radius_ratio.is_nan() || q.radius_ratio == 0.0);
+        assert!(m.validate_quality(1e-2).is_err());
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Typed errors for scenario generation.
+
+use brainshift_fem::FemError;
+use brainshift_mesh::MeshError;
+use std::fmt;
+
+/// Errors raised while generating a scenario case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The (possibly carved) anatomy produced a mesh that failed
+    /// structural or quality validation even after all retry attempts.
+    MeshInvalid(MeshError),
+    /// The ground-truth FEM solve rejected its inputs.
+    Fem(FemError),
+    /// The ground-truth solve did not converge.
+    GroundTruthDiverged {
+        /// Relative residual at the iteration cap.
+        relative_residual: f64,
+    },
+    /// Cavity carving exhausted its jitter retries without producing a
+    /// usable carved mesh (a sliver-free mesh with a non-empty cavity
+    /// wall to release).
+    CavityRetriesExhausted {
+        /// The generation seed.
+        seed: u64,
+        /// Jittered cavities attempted.
+        attempts: usize,
+        /// Why the last attempt was rejected.
+        last: String,
+    },
+    /// The contact active-set iteration failed to reach a fixpoint.
+    ContactNotConverged {
+        /// Iterations attempted.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::MeshInvalid(e) => write!(f, "scenario mesh invalid: {e}"),
+            ScenarioError::Fem(e) => write!(f, "scenario FEM error: {e}"),
+            ScenarioError::GroundTruthDiverged { relative_residual } => {
+                write!(f, "ground-truth solve diverged (rel. residual {relative_residual:.3e})")
+            }
+            ScenarioError::CavityRetriesExhausted { seed, attempts, last } => write!(
+                f,
+                "cavity carving for seed {seed:#x} found no usable carved mesh after \
+                 {attempts} jittered attempts: {last}"
+            ),
+            ScenarioError::ContactNotConverged { iterations } => {
+                write!(f, "contact active set did not settle within {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::MeshInvalid(e) => Some(e),
+            ScenarioError::Fem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MeshError> for ScenarioError {
+    fn from(e: MeshError) -> Self {
+        ScenarioError::MeshInvalid(e)
+    }
+}
+
+impl From<FemError> for ScenarioError {
+    fn from(e: FemError) -> Self {
+        ScenarioError::Fem(e)
+    }
+}

@@ -1,0 +1,99 @@
+//! Gravity-driven sag: the brain sinks under its own weight through a
+//! craniotomy opening.
+//!
+//! The paper drives its model purely by surface displacements; the
+//! *physics* of brain shift is gravity acting on the parenchyma once CSF
+//! drains (Miller et al., arXiv 1904.01192). This generator loads the
+//! whole mesh with a seeded, tilted gravity body force through
+//! [`brainshift_fem::assemble_directed_gravity`], fixes the boundary
+//! where the skull supports it, and frees a seeded opening around the
+//! craniotomy pole — the sag magnitude follows from tissue weight and
+//! stiffness, not from a prescribed profile.
+
+use crate::common::{
+    brain_pole, finish_case, gt_solve_cfg, phantom_config, scenario_mesh, STREAM_DIRECTION,
+    STREAM_MAGNITUDE,
+};
+use crate::rng::{draw_range, draw_up_direction};
+use crate::{ScenarioCase, ScenarioError, ScenarioKind, ScenarioStats, SCENARIO_MIN_RADIUS_RATIO};
+use brainshift_fem::{assemble_directed_gravity, solve_with_loads, DirichletBcs, MaterialTable};
+use brainshift_imaging::phantom::{generate_from_model, HeadModel};
+use brainshift_imaging::Vec3;
+use brainshift_mesh::boundary_nodes;
+
+/// Generate a gravity-sag case. Pure function of `seed`.
+pub fn generate(seed: u64) -> Result<ScenarioCase, ScenarioError> {
+    let pcfg = phantom_config(seed);
+    let model = HeadModel::fit(pcfg.dims, pcfg.spacing, &pcfg);
+    let preop = generate_from_model(&pcfg, &model);
+    let mesh = scenario_mesh(&preop.labels);
+    mesh.validate_quality(SCENARIO_MIN_RADIUS_RATIO)?;
+
+    // Craniotomy axis (up-ish in patient coordinates), opening size, and
+    // the effective gravity multiplier (CSF drainage unloads buoyancy, so
+    // the net load on the parenchyma is a seeded multiple of its weight).
+    let dir = draw_up_direction(seed, STREAM_DIRECTION, 0.35);
+    let opening_mm = draw_range(seed, STREAM_MAGNITUDE, 0, 25.0, 45.0);
+    let g_scale = draw_range(seed, STREAM_MAGNITUDE, 1, 1.0, 3.0);
+
+    let site = brain_pole(&model, dir);
+    let mut bcs = DirichletBcs::new();
+    for &n in boundary_nodes(&mesh).iter() {
+        if mesh.nodes[n].distance(site) > opening_mm {
+            bcs.set(n, Vec3::ZERO);
+        }
+    }
+    let mut f = assemble_directed_gravity(&mesh, -dir);
+    for v in &mut f {
+        *v *= g_scale;
+    }
+    let sol = solve_with_loads(&mesh, &MaterialTable::homogeneous(), &bcs, &f, &gt_solve_cfg())?;
+    if !sol.stats.converged() {
+        return Err(ScenarioError::GroundTruthDiverged {
+            relative_residual: sol.stats.relative_residual,
+        });
+    }
+    let stats = ScenarioStats { fem_iterations: sol.stats.iterations, ..Default::default() };
+    finish_case(
+        ScenarioKind::GravitySag,
+        seed,
+        &pcfg,
+        preop,
+        mesh,
+        sol.displacements,
+        Vec::new(),
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gravity_sag_is_physical_and_deterministic() {
+        let a = generate(3).expect("generation failed");
+        let b = generate(3).expect("generation failed");
+        assert_eq!(a.name, b.name);
+        // Bitwise identical fields.
+        for (u, v) in a.gt_displacements.iter().zip(&b.gt_displacements) {
+            assert_eq!(u.x.to_bits(), v.x.to_bits());
+            assert_eq!(u.y.to_bits(), v.y.to_bits());
+            assert_eq!(u.z.to_bits(), v.z.to_bits());
+        }
+        // Millimetre-scale sag, no runaway.
+        let peak = a.stats.peak_displacement_mm;
+        assert!(peak > 0.05 && peak < 25.0, "peak sag {peak}");
+        assert!(a.mesh.validate_quality(SCENARIO_MIN_RADIUS_RATIO).is_ok());
+    }
+
+    #[test]
+    fn distinct_seeds_differ() {
+        let a = generate(1).expect("generation failed");
+        let b = generate(2).expect("generation failed");
+        assert_ne!(
+            a.stats.peak_displacement_mm.to_bits(),
+            b.stats.peak_displacement_mm.to_bits()
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! # brainshift-scenario
+//!
+//! A deterministic, seeded **scenario factory**: the paper validates its
+//! pipeline on a single intraoperative sequence, but the serving system
+//! this repo grows toward must handle every deformation regime a
+//! neurosurgery can produce. This crate generates complete pipeline
+//! cases — reference scan, intraoperative scan, ground-truth mesh and
+//! displacement field — for four workload classes the phantom brain-shift
+//! sequence never exercises:
+//!
+//! 1. **Gravity-driven sag** ([`ScenarioKind::GravitySag`]) — the brain
+//!    sinks under its own weight once CSF drains, loaded through the
+//!    consistent body-force path in [`brainshift_fem::loads`], supported
+//!    by the skull everywhere except a seeded craniotomy opening (the
+//!    actual physics of brain shift; Miller et al., arXiv 1904.01192).
+//! 2. **Resection cavity collapse** ([`ScenarioKind::ResectionCollapse`])
+//!    — a seeded ellipsoidal cavity is carved from the label volume, the
+//!    carved anatomy is re-meshed with cavity-adjacent nodes snapped onto
+//!    the cavity surface, and the freed cavity wall collapses inward
+//!    while gravity loads the rest (Bucki et al., arXiv 0709.0686).
+//! 3. **Skull contact** ([`ScenarioKind::SkullContact`]) — gravity
+//!    presses the brain against the rigid inner skull table; penetrating
+//!    boundary nodes are found by an active-set iteration and clamped as
+//!    Dirichlet data on their radial projection onto the skull surface
+//!    (inequality constraints approximated by iterated equality clamps).
+//! 4. **Sparse keypoints** ([`ScenarioKind::SparseKeypoints`]) — a dense
+//!    ground-truth field is solved, then re-solved from only K matched
+//!    keypoints; the dense-field recovery error vs K mirrors the Deep
+//!    Biomechanical Interpolator evaluation (arXiv 2508.13762).
+//!
+//! **Determinism contract.** Every case is a *pure function* of
+//! `(ScenarioKind, seed)`: all randomness flows through the same
+//! stateless SplitMix64 discipline as `imaging::phantom` (hash of seed,
+//! stream tag, and draw index — no RNG state threaded between draws), so
+//! generation is bitwise identical across runs, thread counts, and
+//! traversal orders. The conformance crate pins one canonical seed per
+//! class as a golden-field hash.
+//!
+//! Cases batch through the production serving path ([`suite`]): each
+//! case becomes a [`brainshift_core::PreparedSurgery`] session on a real
+//! [`brainshift_service::Service`], so thousands of seeded scenarios
+//! exercise the queue, warm-context cache, and worker-affinity machinery
+//! under workload shapes the phantom sequence never produced.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
+mod common;
+pub mod contact;
+pub mod error;
+pub mod gravity;
+pub mod keypoints;
+pub mod resection;
+pub mod rng;
+pub mod suite;
+
+use brainshift_imaging::phantom::PhantomScan;
+use brainshift_imaging::volume::{Dims, Spacing};
+use brainshift_imaging::{DisplacementField, Vec3, Volume};
+use brainshift_mesh::TetMesh;
+
+pub use error::ScenarioError;
+pub use keypoints::{keypoint_recovery_curve, RecoveryPoint};
+pub use suite::{run_scenario_suite, suite_cases, SuiteCaseRecord, SuiteConfig, SuiteReport};
+
+/// The four scenario classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// Gravity-driven sag through a craniotomy opening (body-force load).
+    GravitySag,
+    /// Tumor-resection cavity carved, re-meshed, and collapsing inward.
+    ResectionCollapse,
+    /// Brain pressed against the rigid inner skull table (active-set
+    /// clamped contact).
+    SkullContact,
+    /// Dense ground truth re-solved from K sparse keypoint constraints.
+    SparseKeypoints,
+}
+
+impl ScenarioKind {
+    /// All kinds, in canonical order (round-robin order of the suite).
+    pub const ALL: [ScenarioKind; 4] = [
+        ScenarioKind::GravitySag,
+        ScenarioKind::ResectionCollapse,
+        ScenarioKind::SkullContact,
+        ScenarioKind::SparseKeypoints,
+    ];
+
+    /// Stable kebab-case name (used in case names and golden keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::GravitySag => "gravity-sag",
+            ScenarioKind::ResectionCollapse => "resection-collapse",
+            ScenarioKind::SkullContact => "skull-contact",
+            ScenarioKind::SparseKeypoints => "sparse-keypoints",
+        }
+    }
+}
+
+/// Generation diagnostics of one case.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioStats {
+    /// Cavity-seed jitter retries the resection mesher needed before
+    /// producing a sliver-free mesh (0 for other kinds).
+    pub carve_retries: usize,
+    /// Active-set iterations of the contact solve (0 for other kinds).
+    pub contact_iterations: usize,
+    /// Boundary nodes clamped onto the skull surface (0 for other kinds).
+    pub contact_clamped_nodes: usize,
+    /// Keypoint candidates — boundary nodes of the dense solve (0 for
+    /// other kinds).
+    pub keypoint_candidates: usize,
+    /// Peak ground-truth displacement magnitude, mm.
+    pub peak_displacement_mm: f64,
+    /// Krylov iterations of the ground-truth solve (final solve for the
+    /// contact iteration).
+    pub fem_iterations: usize,
+}
+
+/// One complete scenario case: everything the pipeline (and the serving
+/// layer) needs, plus the ground truth the pipeline is scored against.
+pub struct ScenarioCase {
+    /// Which class generated this case.
+    pub kind: ScenarioKind,
+    /// The generation seed (with `kind`, fully determines the case).
+    pub seed: u64,
+    /// Stable case name, `"<kind>-<seed:08x>"`.
+    pub name: String,
+    /// Reference scan: labels the surgery is prepared from (post-carve
+    /// for resection cases) and the matching rendered intensity.
+    pub preop: PhantomScan,
+    /// Intraoperative intensity volume — the reference anatomy warped
+    /// through the ground-truth field and re-rendered with fresh noise.
+    pub intraop_intensity: Volume<f32>,
+    /// Ground-truth tetrahedral mesh (of the reference anatomy).
+    pub mesh: TetMesh,
+    /// Ground-truth per-node displacements on `mesh`, mm.
+    pub gt_displacements: Vec<Vec3>,
+    /// Ground-truth forward field rasterized on the scan grid.
+    pub gt_forward: DisplacementField,
+    /// Seeded permutation of the mesh boundary nodes — the keypoint
+    /// sampling order (non-empty only for [`ScenarioKind::SparseKeypoints`];
+    /// prefixes of this order are the nested keypoint sets).
+    pub keypoint_order: Vec<usize>,
+    /// Generation diagnostics.
+    pub stats: ScenarioStats,
+}
+
+/// Scan-grid geometry shared by every generated case: a scaled-down
+/// analogue of the paper's 256×256×60 acquisitions, sized so a suite of
+/// hundreds of cases (each with its own ground-truth FEM solve) stays
+/// fast enough for CI.
+pub fn scenario_dims() -> (Dims, Spacing) {
+    (Dims::new(24, 24, 20), Spacing::iso(5.0))
+}
+
+/// Mesher step (voxels) of the ground-truth mesh.
+pub const SCENARIO_MESH_STEP: usize = 2;
+
+/// Minimum element radius ratio every generated mesh must satisfy — the
+/// quality gate that forces the resection generator to retry a jittered
+/// cavity instead of emitting a sliver-poisoned mesh.
+pub const SCENARIO_MIN_RADIUS_RATIO: f64 = 5e-3;
+
+/// Generate one scenario case. Pure function of `(kind, seed)`.
+pub fn generate_scenario(kind: ScenarioKind, seed: u64) -> Result<ScenarioCase, ScenarioError> {
+    match kind {
+        ScenarioKind::GravitySag => gravity::generate(seed),
+        ScenarioKind::ResectionCollapse => resection::generate(seed),
+        ScenarioKind::SkullContact => contact::generate(seed),
+        ScenarioKind::SparseKeypoints => keypoints::generate(seed),
+    }
+}

@@ -125,11 +125,17 @@ pub struct Event {
 
 impl Event {
     /// The deterministic rendering: everything except the timestamp.
+    /// The enqueue deadline is rendered as *slack* (`deadline_us - t_us`,
+    /// the relative deadline the submitter asked for) rather than the
+    /// absolute clock value — an absolute deadline is arrival time in
+    /// disguise, and leaking it would make the script wall-clock
+    /// dependent in the threaded service.
     pub fn script_line(&self) -> String {
         let mut s = String::new();
         match &self.kind {
             EventKind::Enqueue { session, job, deadline_us, priority } => {
-                let _ = write!(s, "enqueue s{session} j{job} d{deadline_us} p{priority}");
+                let slack = deadline_us.saturating_sub(self.t_us);
+                let _ = write!(s, "enqueue s{session} j{job} d{slack} p{priority}");
             }
             EventKind::Reject { session, reason } => {
                 let tag = match reason {
@@ -259,13 +265,14 @@ mod tests {
     #[test]
     fn script_omits_time_but_keeps_order_and_depths() {
         let log = EventLog::new();
-        log.record(123, 2, EventKind::Enqueue { session: 7, job: 3, deadline_us: 900, priority: 1 });
+        log.record(123, 2, EventKind::Enqueue { session: 7, job: 3, deadline_us: 1023, priority: 1 });
         log.record(456, 1, EventKind::Start { session: 7, job: 3, warm: true, worker: 1, stolen: false });
         let s = log.script();
         assert_eq!(s, "enqueue s7 j3 d900 p1 q=2\nstart s7 j3 warm w1 q=1\n");
-        // Same events at different wall-clock times → identical script.
+        // Same relative deadline submitted at a different wall-clock time
+        // (absolute deadline shifts with it) → identical script.
         let log2 = EventLog::new();
-        log2.record(999, 2, EventKind::Enqueue { session: 7, job: 3, deadline_us: 900, priority: 1 });
+        log2.record(999, 2, EventKind::Enqueue { session: 7, job: 3, deadline_us: 1899, priority: 1 });
         log2.record(1999, 1, EventKind::Start { session: 7, job: 3, warm: true, worker: 1, stolen: false });
         assert_eq!(log2.script(), s);
     }
@@ -275,7 +282,7 @@ mod tests {
         let plain = EventLog::new();
         let stamped = EventLog::with_wall_clock();
         for log in [&plain, &stamped] {
-            log.record(123, 2, EventKind::Enqueue { session: 7, job: 3, deadline_us: 900, priority: 1 });
+            log.record(123, 2, EventKind::Enqueue { session: 7, job: 3, deadline_us: 1023, priority: 1 });
             log.record(456, 1, EventKind::Start { session: 7, job: 3, warm: true, worker: 1, stolen: false });
         }
         // The determinism oracle is byte-identical either way.

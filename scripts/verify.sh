@@ -45,6 +45,19 @@ cargo run -q --release -p brainshift-bench --bin segment_hot_json -- 4
 cargo test -q -p brainshift-service
 cargo run -q --release -p brainshift-bench --bin service_throughput_json -- 3 3 1500
 
+# Scenario stage: the seeded scenario factory. Property tests prove
+# generation is a pure function of (kind, seed) — run at two thread
+# counts so bitwise determinism survives parallelism — and the keypoint
+# differential (monotone recovery, exact at full coverage) rides in the
+# conformance gate above. Then the smoke batch: 200 seeded cases from
+# all four workload classes served twice through a 2-worker service;
+# the binary itself asserts 0 invalid meshes, 0 shed jobs, and
+# byte-identical event scripts across the two runs, writing
+# bench_out/scenario_suite.json.
+RAYON_NUM_THREADS=1 cargo test -q -p brainshift-scenario
+RAYON_NUM_THREADS=4 cargo test -q -p brainshift-scenario
+cargo run -q --release -p brainshift-bench --bin scenario_suite_json -- 200
+
 # Fleet stage: the affinity-dispatch and sharded-fleet contracts. The
 # property suites (preferred-worker under nominal load, threshold-gated
 # stealing, byte-deterministic scripts across shard counts) plus the
@@ -60,4 +73,4 @@ cargo clippy --all-targets -- -D warnings
 # surface crates deny clippy::unwrap_used / clippy::panic in their
 # non-test code (see the cfg_attr in each crate's lib.rs); lint the libs
 # to enforce it.
-cargo clippy -p brainshift-obs -p brainshift-sparse -p brainshift-fem -p brainshift-core -p brainshift-service -p brainshift-segment -p brainshift-surface --lib -- -D warnings
+cargo clippy -p brainshift-obs -p brainshift-sparse -p brainshift-fem -p brainshift-core -p brainshift-service -p brainshift-segment -p brainshift-surface -p brainshift-scenario --lib -- -D warnings

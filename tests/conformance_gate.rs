@@ -7,9 +7,9 @@
 use brainshift_conformance::analytic::unit_cube_mesh;
 use brainshift_conformance::mms::manufactured_field;
 use brainshift_conformance::{
-    default_golden_cases, evaluate_goldens, golden_field, pure_shear_gradient, quantized_field_hash,
-    run_differential, run_mms, run_patch_test, uniaxial_stretch_gradient, CHECKED_IN_GOLDENS,
-    GOLDEN_QUANTUM_MM,
+    default_golden_cases, evaluate_goldens, evaluate_scenario_goldens, golden_field,
+    pure_shear_gradient, quantized_field_hash, run_differential, run_keypoint_recovery, run_mms,
+    run_patch_test, uniaxial_stretch_gradient, CHECKED_IN_GOLDENS, GOLDEN_QUANTUM_MM,
 };
 use brainshift_fem::{DirichletBcs, MaterialTable};
 use brainshift_mesh::boundary_nodes;
@@ -79,4 +79,44 @@ fn golden_hashes_reproduce_across_consecutive_runs_and_match_checked_in() {
             o.expected.map(|h| format!("{h:016x}"))
         );
     }
+}
+
+#[test]
+fn scenario_golden_hashes_match_checked_in() {
+    // One canonical seed per scenario class: the hash covers the whole
+    // generator chain (phantom → carve/contact/keypoints → solve), so a
+    // silent change anywhere in it fails here and must be acknowledged
+    // via `conformance_report --update-goldens`.
+    let outcomes = evaluate_scenario_goldens(CHECKED_IN_GOLDENS);
+    assert_eq!(outcomes.len(), 4, "one golden per scenario class");
+    for o in &outcomes {
+        assert!(
+            o.matches,
+            "scenario golden drift in '{}': computed {:016x}, expected {:?} (peak {:.3} mm)",
+            o.name,
+            o.hash,
+            o.expected.map(|h| format!("{h:016x}")),
+            o.max_shift_mm
+        );
+    }
+}
+
+#[test]
+fn keypoint_recovery_is_monotone_and_exact_at_full_coverage() {
+    // The sparse-keypoint differential at the ISSUE's acceptance
+    // thresholds: nested keypoint subsets give non-increasing recovery
+    // error, and constraining every boundary node reproduces the dense
+    // ground truth to ≤ 1e-6 relative.
+    let r = run_keypoint_recovery(2, &[0.1, 0.25, 0.5]);
+    assert!(r.curve.len() >= 3);
+    assert!(
+        r.monotone,
+        "recovery error not monotone in K: {:?}",
+        r.curve.iter().map(|p| (p.k, p.rms_mm)).collect::<Vec<_>>()
+    );
+    assert!(
+        r.full_coverage_rel <= 1e-6,
+        "full-coverage recovery off by {:.3e} relative",
+        r.full_coverage_rel
+    );
 }
