@@ -1,0 +1,214 @@
+//! Durability benchmark and end-to-end recovery gate.
+//!
+//! Three claims are measured and *asserted*, then written to
+//! `bench_out/persist.json` (`brainshift.obs.v1`):
+//!
+//! 1. **Warm restore beats cold rebuild**: decoding a persisted
+//!    [`SolverContext`] (stiffness CSR, Dirichlet structure, factored
+//!    preconditioner, warm-start state) is strictly cheaper than
+//!    rebuilding it from the prepared surgery — the point of snapshotting
+//!    a shard instead of re-preparing it.
+//! 2. **Crash recovery is byte-exact**: a scan sequence served across a
+//!    `snapshot_shard` → `restore_shard` boundary produces bitwise
+//!    identical displacement fields and an event-log script tail
+//!    byte-identical to an uninterrupted run's.
+//! 3. **Replay is deterministic**: a persisted submission log re-executed
+//!    through the logical-clock simulator reproduces its recorded event
+//!    script byte-for-byte.
+//!
+//! ```bash
+//! cargo run --release -p brainshift-bench --bin persist_report
+//! ```
+
+use brainshift_conformance::{quantized_field_hash, GOLDEN_QUANTUM_MM};
+use brainshift_core::{generate_scan_sequence, PipelineConfig, PreparedSurgery, ScanSequence};
+use brainshift_fem::SolverContext;
+use brainshift_imaging::phantom::{BrainShiftConfig, PhantomConfig};
+use brainshift_imaging::volume::{Dims, Spacing};
+use brainshift_obs::{BenchReport, JsonValue};
+use brainshift_persist::{from_bytes, to_bytes};
+use brainshift_service::{
+    RecordedRun, ScanJob, SchedulerPolicy, Service, ServiceConfig, SimConfig, SimJob,
+};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Median of `n` timed runs of `f`, in µs.
+fn median_us<T>(n: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..n)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn service_cfg() -> ServiceConfig {
+    ServiceConfig { workers: 1, queue_capacity: 16, ..Default::default() }
+}
+
+/// Serve scans `[from, to)` of the sequence sequentially on `service`,
+/// appending each field's quantized hash (and raw data clone) to `out`.
+fn serve(
+    service: &Service,
+    session: u64,
+    seq: &ScanSequence,
+    from: usize,
+    to: usize,
+    out: &mut Vec<(u64, bool)>,
+) {
+    for i in from..to {
+        let ticket = service
+            .submit(ScanJob {
+                session,
+                intensity: seq.scans[i].intensity.clone(),
+                priority: 0,
+                deadline: Duration::from_secs(120),
+            })
+            .expect("submit scan");
+        let outcome = ticket.wait().expect("scan outcome");
+        out.push((quantized_field_hash(outcome.field.data(), GOLDEN_QUANTUM_MM), outcome.warm));
+    }
+}
+
+fn main() {
+    println!("preparing phantom surgery...");
+    let seq = generate_scan_sequence(
+        &PhantomConfig {
+            dims: Dims::new(32, 32, 24),
+            spacing: Spacing::iso(4.5),
+            ..Default::default()
+        },
+        &BrainShiftConfig::default(),
+        6,
+        6,
+    );
+    let cfg = PipelineConfig { skip_rigid: true, ..Default::default() };
+    let prepared = Arc::new(PreparedSurgery::new(&seq.reference.labels, cfg).expect("prepare"));
+
+    // ---- 1. Warm restore vs cold rebuild. ----
+    let ctx = prepared.build_solver_context().expect("probe context");
+    let ctx_bytes = to_bytes(&ctx).expect("encode context");
+    let cold_build_us = median_us(3, || prepared.build_solver_context().expect("cold build"));
+    let restore_us = median_us(3, || from_bytes::<SolverContext>(&ctx_bytes).expect("decode"));
+    let ratio = restore_us / cold_build_us;
+    println!(
+        "solver context: cold build {cold_build_us:.0} µs, warm restore {restore_us:.0} µs \
+         ({ratio:.3}×, snapshot {} KiB)",
+        ctx_bytes.len() / 1024
+    );
+    assert!(
+        restore_us < cold_build_us,
+        "warm restore ({restore_us:.0} µs) must be strictly cheaper than a cold rebuild \
+         ({cold_build_us:.0} µs)"
+    );
+    // Canonical encoding: restoring and re-encoding reproduces the bytes.
+    let restored: SolverContext = from_bytes(&ctx_bytes).expect("decode");
+    assert_eq!(to_bytes(&restored).expect("re-encode"), ctx_bytes, "non-canonical context codec");
+
+    // ---- 2. Crash recovery: snapshot mid-sequence, restore, finish. ----
+    let n_scans = seq.scans.len();
+    let cut = n_scans / 2;
+
+    println!("uninterrupted run: {n_scans} scans on one shard...");
+    let baseline = Service::start(service_cfg());
+    let sid = baseline.open_session(Arc::clone(&prepared));
+    let mut base_results = Vec::new();
+    serve(&baseline, sid, &seq, 0, n_scans, &mut base_results);
+    let base_script = baseline.script();
+    baseline.shutdown();
+
+    println!("interrupted run: {cut} scans, snapshot shard, restore, {} scans...", n_scans - cut);
+    let shard_a = Service::start(service_cfg());
+    let sid_a = shard_a.open_session(Arc::clone(&prepared));
+    assert_eq!(sid_a, sid, "session ids must match across runs");
+    let mut rec_results = Vec::new();
+    serve(&shard_a, sid_a, &seq, 0, cut, &mut rec_results);
+    let script_a = shard_a.script();
+    let snapshot = shard_a.snapshot_shard().expect("snapshot shard");
+    shard_a.shutdown();
+
+    let mut prep_map = HashMap::new();
+    prep_map.insert(sid_a, Arc::clone(&prepared));
+    let t0 = Instant::now();
+    let shard_b =
+        Service::restore_shard(service_cfg(), &snapshot, &prep_map).expect("restore shard");
+    let shard_restore_us = t0.elapsed().as_secs_f64() * 1e6;
+    serve(&shard_b, sid_a, &seq, cut, n_scans, &mut rec_results);
+    let script_b = shard_b.script();
+    shard_b.shutdown();
+
+    let fields_match = base_results.iter().map(|r| r.0).eq(rec_results.iter().map(|r| r.0));
+    let warm_match = base_results.iter().map(|r| r.1).eq(rec_results.iter().map(|r| r.1));
+    let script_match = format!("{script_a}{script_b}") == base_script;
+    let recovery_match = fields_match && warm_match && script_match;
+    println!(
+        "recovery: fields {} | warm flags {} | script tail {} | shard snapshot {} KiB, \
+         restore {shard_restore_us:.0} µs",
+        if fields_match { "bitwise equal" } else { "DIVERGED" },
+        if warm_match { "equal" } else { "DIVERGED" },
+        if script_match { "byte-identical" } else { "DIVERGED" },
+        snapshot.len() / 1024,
+    );
+    assert!(fields_match, "post-restore displacement fields diverged from the uninterrupted run");
+    assert!(warm_match, "warm/cold start pattern diverged (context not restored warm?)");
+    assert!(
+        script_match,
+        "event-log script diverged:\n--- uninterrupted ---\n{base_script}\n--- recovered ---\n{script_a}{script_b}"
+    );
+    // The first post-restore scan must have been served from the
+    // *restored* warm context — the migration kept the state, not just
+    // the session table.
+    assert!(rec_results[cut].1, "first post-restore scan ran cold; warm context was lost");
+
+    // ---- 3. Deterministic replay from a persisted submission log. ----
+    let jobs: Vec<SimJob> = (0..200u64)
+        .map(|i| SimJob {
+            session: 1 + i % 7,
+            submit_us: i * 400,
+            deadline_us: i * 400 + 25_000,
+            priority: (i % 3) as u8,
+            cost_us: 2_000 + 350 * (i % 5),
+            ctx_bytes: 1 << 18,
+        })
+        .collect();
+    let sim_cfg =
+        SimConfig { workers: 3, policy: SchedulerPolicy::default(), budget_bytes: 4 << 18 };
+    let run = RecordedRun::record(&sim_cfg, &jobs);
+    let log_bytes = run.to_bytes().expect("serialize recorded run");
+    let replayed = RecordedRun::from_bytes(&log_bytes).expect("deserialize recorded run");
+    let outcome = replayed.replay();
+    println!(
+        "replay: {} jobs, log {} KiB, script {}",
+        jobs.len(),
+        log_bytes.len() / 1024,
+        if outcome.matches { "byte-identical" } else { "DIVERGED" }
+    );
+    assert!(outcome.matches, "replayed event script diverged from the recorded run");
+
+    // ---- Shared report schema (brainshift.obs.v1). ----
+    let mut report = BenchReport::new("persist");
+    report.params = JsonValue::obj()
+        .with("phantom_dims", "32x32x24".into())
+        .with("scans", n_scans.into())
+        .with("snapshot_at_scan", cut.into())
+        .with("replay_jobs", jobs.len().into());
+    report.extra = JsonValue::obj()
+        .with("context_snapshot_bytes", ctx_bytes.len().into())
+        .with("shard_snapshot_bytes", snapshot.len().into())
+        .with("replay_log_bytes", log_bytes.len().into())
+        .with("cold_build_us", cold_build_us.into())
+        .with("restore_us", restore_us.into())
+        .with("restore_over_cold_ratio", ratio.into())
+        .with("shard_restore_us", shard_restore_us.into())
+        .with("recovery_match", recovery_match.into())
+        .with("replay_match", outcome.matches.into());
+    let path = PathBuf::from("bench_out").join("persist.json");
+    report.write(&path).expect("write persist.json");
+    println!("written: {}", path.display());
+}

@@ -208,6 +208,40 @@ impl TetMesh {
         let [a, b, c, d] = self.tets[t];
         barycentric_in(self.nodes[a], self.nodes[b], self.nodes[c], self.nodes[d], p)
     }
+
+    /// FNV-1a content fingerprint over node coordinates (IEEE-754 bit
+    /// patterns), tetrahedron indices, and tissue labels. Two meshes
+    /// collide only if they are bit-identical in geometry, connectivity,
+    /// and labeling — unlike count-based comparison, which cannot tell
+    /// apart distinct meshes of the same size. Used to validate that a
+    /// cached or restored `SolverContext` belongs to this exact mesh.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.nodes.len() as u64);
+        for n in &self.nodes {
+            mix(n.x.to_bits());
+            mix(n.y.to_bits());
+            mix(n.z.to_bits());
+        }
+        mix(self.tets.len() as u64);
+        for tet in &self.tets {
+            for &i in tet {
+                mix(i as u64);
+            }
+        }
+        for &l in &self.tet_labels {
+            mix(u64::from(l));
+        }
+        h
+    }
 }
 
 /// Signed volume of the tetrahedron (a, b, c, d).
@@ -366,5 +400,23 @@ mod tests {
         let (lo, hi) = m.bounding_box();
         assert_eq!(lo, Vec3::ZERO);
         assert_eq!(hi, Vec3::new(1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn fingerprint_separates_equal_sized_meshes() {
+        let m = unit_tet();
+        assert_eq!(m.fingerprint(), unit_tet().fingerprint(), "deterministic");
+        // Same counts, different geometry.
+        let mut moved = unit_tet();
+        moved.nodes[3].z += 1e-9;
+        assert_ne!(m.fingerprint(), moved.fingerprint());
+        // Same counts and geometry, different connectivity order.
+        let mut rewired = unit_tet();
+        rewired.tets[0] = [0, 2, 3, 1];
+        assert_ne!(m.fingerprint(), rewired.fingerprint());
+        // Same everything but the tissue label.
+        let mut relabeled = unit_tet();
+        relabeled.tet_labels[0] = 5;
+        assert_ne!(m.fingerprint(), relabeled.fingerprint());
     }
 }

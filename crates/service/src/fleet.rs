@@ -29,6 +29,7 @@ use crate::session::SessionStats;
 use crate::CacheStats;
 use brainshift_core::PreparedSurgery;
 use brainshift_obs::Snapshot;
+use brainshift_persist::PersistError;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -127,6 +128,9 @@ pub struct Fleet {
     /// signal, released on close so the fleet rebalances without moving
     /// live sessions.
     live: Mutex<Vec<usize>>,
+    /// Per-shard configuration, kept so a drained shard can be rebuilt
+    /// identically by [`Fleet::restore_shard`].
+    shard_cfg: ServiceConfig,
 }
 
 impl Fleet {
@@ -136,6 +140,7 @@ impl Fleet {
         Fleet {
             shards: (0..n).map(|_| Service::start(cfg.shard.clone())).collect(),
             live: Mutex::new(vec![0; n]),
+            shard_cfg: cfg.shard,
         }
     }
 
@@ -227,6 +232,60 @@ impl Fleet {
     /// isolation the router promises.
     pub fn scripts(&self) -> Vec<String> {
         self.shards.iter().map(Service::script).collect()
+    }
+
+    /// Quiesce one shard (stop its admission, finish its in-flight jobs)
+    /// and serialize its sessions, warm contexts, id counters, and event
+    /// log (see [`Service::snapshot_shard`]). Terminal for the shard:
+    /// follow with [`Fleet::restore_shard`] to bring a replacement up in
+    /// its slot. Sessions of other shards are untouched — the blast
+    /// radius the router promises.
+    pub fn snapshot_shard(&self, shard: usize) -> Result<Vec<u8>, PersistError> {
+        let Some(s) = self.shards.get(shard) else {
+            return Err(PersistError::InvalidData {
+                reason: format!("fleet has {} shards, no shard {shard}", self.shards.len()),
+            });
+        };
+        s.snapshot_shard()
+    }
+
+    /// Replace a drained shard with one restored from snapshot bytes.
+    /// `prepared` is keyed by **fleet-wide** session ids (what
+    /// [`Fleet::open_session`] handed out); each id must route to
+    /// `shard`, and each preparation is verified against the snapshot's
+    /// mesh fingerprints. The fresh shard takes the old one's slot, so
+    /// every pre-snapshot fleet id keeps routing correctly — the
+    /// migrated sessions come back warm under their old handles. The
+    /// displaced shard is shut down (its queues were already drained by
+    /// the snapshot's quiesce). Returns the number of restored sessions.
+    pub fn restore_shard(
+        &mut self,
+        shard: usize,
+        bytes: &[u8],
+        prepared: &std::collections::HashMap<u64, Arc<PreparedSurgery>>,
+    ) -> Result<usize, PersistError> {
+        let shards = self.shards.len();
+        if shard >= shards {
+            return Err(PersistError::InvalidData {
+                reason: format!("fleet has {shards} shards, no shard {shard}"),
+            });
+        }
+        let mut local = std::collections::HashMap::with_capacity(prepared.len());
+        for (&fleet_id, prep) in prepared {
+            let (id, s) = decode(fleet_id, shards);
+            if s != shard {
+                return Err(PersistError::InvalidData {
+                    reason: format!("fleet session {fleet_id} routes to shard {s}, not {shard}"),
+                });
+            }
+            local.insert(id, Arc::clone(prep));
+        }
+        let fresh = Service::restore_shard(self.shard_cfg.clone(), bytes, &local)?;
+        let count = fresh.session_count();
+        let old = std::mem::replace(&mut self.shards[shard], fresh);
+        old.shutdown();
+        self.live.lock()[shard] = count;
+        Ok(count)
     }
 
     /// Shut every shard down (in shard order); queued jobs resolve as

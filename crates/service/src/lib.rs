@@ -33,6 +33,8 @@ pub mod dispatch;
 pub mod error;
 pub mod events;
 pub mod fleet;
+pub mod persist;
+pub mod replay;
 pub mod scheduler;
 pub mod service;
 pub mod session;
@@ -43,6 +45,8 @@ pub use dispatch::{preferred_worker, route_shard, StealPolicy};
 pub use error::{Rejected, ServiceError};
 pub use events::{Event, EventKind, EventLog};
 pub use fleet::{Fleet, FleetConfig};
+pub use persist::SessionSnapshot;
+pub use replay::{RecordedRun, ReplayOutcome};
 pub use scheduler::{DeadlineQueue, QueuedJob, SchedulerPolicy};
 pub use service::{JobOutcome, JobTicket, ScanJob, Service, ServiceConfig};
 pub use session::{MeshFingerprint, SessionStats, SurgerySession};

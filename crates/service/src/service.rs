@@ -52,6 +52,7 @@ use brainshift_core::{Error as CoreError, PreparedSurgery, ScanStatus};
 use brainshift_fem::SolverContext;
 use brainshift_imaging::{DisplacementField, Volume};
 use brainshift_obs::{Registry, Snapshot};
+use brainshift_persist::PersistError;
 use brainshift_sparse::StopReason;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
@@ -483,6 +484,192 @@ impl Service {
     /// The timestamp-free event script (determinism/debug surface).
     pub fn script(&self) -> String {
         self.shared.log.script()
+    }
+
+    /// Open sessions currently registered on this service.
+    pub fn session_count(&self) -> usize {
+        self.shared.admission.lock().sessions.len()
+    }
+
+    /// Stop admitting new work and wait until every already-admitted job
+    /// has been *served* (not cancelled): the queues drain to empty and
+    /// no session is mid-solve. Terminal — admission stays closed; the
+    /// only useful follow-ups are [`Service::snapshot_shard`] and
+    /// [`Service::shutdown`].
+    fn quiesce(&self) {
+        self.shared.admission.lock().shutting_down = true;
+        // The workers keep serving (neither `down` nor the wake channels
+        // are touched), so the drain is the normal execution path.
+        loop {
+            let sessions: Vec<Arc<SurgerySession>> =
+                self.shared.admission.lock().sessions.values().cloned().collect();
+            let idle = self.shared.depth.load(Ordering::SeqCst) == 0
+                && sessions.iter().all(|s| !s.busy.load(Ordering::SeqCst));
+            if idle {
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Quiesce this shard (stop admission, finish every in-flight job)
+    /// and serialize its durable state: session table with carry-forward
+    /// fields and counters, resident warm solver contexts, id counters,
+    /// and the full event log. Terminal — the caller is expected to
+    /// [`Service::shutdown`] the drained shard and hand the bytes to
+    /// [`Service::restore_shard`] on a replacement.
+    pub fn snapshot_shard(&self) -> Result<Vec<u8>, PersistError> {
+        self.quiesce();
+        let (mut sessions, next_session, next_job) = {
+            let adm = self.shared.admission.lock();
+            let mut s: Vec<Arc<SurgerySession>> = adm.sessions.values().cloned().collect();
+            s.sort_by_key(|s| s.id());
+            (s, adm.next_session, adm.next_job)
+        };
+        let mut snaps = Vec::with_capacity(sessions.len());
+        for sess in sessions.drain(..) {
+            // Destructive checkout: the snapshot is the context's new
+            // home. This shard is being retired; a restored shard must
+            // never race it for the same warm state.
+            let context = self.shared.cache.lock().take(sess.id());
+            let (carry_forward, stats) = {
+                let state = sess.state.lock();
+                (state.carry_forward.clone(), state.stats)
+            };
+            let mesh = sess.prepared().mesh();
+            snaps.push(crate::persist::SessionSnapshot {
+                id: sess.id(),
+                mesh_nodes: mesh.nodes.len(),
+                mesh_tets: mesh.tets.len(),
+                mesh_content_fingerprint: mesh.fingerprint(),
+                carry_forward,
+                stats,
+                context,
+            });
+        }
+        let mut meta = brainshift_persist::Encoder::new();
+        meta.put_u64(next_session);
+        meta.put_u64(next_job);
+        let mut w = brainshift_persist::SnapshotWriter::new();
+        w.section(crate::persist::SEC_META, meta.into_bytes());
+        w.section_value(crate::persist::SEC_SESSIONS, &snaps)?;
+        w.section_value(crate::persist::SEC_LOG, &self.shared.log)?;
+        let bytes = w.finish();
+        self.shared.metrics.gauge_set("service.persist.snapshot_bytes", bytes.len() as f64);
+        Ok(bytes)
+    }
+
+    /// Bring a snapshotted shard back up on a fresh worker pool. The
+    /// caller supplies the once-per-surgery preparations keyed by the
+    /// *persisted* (shard-local) session ids; each is verified against
+    /// the snapshot's mesh content fingerprint before any restored warm
+    /// context is trusted with it. Everything is decoded and validated
+    /// **before** the worker pool starts — a corrupt snapshot yields a
+    /// typed [`PersistError`] and no half-restored service.
+    ///
+    /// Restored sessions keep their ids, counters, carry-forward fields,
+    /// and (when resident at snapshot time) their warm contexts; the id
+    /// counters continue where the old shard stopped, so the event-log
+    /// script tail is byte-identical to an uninterrupted run's.
+    pub fn restore_shard(
+        cfg: ServiceConfig,
+        bytes: &[u8],
+        prepared: &HashMap<u64, Arc<PreparedSurgery>>,
+    ) -> Result<Service, PersistError> {
+        let t0 = Instant::now();
+        let reader = brainshift_persist::SnapshotReader::parse(bytes)?;
+        let mut meta = reader.section(crate::persist::SEC_META)?;
+        let next_session = meta.get_u64()?;
+        let next_job = meta.get_u64()?;
+        meta.finish()?;
+        let snaps: Vec<crate::persist::SessionSnapshot> =
+            reader.section_value(crate::persist::SEC_SESSIONS)?;
+        // Decoded for integrity (the section checksum alone cannot catch
+        // an encoder/decoder skew); the old shard's log is the caller's
+        // record, not the new shard's — seq numbers restart at 0.
+        let _log: EventLog = reader.section_value(crate::persist::SEC_LOG)?;
+        let n_workers = cfg.workers.max(1);
+        let mut restored = Vec::with_capacity(snaps.len());
+        for snap in snaps {
+            if snap.id >= next_session {
+                return Err(PersistError::InvalidData {
+                    reason: format!(
+                        "snapshot session {} not below next_session {next_session}",
+                        snap.id
+                    ),
+                });
+            }
+            let Some(prep) = prepared.get(&snap.id) else {
+                return Err(PersistError::InvalidData {
+                    reason: format!("no prepared surgery supplied for session {}", snap.id),
+                });
+            };
+            let mesh = prep.mesh();
+            if mesh.nodes.len() != snap.mesh_nodes || mesh.tets.len() != snap.mesh_tets {
+                return Err(PersistError::InvalidData {
+                    reason: format!(
+                        "session {}: prepared mesh is {}n/{}t, snapshot expects {}n/{}t",
+                        snap.id,
+                        mesh.nodes.len(),
+                        mesh.tets.len(),
+                        snap.mesh_nodes,
+                        snap.mesh_tets
+                    ),
+                });
+            }
+            let fp = mesh.fingerprint();
+            if fp != snap.mesh_content_fingerprint {
+                return Err(PersistError::InvalidData {
+                    reason: format!(
+                        "session {}: prepared mesh fingerprint {fp:#x} does not match \
+                         snapshot's {:#x}",
+                        snap.id, snap.mesh_content_fingerprint
+                    ),
+                });
+            }
+            let sess = Arc::new(SurgerySession::restore(
+                snap.id,
+                Arc::clone(prep),
+                preferred_worker(snap.id, n_workers),
+                snap.carry_forward,
+                snap.stats,
+            ));
+            restored.push((sess, snap.context));
+        }
+        // All-or-nothing boundary: everything after this point is
+        // installation of fully validated state.
+        let service = Service::start(cfg);
+        let mut contexts = 0u64;
+        {
+            let mut adm = service.shared.admission.lock();
+            adm.next_session = next_session;
+            adm.next_job = next_job;
+            for (sess, ctx) in restored {
+                if let Some(ctx) = ctx {
+                    let bytes = ctx.memory_bytes();
+                    service.shared.cache.lock().insert(sess.id(), ctx, bytes);
+                    contexts += 1;
+                }
+                adm.sessions.insert(sess.id(), sess);
+            }
+        }
+        // A smaller budget on the replacement shard sheds the LRU
+        // contexts exactly as live memory pressure would — logged, never
+        // an error.
+        let evicted = service.shared.cache.lock().drain_evicted();
+        for (sess, freed) in evicted {
+            service.shared.metrics.counter_add("service.cache.evictions", 1);
+            service.shared.log.record(
+                service.shared.now_us(),
+                0,
+                EventKind::Evict { session: sess, freed_bytes: freed },
+            );
+        }
+        let m = &service.shared.metrics;
+        m.counter_add("service.persist.contexts_restored", contexts);
+        m.observe("service.persist.restore_us", t0.elapsed().as_micros() as f64);
+        m.gauge_set("service.persist.snapshot_bytes", bytes.len() as f64);
+        Ok(service)
     }
 
     /// Stop admitting work, let in-flight jobs complete, cancel every

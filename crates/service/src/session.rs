@@ -36,6 +36,32 @@ pub struct SessionStats {
     pub warm_starts: u64,
 }
 
+impl brainshift_persist::Persist for SessionStats {
+    fn encode(
+        &self,
+        enc: &mut brainshift_persist::Encoder,
+    ) -> Result<(), brainshift_persist::PersistError> {
+        enc.put_u64(self.completed);
+        enc.put_u64(self.escalated);
+        enc.put_u64(self.degraded);
+        enc.put_u64(self.deadline_misses);
+        enc.put_u64(self.warm_starts);
+        Ok(())
+    }
+
+    fn decode(
+        dec: &mut brainshift_persist::Decoder<'_>,
+    ) -> Result<Self, brainshift_persist::PersistError> {
+        Ok(SessionStats {
+            completed: dec.get_u64()?,
+            escalated: dec.get_u64()?,
+            degraded: dec.get_u64()?,
+            deadline_misses: dec.get_u64()?,
+            warm_starts: dec.get_u64()?,
+        })
+    }
+}
+
 /// Mutable between-scan state.
 pub(crate) struct SessionState {
     /// Field of the last successfully registered scan; a degraded scan
@@ -95,6 +121,35 @@ impl SurgerySession {
             closed: AtomicBool::new(false),
             backlog: AtomicUsize::new(0),
             state: Mutex::new(SessionState { carry_forward: None, stats: SessionStats::default() }),
+        }
+    }
+
+    /// Rebuild a session from persisted state: same id as at snapshot
+    /// time (so the shard's id sequence — and therefore the event-log
+    /// script tail — continues unbroken), with the carry-forward field
+    /// and lifetime counters restored. The transient flags (`busy`,
+    /// `closed`, `backlog`) start clean: a restored shard has no jobs in
+    /// flight by construction (the snapshot was taken quiesced).
+    pub(crate) fn restore(
+        id: u64,
+        prepared: Arc<PreparedSurgery>,
+        preferred_worker: usize,
+        carry_forward: Option<DisplacementField>,
+        stats: SessionStats,
+    ) -> Self {
+        let fingerprint = MeshFingerprint {
+            nodes: prepared.mesh().nodes.len(),
+            tets: prepared.mesh().tets.len(),
+        };
+        SurgerySession {
+            id,
+            fingerprint,
+            prepared,
+            preferred_worker,
+            busy: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+            backlog: AtomicUsize::new(0),
+            state: Mutex::new(SessionState { carry_forward, stats }),
         }
     }
 

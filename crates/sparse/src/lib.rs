@@ -35,5 +35,8 @@ pub use error::SparseError;
 pub use escalate::{solve_escalated, EscalationOutcome, EscalationPolicy, RungTrace};
 pub use gmres::{gmres, gmres_with_workspace, KrylovWorkspace};
 pub use ordering::{bandwidth, permute_symmetric, reverse_cuthill_mckee};
-pub use precond::{BlockJacobiPrecond, BlockSolve, IdentityPrecond, Ilu0, JacobiPrecond, Preconditioner};
+pub use precond::{
+    decode_preconditioner, BlockJacobiPrecond, BlockSolve, IdentityPrecond, Ilu0, JacobiPrecond,
+    Preconditioner,
+};
 pub use solver::{LinearOperator, SolveStats, SolverOptions, StopReason};

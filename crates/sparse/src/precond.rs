@@ -8,6 +8,7 @@
 use crate::csr::CsrMatrix;
 use crate::dense::DenseLu;
 use crate::error::SparseError;
+use brainshift_persist::{Decoder, Encoder, Persist, PersistError};
 use rayon::prelude::*;
 
 /// Application of `z = M⁻¹ r` for some preconditioning operator `M`.
@@ -22,6 +23,57 @@ pub trait Preconditioner: Send + Sync {
     fn memory_bytes(&self) -> usize {
         0
     }
+    /// Serialize the *factored* operator (a tag byte plus the factors)
+    /// so a restored context skips re-factorization. Returns `Ok(false)`
+    /// without writing for operators that don't support persistence;
+    /// decode back through [`decode_preconditioner`].
+    fn persist_into(&self, _enc: &mut Encoder) -> Result<bool, PersistError> {
+        Ok(false)
+    }
+}
+
+/// Persistence tags, one per supported `Preconditioner` implementation.
+const TAG_IDENTITY: u8 = 0;
+const TAG_JACOBI: u8 = 1;
+const TAG_ILU0: u8 = 2;
+const TAG_BLOCK_JACOBI: u8 = 3;
+
+/// Decode a preconditioner written by
+/// [`Preconditioner::persist_into`], validating that the operator acts
+/// on vectors of length `expect_dim`.
+pub fn decode_preconditioner(
+    dec: &mut Decoder<'_>,
+    expect_dim: usize,
+) -> Result<Box<dyn Preconditioner>, PersistError> {
+    let dim_mismatch = |name: &str, got: usize| PersistError::InvalidData {
+        reason: format!("{name} preconditioner has dimension {got}, operator needs {expect_dim}"),
+    };
+    match dec.get_u8()? {
+        TAG_IDENTITY => Ok(Box::new(IdentityPrecond)),
+        TAG_JACOBI => {
+            let p = JacobiPrecond::decode(dec)?;
+            if p.inv_diag.len() != expect_dim {
+                return Err(dim_mismatch("jacobi", p.inv_diag.len()));
+            }
+            Ok(Box::new(p))
+        }
+        TAG_ILU0 => {
+            let p = Ilu0::decode(dec)?;
+            if p.lu.nrows() != expect_dim {
+                return Err(dim_mismatch("ilu0", p.lu.nrows()));
+            }
+            Ok(Box::new(p))
+        }
+        TAG_BLOCK_JACOBI => {
+            let p = BlockJacobiPrecond::decode(dec)?;
+            let covered = p.ranges.last().map_or(0, |&(_, hi)| hi);
+            if covered != expect_dim {
+                return Err(dim_mismatch("block-jacobi", covered));
+            }
+            Ok(Box::new(p))
+        }
+        tag => Err(PersistError::InvalidData { reason: format!("unknown preconditioner tag {tag}") }),
+    }
 }
 
 /// No preconditioning (`M = I`).
@@ -34,6 +86,10 @@ impl Preconditioner for IdentityPrecond {
     }
     fn name(&self) -> &'static str {
         "none"
+    }
+    fn persist_into(&self, enc: &mut Encoder) -> Result<bool, PersistError> {
+        enc.put_u8(TAG_IDENTITY);
+        Ok(true)
     }
 }
 
@@ -68,6 +124,20 @@ impl Preconditioner for JacobiPrecond {
     }
     fn memory_bytes(&self) -> usize {
         std::mem::size_of_val(self.inv_diag.as_slice())
+    }
+    fn persist_into(&self, enc: &mut Encoder) -> Result<bool, PersistError> {
+        enc.put_u8(TAG_JACOBI);
+        Persist::encode(self, enc)?;
+        Ok(true)
+    }
+}
+
+impl Persist for JacobiPrecond {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+        self.inv_diag.encode(enc)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        Ok(JacobiPrecond { inv_diag: Vec::<f64>::decode(dec)? })
     }
 }
 
@@ -247,6 +317,62 @@ impl Preconditioner for Ilu0 {
             + std::mem::size_of_val(self.diag_pos.as_slice())
             + std::mem::size_of_val(self.scale.as_slice())
     }
+    fn persist_into(&self, enc: &mut Encoder) -> Result<bool, PersistError> {
+        enc.put_u8(TAG_ILU0);
+        Persist::encode(self, enc)?;
+        Ok(true)
+    }
+}
+
+impl Persist for Ilu0 {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+        self.lu.encode(enc)?;
+        // `diag_pos` holds `usize::MAX` sentinels for rows without a
+        // stored diagonal; shift by one so the sentinel encodes as 0
+        // instead of a value that only round-trips on 64-bit hosts.
+        let diag_pos: Vec<u64> = self
+            .diag_pos
+            .iter()
+            .map(|&p| if p == usize::MAX { 0 } else { p as u64 + 1 })
+            .collect();
+        diag_pos.encode(enc)?;
+        self.scale.encode(enc)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let lu = CsrMatrix::decode(dec)?;
+        let n = lu.nrows();
+        if lu.ncols() != n {
+            return Err(PersistError::InvalidData {
+                reason: format!("ilu0 factor is {}×{}, must be square", n, lu.ncols()),
+            });
+        }
+        let raw = Vec::<u64>::decode(dec)?;
+        let scale = Vec::<f64>::decode(dec)?;
+        if raw.len() != n || scale.len() != n {
+            return Err(PersistError::InvalidData {
+                reason: format!(
+                    "ilu0 arrays disagree: {} diag positions, {} scales, dim {n}",
+                    raw.len(),
+                    scale.len()
+                ),
+            });
+        }
+        let mut diag_pos = Vec::with_capacity(n);
+        for (i, &p) in raw.iter().enumerate() {
+            if p == 0 {
+                diag_pos.push(usize::MAX);
+                continue;
+            }
+            let p = (p - 1) as usize;
+            if p < lu.indptr()[i] || p >= lu.indptr()[i + 1] || lu.indices()[p] != i {
+                return Err(PersistError::InvalidData {
+                    reason: format!("ilu0 diag position {p} not on row {i}'s diagonal"),
+                });
+            }
+            diag_pos.push(p);
+        }
+        Ok(Ilu0 { lu, diag_pos, scale })
+    }
 }
 
 /// How each diagonal block of the block-Jacobi preconditioner is solved.
@@ -258,9 +384,57 @@ pub enum BlockSolve {
     Ilu0,
 }
 
+impl Persist for BlockSolve {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+        enc.put_u8(match self {
+            BlockSolve::DenseLu => 0,
+            BlockSolve::Ilu0 => 1,
+        });
+        Ok(())
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        match dec.get_u8()? {
+            0 => Ok(BlockSolve::DenseLu),
+            1 => Ok(BlockSolve::Ilu0),
+            t => Err(PersistError::InvalidData { reason: format!("invalid BlockSolve tag {t}") }),
+        }
+    }
+}
+
 enum BlockFactor {
     Dense(DenseLu),
     Ilu(Ilu0),
+}
+
+impl BlockFactor {
+    fn dim(&self) -> usize {
+        match self {
+            BlockFactor::Dense(lu) => lu.dim(),
+            BlockFactor::Ilu(ilu) => ilu.lu.nrows(),
+        }
+    }
+}
+
+impl Persist for BlockFactor {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+        match self {
+            BlockFactor::Dense(lu) => {
+                enc.put_u8(0);
+                lu.encode(enc)
+            }
+            BlockFactor::Ilu(ilu) => {
+                enc.put_u8(1);
+                ilu.encode(enc)
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        match dec.get_u8()? {
+            0 => Ok(BlockFactor::Dense(DenseLu::decode(dec)?)),
+            1 => Ok(BlockFactor::Ilu(Ilu0::decode(dec)?)),
+            t => Err(PersistError::InvalidData { reason: format!("invalid BlockFactor tag {t}") }),
+        }
+    }
 }
 
 /// Block-Jacobi: the matrix's diagonal blocks — one per partition / "CPU"
@@ -444,6 +618,52 @@ impl Preconditioner for BlockJacobiPrecond {
             })
             .sum();
         factors + std::mem::size_of_val(self.ranges.as_slice())
+    }
+    fn persist_into(&self, enc: &mut Encoder) -> Result<bool, PersistError> {
+        enc.put_u8(TAG_BLOCK_JACOBI);
+        Persist::encode(self, enc)?;
+        Ok(true)
+    }
+}
+
+impl Persist for BlockJacobiPrecond {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), PersistError> {
+        self.ranges.encode(enc)?;
+        self.factors.encode(enc)?;
+        enc.put_usize(self.shifted_blocks);
+        Ok(())
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let ranges = Vec::<(usize, usize)>::decode(dec)?;
+        let factors = Vec::<BlockFactor>::decode(dec)?;
+        let shifted_blocks = dec.get_usize()?;
+        if ranges.is_empty() || ranges.len() != factors.len() || shifted_blocks > ranges.len() {
+            return Err(PersistError::InvalidData {
+                reason: format!(
+                    "block-jacobi: {} ranges, {} factors, {shifted_blocks} shifted",
+                    ranges.len(),
+                    factors.len()
+                ),
+            });
+        }
+        let mut expect_lo = 0usize;
+        for (&(lo, hi), factor) in ranges.iter().zip(&factors) {
+            if lo != expect_lo || hi <= lo {
+                return Err(PersistError::InvalidData {
+                    reason: format!("block-jacobi: non-contiguous block ({lo}, {hi})"),
+                });
+            }
+            if factor.dim() != hi - lo {
+                return Err(PersistError::InvalidData {
+                    reason: format!(
+                        "block-jacobi: block ({lo}, {hi}) has a factor of dimension {}",
+                        factor.dim()
+                    ),
+                });
+            }
+            expect_lo = hi;
+        }
+        Ok(BlockJacobiPrecond { ranges, factors, shifted_blocks })
     }
 }
 

@@ -99,6 +99,58 @@ impl Default for SolverOptions {
     }
 }
 
+impl brainshift_persist::Persist for StopReason {
+    fn encode(
+        &self,
+        enc: &mut brainshift_persist::Encoder,
+    ) -> Result<(), brainshift_persist::PersistError> {
+        enc.put_u8(match self {
+            StopReason::Converged => 0,
+            StopReason::MaxIterations => 1,
+            StopReason::Breakdown => 2,
+            StopReason::TimeBudget => 3,
+        });
+        Ok(())
+    }
+    fn decode(
+        dec: &mut brainshift_persist::Decoder<'_>,
+    ) -> Result<Self, brainshift_persist::PersistError> {
+        match dec.get_u8()? {
+            0 => Ok(StopReason::Converged),
+            1 => Ok(StopReason::MaxIterations),
+            2 => Ok(StopReason::Breakdown),
+            3 => Ok(StopReason::TimeBudget),
+            t => Err(brainshift_persist::PersistError::InvalidData {
+                reason: format!("invalid StopReason tag {t}"),
+            }),
+        }
+    }
+}
+
+impl brainshift_persist::Persist for SolverOptions {
+    fn encode(
+        &self,
+        enc: &mut brainshift_persist::Encoder,
+    ) -> Result<(), brainshift_persist::PersistError> {
+        enc.put_f64(self.tolerance);
+        enc.put_usize(self.max_iterations);
+        enc.put_usize(self.restart);
+        enc.put_bool(self.record_history);
+        self.time_budget.encode(enc)
+    }
+    fn decode(
+        dec: &mut brainshift_persist::Decoder<'_>,
+    ) -> Result<Self, brainshift_persist::PersistError> {
+        Ok(SolverOptions {
+            tolerance: dec.get_f64()?,
+            max_iterations: dec.get_usize()?,
+            restart: dec.get_usize()?,
+            record_history: dec.get_bool()?,
+            time_budget: Option::<std::time::Duration>::decode(dec)?,
+        })
+    }
+}
+
 /// Deadline derived from a [`SolverOptions::time_budget`], checked inside
 /// the Krylov loops.
 ///

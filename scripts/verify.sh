@@ -66,6 +66,21 @@ cargo run -q --release -p brainshift-bench --bin scenario_suite_json -- 200
 RAYON_NUM_THREADS=1 cargo test -q -p brainshift-service --test affinity_props --test service_affinity
 RAYON_NUM_THREADS=4 cargo test -q -p brainshift-service --test affinity_props --test service_affinity
 
+# Persist stage: the durability layer. Codec/container round-trip and
+# corruption suites in the persist crate, the workspace-wide Persist
+# round-trip property tests, and the crash-recovery gate (snapshot a
+# shard mid-sequence, restore, finish — fields and event script must be
+# byte-identical to an uninterrupted run) at two thread counts so the
+# bitwise claims survive parallelism. Then the durability report bin,
+# which additionally asserts warm restore strictly cheaper than a cold
+# context rebuild and deterministic replay-from-log, writing
+# bench_out/persist.json.
+RAYON_NUM_THREADS=1 cargo test -q -p brainshift-persist
+RAYON_NUM_THREADS=4 cargo test -q -p brainshift-persist
+RAYON_NUM_THREADS=1 cargo test -q --test persist_props --test persist_recovery
+RAYON_NUM_THREADS=4 cargo test -q --test persist_props --test persist_recovery
+cargo run -q --release -p brainshift-bench --bin persist_report
+
 cargo clippy --all-targets -- -D warnings
 
 # The numeric kernels must not panic on bad input — constructors return
@@ -73,4 +88,4 @@ cargo clippy --all-targets -- -D warnings
 # surface crates deny clippy::unwrap_used / clippy::panic in their
 # non-test code (see the cfg_attr in each crate's lib.rs); lint the libs
 # to enforce it.
-cargo clippy -p brainshift-obs -p brainshift-sparse -p brainshift-fem -p brainshift-core -p brainshift-service -p brainshift-segment -p brainshift-surface -p brainshift-scenario --lib -- -D warnings
+cargo clippy -p brainshift-persist -p brainshift-obs -p brainshift-sparse -p brainshift-fem -p brainshift-core -p brainshift-service -p brainshift-segment -p brainshift-surface -p brainshift-scenario --lib -- -D warnings
