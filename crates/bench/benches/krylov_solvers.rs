@@ -22,7 +22,7 @@ fn bench_solvers(c: &mut Criterion) {
     g.bench_function("gmres_none", |b| {
         b.iter(|| {
             let mut x = vec![0.0; a.nrows()];
-            let s = gmres(a, &IdentityPrecond, &red.rhs, &mut x, &opts);
+            let s = gmres(a, &IdentityPrecond, &red.rhs, &mut x, &opts).expect("dims agree");
             assert!(s.converged());
         });
     });
@@ -30,7 +30,7 @@ fn bench_solvers(c: &mut Criterion) {
         let pc = JacobiPrecond::new(a);
         b.iter(|| {
             let mut x = vec![0.0; a.nrows()];
-            let s = gmres(a, &pc, &red.rhs, &mut x, &opts);
+            let s = gmres(a, &pc, &red.rhs, &mut x, &opts).expect("dims agree");
             assert!(s.converged());
         });
     });
@@ -38,7 +38,7 @@ fn bench_solvers(c: &mut Criterion) {
         let pc = BlockJacobiPrecond::new(a, 8, BlockSolve::Ilu0).expect("singular diagonal block");
         b.iter(|| {
             let mut x = vec![0.0; a.nrows()];
-            let s = gmres(a, &pc, &red.rhs, &mut x, &opts);
+            let s = gmres(a, &pc, &red.rhs, &mut x, &opts).expect("dims agree");
             assert!(s.converged());
         });
     });
@@ -46,7 +46,7 @@ fn bench_solvers(c: &mut Criterion) {
         let pc = JacobiPrecond::new(a);
         b.iter(|| {
             let mut x = vec![0.0; a.nrows()];
-            let s = conjugate_gradient(a, &pc, &red.rhs, &mut x, &opts);
+            let s = conjugate_gradient(a, &pc, &red.rhs, &mut x, &opts).expect("dims agree");
             assert!(s.converged());
         });
     });

@@ -42,7 +42,7 @@ fn main() {
     let red = apply_dirichlet(&k, &vec![0.0; ndof], &p.bcs).expect("valid BC set");
     let pc = BlockJacobiPrecond::new(&red.matrix, blocks, BlockSolve::Ilu0).expect("singular diagonal block");
     let mut x = vec![0.0; red.matrix.nrows()];
-    let s_sub = gmres(&red.matrix, &pc, &red.rhs, &mut x, &opts);
+    let s_sub = gmres(&red.matrix, &pc, &red.rhs, &mut x, &opts).expect("dims agree");
     let sub_full = red.expand_solution(&x);
     // Free-DOF imbalance across contiguous ranks (the paper's complaint).
     let offsets = even_offsets(ndof, blocks);
@@ -61,7 +61,7 @@ fn main() {
         let (kp, rhs) = penalty_system(&k, &p.bcs.dof_values(), beta);
         let pc = BlockJacobiPrecond::new(&kp, blocks, BlockSolve::Ilu0).expect("singular diagonal block");
         let mut xp = vec![0.0; ndof];
-        let sp = gmres(&kp, &pc, &rhs, &mut xp, &opts);
+        let sp = gmres(&kp, &pc, &rhs, &mut xp, &opts).expect("dims agree");
         // Accuracy vs the substitution solution on free DOFs.
         let mut err: f64 = 0.0;
         let mut norm: f64 = 0.0;

@@ -34,7 +34,7 @@ fn main() {
     let t0 = Stopwatch::wall();
     let pc = BlockJacobiPrecond::new(&a, 8, BlockSolve::Ilu0).expect("singular diagonal block");
     let mut x_native = vec![0.0; a.nrows()];
-    let s = gmres(&a, &pc, &rhs, &mut x_native, &opts);
+    let s = gmres(&a, &pc, &rhs, &mut x_native, &opts).expect("dims agree");
     assert!(s.converged());
     println!(
         "{:<10} {:>10} {:>8} {:>10.2} s {:>14}",
@@ -46,13 +46,13 @@ fn main() {
     );
 
     // RCM.
-    let perm = reverse_cuthill_mckee(&a);
-    let ap = permute_symmetric(&a, &perm);
+    let perm = reverse_cuthill_mckee(&a).expect("square matrix");
+    let ap = permute_symmetric(&a, &perm).expect("valid permutation");
     let rhs_p = permute_vec(&rhs, &perm);
     let t0 = Stopwatch::wall();
     let pc = BlockJacobiPrecond::new(&ap, 8, BlockSolve::Ilu0).expect("singular diagonal block");
     let mut xp = vec![0.0; ap.nrows()];
-    let s = gmres(&ap, &pc, &rhs_p, &mut xp, &opts);
+    let s = gmres(&ap, &pc, &rhs_p, &mut xp, &opts).expect("dims agree");
     assert!(s.converged());
     let elapsed = t0.elapsed_s();
     let x_rcm = unpermute_vec(&xp, &perm);

@@ -53,7 +53,7 @@ fn main() {
 
     let run_gmres = |p: &dyn Preconditioner| -> SolveStats {
         let mut x = vec![0.0; red.matrix.nrows()];
-        gmres(&red.matrix, p, &red.rhs, &mut x, &opts)
+        gmres(&red.matrix, p, &red.rhs, &mut x, &opts).expect("dims agree")
     };
     let nnz = red.matrix.nnz() as f64;
 
@@ -68,14 +68,15 @@ fn main() {
     }
     let pc = BlockJacobiPrecond::new(&red.matrix, 16, BlockSolve::Ilu0).expect("singular diagonal block");
     let mut x = vec![0.0; red.matrix.nrows()];
-    let s = conjugate_gradient(&red.matrix, &pc, &red.rhs, &mut x, &opts);
+    let s = conjugate_gradient(&red.matrix, &pc, &red.rhs, &mut x, &opts).expect("dims agree");
     report("cg    + block-jacobi/ilu0 x16", &s, 4.0 * nnz);
     let mut x = vec![0.0; red.matrix.nrows()];
-    let s = conjugate_gradient(&red.matrix, &JacobiPrecond::new(&red.matrix), &red.rhs, &mut x, &opts);
+    let s = conjugate_gradient(&red.matrix, &JacobiPrecond::new(&red.matrix), &red.rhs, &mut x, &opts)
+        .expect("dims agree");
     report("cg    + jacobi", &s, red.matrix.nrows() as f64);
     let pc = BlockJacobiPrecond::new(&red.matrix, 16, BlockSolve::Ilu0).expect("singular diagonal block");
     let mut x = vec![0.0; red.matrix.nrows()];
-    let s = bicgstab(&red.matrix, &pc, &red.rhs, &mut x, &opts);
+    let s = bicgstab(&red.matrix, &pc, &red.rhs, &mut x, &opts).expect("dims agree");
     // BiCGStab does 2 matvecs + 2 precond applies per iteration.
     report("bicgstab + block-jacobi x16", &s, 4.0 * nnz + 2.0 * nnz);
 

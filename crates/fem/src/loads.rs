@@ -123,7 +123,8 @@ mod tests {
             &red.rhs,
             &mut x,
             &SolverOptions { tolerance: 1e-10, max_iterations: 5000, ..Default::default() },
-        );
+        )
+        .expect("dimensions agree");
         assert!(stats.converged());
         let full = red.expand_solution(&x);
         // Monotone downward sag with height along the centre column.
@@ -179,7 +180,8 @@ mod tests {
                 &red.rhs,
                 &mut x,
                 &SolverOptions { tolerance: 1e-10, max_iterations: 5000, ..Default::default() },
-            );
+            )
+            .expect("dimensions agree");
             assert!(s.converged());
             let full = red.expand_solution(&x);
             full.iter().skip(2).step_by(3).fold(0.0f64, |m, &v| m.max(-v))

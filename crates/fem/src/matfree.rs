@@ -1,0 +1,258 @@
+//! Assembly-free application of the reduced stiffness operator.
+//!
+//! The cold path's first solve currently waits for a full global CSR
+//! assembly before the Krylov iteration can start. An [`ElementOperator`]
+//! skips the global matrix entirely: it caches each element's 12×12
+//! stiffness and its reduced DOF map, and applies `y = K_ff·x` by
+//! element-wise gather → dense multiply → scatter, in parallel. That is
+//! the classic matrix-free FEM trade: more flops per apply (element
+//! stiffnesses overlap where the CSR would have merged them) in exchange
+//! for no assembly latency and perfectly regular per-element kernels.
+//!
+//! The operator acts on the *reduced* (free-DOF) system: constrained
+//! DOFs contribute nothing (their basis columns are substituted into the
+//! right-hand side elsewhere), which is exactly the `K_ff` block the
+//! assembled path solves.
+
+use crate::element::{stiffness_isotropic, TetShape};
+use crate::error::FemError;
+use crate::material::MaterialTable;
+use brainshift_mesh::TetMesh;
+use brainshift_sparse::{CsrMatrix, LinearOperator, TripletBuilder};
+use rayon::prelude::*;
+
+/// One cached element: its dense stiffness and the reduced index of each
+/// of its 12 DOFs (`usize::MAX` for constrained DOFs).
+struct CachedElement {
+    ke: [[f64; 12]; 12],
+    dofs: [usize; 12],
+}
+
+/// Matrix-free `K_ff` built from per-element stiffnesses.
+pub struct ElementOperator {
+    nfree: usize,
+    elems: Vec<CachedElement>,
+}
+
+impl ElementOperator {
+    /// Cache every non-degenerate element's stiffness and reduced DOF
+    /// map. `reduced_of_dof` maps global DOF → reduced index
+    /// (`usize::MAX` when constrained), exactly as
+    /// [`crate::bc::DirichletStructure`] builds it; elements whose DOFs
+    /// are all constrained are dropped.
+    pub fn new(
+        mesh: &TetMesh,
+        materials: &MaterialTable,
+        reduced_of_dof: &[usize],
+    ) -> Result<Self, FemError> {
+        if reduced_of_dof.len() != mesh.num_equations() {
+            return Err(FemError::MatrixShapeMismatch {
+                rows: reduced_of_dof.len(),
+                equations: mesh.num_equations(),
+            });
+        }
+        let nfree = reduced_of_dof.iter().filter(|&&r| r != usize::MAX).count();
+        let chunk = 1024.max(mesh.num_tets() / (rayon::current_num_threads() * 4).max(1));
+        let chunks: Vec<Vec<CachedElement>> = mesh
+            .tets
+            .par_chunks(chunk)
+            .zip(mesh.tet_labels.par_chunks(chunk))
+            .map(|(tets, tet_labels)| {
+                let mut out = Vec::with_capacity(tets.len());
+                for (tet, &label) in tets.iter().zip(tet_labels) {
+                    let p = [
+                        mesh.nodes[tet[0]],
+                        mesh.nodes[tet[1]],
+                        mesh.nodes[tet[2]],
+                        mesh.nodes[tet[3]],
+                    ];
+                    let Ok(shape) = TetShape::new(p) else { continue };
+                    let ke = stiffness_isotropic(&shape, &materials.of(label));
+                    let mut dofs = [usize::MAX; 12];
+                    let mut any_free = false;
+                    for (i, &n) in tet.iter().enumerate() {
+                        for c in 0..3 {
+                            let r = reduced_of_dof[3 * n + c];
+                            dofs[3 * i + c] = r;
+                            any_free |= r != usize::MAX;
+                        }
+                    }
+                    if any_free {
+                        out.push(CachedElement { ke, dofs });
+                    }
+                }
+                out
+            })
+            .collect();
+        let mut elems = Vec::with_capacity(mesh.num_tets());
+        for c in chunks {
+            elems.extend(c);
+        }
+        Ok(ElementOperator { nfree, elems })
+    }
+
+    /// Elements contributing to the operator.
+    pub fn num_elements(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Heap footprint of the cached element stiffnesses and DOF maps.
+    pub fn memory_bytes(&self) -> usize {
+        self.elems.len() * std::mem::size_of::<CachedElement>()
+    }
+
+    /// The diagonal of `K_ff`, accumulated element-wise — enough to build
+    /// a Jacobi preconditioner without assembling anything.
+    pub fn diagonal(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.nfree];
+        for e in &self.elems {
+            for (a, &r) in e.dofs.iter().enumerate() {
+                if r != usize::MAX {
+                    d[r] += e.ke[a][a];
+                }
+            }
+        }
+        d
+    }
+
+    /// The diagonal of `K_ff` as a 1×1-banded CSR matrix, the shape the
+    /// preconditioner constructors expect.
+    pub fn diagonal_matrix(&self) -> CsrMatrix {
+        let d = self.diagonal();
+        let mut b = TripletBuilder::new(self.nfree, self.nfree);
+        for (i, &v) in d.iter().enumerate() {
+            b.add(i, i, v);
+        }
+        b.build()
+    }
+}
+
+impl LinearOperator for ElementOperator {
+    fn dim(&self) -> usize {
+        self.nfree
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.nfree);
+        debug_assert_eq!(y.len(), self.nfree);
+        // Gather → 12×12 multiply → scatter per element; each chunk
+        // accumulates into a private partial vector (no scatter races),
+        // merged serially afterwards.
+        let chunk = 1024.max(self.elems.len() / (rayon::current_num_threads() * 4).max(1));
+        let partials: Vec<Vec<f64>> = self
+            .elems
+            .par_chunks(chunk)
+            .map(|elems| {
+                let mut part = vec![0.0f64; self.nfree];
+                for e in elems {
+                    let mut xe = [0.0f64; 12];
+                    for (a, &r) in e.dofs.iter().enumerate() {
+                        if r != usize::MAX {
+                            xe[a] = x[r];
+                        }
+                    }
+                    for (a, &r) in e.dofs.iter().enumerate() {
+                        if r == usize::MAX {
+                            continue;
+                        }
+                        let row = &e.ke[a];
+                        let mut s = 0.0;
+                        for b in 0..12 {
+                            s += row[b] * xe[b];
+                        }
+                        part[r] += s;
+                    }
+                }
+                part
+            })
+            .collect();
+        y.iter_mut().for_each(|v| *v = 0.0);
+        for part in partials {
+            for (yi, pi) in y.iter_mut().zip(part) {
+                *yi += pi;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembly::assemble_stiffness;
+    use crate::bc::DirichletStructure;
+    use brainshift_imaging::labels;
+    use brainshift_imaging::volume::{Dims, Spacing, Volume};
+    use brainshift_mesh::{boundary_nodes, mesh_labeled_volume, MesherConfig};
+    use brainshift_sparse::{gmres, JacobiPrecond, SolverOptions};
+
+    fn block_mesh(n: usize) -> TetMesh {
+        let seg = Volume::from_fn(Dims::new(n, n, n), Spacing::iso(1.0), |_, _, _| labels::BRAIN);
+        mesh_labeled_volume(&seg, &MesherConfig { step: 1, include: labels::is_deformable })
+    }
+
+    fn reduced_setup(n: usize) -> (TetMesh, DirichletStructure) {
+        let mesh = block_mesh(n);
+        let k = assemble_stiffness(&mesh, &MaterialTable::heterogeneous());
+        let surface = boundary_nodes(&mesh);
+        let structure = DirichletStructure::new(&k, &surface).expect("reduce");
+        (mesh, structure)
+    }
+
+    #[test]
+    fn matches_the_assembled_reduced_matrix() {
+        let (mesh, structure) = reduced_setup(4);
+        let op = ElementOperator::new(&mesh, &MaterialTable::heterogeneous(), &structure.reduced_of_dof)
+            .expect("build");
+        assert_eq!(op.dim(), structure.num_free());
+        let n = op.dim();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 23) as f64 * 0.1 - 1.0).collect();
+        let mut y_free = vec![0.0; n];
+        let mut y_csr = vec![0.0; n];
+        op.apply(&x, &mut y_free);
+        structure.matrix.spmv(&x, &mut y_csr);
+        let scale = y_csr.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (a, b) in y_free.iter().zip(&y_csr) {
+            assert!((a - b).abs() < 1e-9 * scale, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn element_diagonal_matches_assembled_diagonal() {
+        let (mesh, structure) = reduced_setup(3);
+        let op = ElementOperator::new(&mesh, &MaterialTable::heterogeneous(), &structure.reduced_of_dof)
+            .expect("build");
+        let d_free = op.diagonal();
+        let d_csr = structure.matrix.diagonal();
+        for (a, b) in d_free.iter().zip(&d_csr) {
+            assert!((a - b).abs() < 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gmres_solves_through_the_matrix_free_operator() {
+        let (mesh, structure) = reduced_setup(3);
+        let op = ElementOperator::new(&mesh, &MaterialTable::heterogeneous(), &structure.reduced_of_dof)
+            .expect("build");
+        let n = op.dim();
+        // Manufactured solution through the assembled matrix; solved
+        // through the element operator with a matrix-free Jacobi.
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut b = vec![0.0; n];
+        structure.matrix.spmv(&x_true, &mut b);
+        let pc = JacobiPrecond::new(&op.diagonal_matrix());
+        let opts = SolverOptions { tolerance: 1e-12, max_iterations: 2000, ..Default::default() };
+        let mut x = vec![0.0; n];
+        let stats = gmres(&op, &pc, &b, &mut x, &opts).expect("dims agree");
+        assert!(stats.converged(), "{stats:?}");
+        for (a, b) in x.iter().zip(&x_true) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mismatched_dof_map_is_rejected() {
+        let mesh = block_mesh(3);
+        let r = ElementOperator::new(&mesh, &MaterialTable::homogeneous(), &[0, 1, 2]);
+        assert!(matches!(r, Err(FemError::MatrixShapeMismatch { .. })));
+    }
+}

@@ -224,7 +224,8 @@ pub fn simulate_assemble_solve(
     let precond = BlockJacobiPrecond::from_offsets(&structure.matrix, &red_offsets, opts.block_solve)
         .expect("singular diagonal block in simulated preconditioner");
     let mut x = vec![0.0; nfree];
-    let stats = gmres(&structure.matrix, &precond, &rhs, &mut x, &opts.solver);
+    let stats = gmres(&structure.matrix, &precond, &rhs, &mut x, &opts.solver)
+        .expect("reduced system dimensions agree by construction");
     let mut full = vec![0.0; ndof];
     structure.expand_solution_into(&x, &u_c, &mut full);
     let displacements: Vec<Vec3> = (0..mesh.num_nodes())

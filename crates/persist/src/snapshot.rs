@@ -29,7 +29,16 @@ pub const MAGIC: [u8; 8] = *b"BRSHSNAP";
 
 /// Current snapshot format version. Bumped only when an existing
 /// section's encoding changes; new sections do not bump it.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v2 (the solver speed ladder) appended trailing fields to the solver
+/// configuration and context sections: `SolverOptions::precision`,
+/// `EscalationPolicy::f64_fallback`, `FemSolveConfig::{reorder, spmv}`,
+/// and the context's optional RCM permutation. v1 containers decode with
+/// those fields at their defaults.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest container version this reader still decodes.
+pub const MIN_SUPPORTED_VERSION: u32 = 1;
 
 /// Builds a snapshot from named payload sections.
 #[derive(Debug, Default)]
@@ -99,6 +108,7 @@ struct SectionEntry {
 pub struct SnapshotReader<'a> {
     buf: &'a [u8],
     table: Vec<SectionEntry>,
+    version: u32,
 }
 
 impl<'a> SnapshotReader<'a> {
@@ -112,7 +122,7 @@ impl<'a> SnapshotReader<'a> {
         }
         let mut dec = Decoder::new(&buf[MAGIC.len()..]);
         let version = dec.get_u32()?;
-        if version != FORMAT_VERSION {
+        if !(MIN_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(PersistError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
@@ -143,7 +153,13 @@ impl<'a> SnapshotReader<'a> {
             }
             table.push(SectionEntry { name, offset, len });
         }
-        Ok(SnapshotReader { buf, table })
+        Ok(SnapshotReader { buf, table, version })
+    }
+
+    /// The container's stamped format version (within
+    /// [`MIN_SUPPORTED_VERSION`]`..=`[`FORMAT_VERSION`]).
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Section names, in table order.
@@ -163,7 +179,12 @@ impl<'a> SnapshotReader<'a> {
             .iter()
             .find(|e| e.name == name)
             .ok_or_else(|| PersistError::MissingSection { name: name.to_string() })?;
-        Ok(Decoder::new(&self.buf[entry.offset..entry.offset + entry.len]))
+        // Decode at the *container's* stamped version so older payload
+        // layouts are read correctly.
+        Ok(Decoder::with_version(
+            &self.buf[entry.offset..entry.offset + entry.len],
+            self.version,
+        ))
     }
 
     /// Decode one `Persist` value from a named section, requiring the
@@ -224,6 +245,26 @@ mod tests {
             }
             other => panic!("expected UnsupportedVersion, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn v1_container_is_still_accepted() {
+        // Primitive-section layouts are identical in v1 and v2, so a
+        // container re-stamped to version 1 must parse and decode, with
+        // the reader reporting the old version to section decoders.
+        let mut bytes = sample();
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let r = SnapshotReader::parse(&bytes).expect("v1 parses");
+        assert_eq!(r.version(), 1);
+        assert_eq!(r.section("meta").expect("meta").version(), 1);
+        assert_eq!(r.section_value::<u64>("meta").expect("meta"), 42);
+        // Below the supported floor is refused.
+        let mut old = sample();
+        old[8..12].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            SnapshotReader::parse(&old),
+            Err(PersistError::UnsupportedVersion { found: 0, .. })
+        ));
     }
 
     #[test]

@@ -7,22 +7,30 @@
 //! family the paper's configuration came from.
 
 use crate::dense::{axpy, dot, norm2};
+use crate::error::SparseError;
 use crate::precond::Preconditioner;
 use crate::solver::{Deadline, LinearOperator, SolveStats, SolverOptions, StopReason};
 
 /// Solve `A x = b` with right-preconditioned BiCGStab. `x` holds the
 /// initial guess on entry and the solution on exit. Convergence is the
 /// true relative residual `‖b − A x‖/‖b‖`.
+///
+/// Mismatched `b`/`x` lengths are a typed
+/// [`SparseError::DimensionMismatch`], not a panic.
 pub fn bicgstab(
     a: &dyn LinearOperator,
     precond: &dyn Preconditioner,
     b: &[f64],
     x: &mut [f64],
     opts: &SolverOptions,
-) -> SolveStats {
+) -> Result<SolveStats, SparseError> {
     let n = a.dim();
-    assert_eq!(b.len(), n);
-    assert_eq!(x.len(), n);
+    if b.len() != n {
+        return Err(SparseError::DimensionMismatch { what: "rhs", expected: n, got: b.len() });
+    }
+    if x.len() != n {
+        return Err(SparseError::DimensionMismatch { what: "x0", expected: n, got: x.len() });
+    }
     let deadline = Deadline::from_budget(opts.time_budget);
     let b_norm = norm2(b);
     let mut history = Vec::new();
@@ -31,7 +39,7 @@ pub fn bicgstab(
         if opts.record_history {
             history.push(0.0);
         }
-        return SolveStats { reason: StopReason::Converged, iterations: 0, relative_residual: 0.0, history, restarts: 0 };
+        return Ok(SolveStats { reason: StopReason::Converged, iterations: 0, relative_residual: 0.0, history, restarts: 0 });
     }
 
     let mut r = vec![0.0; n];
@@ -45,7 +53,7 @@ pub fn bicgstab(
         history.push(rel);
     }
     if rel <= opts.tolerance {
-        return SolveStats { reason: StopReason::Converged, iterations: 0, relative_residual: rel, history, restarts: 0 };
+        return Ok(SolveStats { reason: StopReason::Converged, iterations: 0, relative_residual: rel, history, restarts: 0 });
     }
 
     let mut rho_prev = 1.0f64;
@@ -62,17 +70,17 @@ pub fn bicgstab(
             if opts.record_history {
                 history.push(rel);
             }
-            return SolveStats {
+            return Ok(SolveStats {
                 reason: StopReason::TimeBudget,
                 iterations: it - 1,
                 relative_residual: rel,
                 history,
                 restarts: 0,
-            };
+            });
         }
         let rho = dot(&r0, &r);
         if rho.abs() < 1e-300 {
-            return SolveStats { reason: StopReason::Breakdown, iterations: it, relative_residual: rel, history, restarts: 0 };
+            return Ok(SolveStats { reason: StopReason::Breakdown, iterations: it, relative_residual: rel, history, restarts: 0 });
         }
         if it == 1 {
             p.copy_from_slice(&r);
@@ -86,7 +94,7 @@ pub fn bicgstab(
         a.apply(&phat, &mut v);
         let r0v = dot(&r0, &v);
         if r0v.abs() < 1e-300 {
-            return SolveStats { reason: StopReason::Breakdown, iterations: it, relative_residual: rel, history, restarts: 0 };
+            return Ok(SolveStats { reason: StopReason::Breakdown, iterations: it, relative_residual: rel, history, restarts: 0 });
         }
         alpha = rho / r0v;
         // s = r − α v
@@ -99,17 +107,17 @@ pub fn bicgstab(
             if opts.record_history {
                 history.push(rel);
             }
-            return SolveStats { reason: StopReason::Converged, iterations: it, relative_residual: rel, history, restarts: 0 };
+            return Ok(SolveStats { reason: StopReason::Converged, iterations: it, relative_residual: rel, history, restarts: 0 });
         }
         precond.apply(&s, &mut shat);
         a.apply(&shat, &mut t);
         let tt = dot(&t, &t);
         if tt.abs() < 1e-300 {
-            return SolveStats { reason: StopReason::Breakdown, iterations: it, relative_residual: rel, history, restarts: 0 };
+            return Ok(SolveStats { reason: StopReason::Breakdown, iterations: it, relative_residual: rel, history, restarts: 0 });
         }
         omega = dot(&t, &s) / tt;
         if omega.abs() < 1e-300 {
-            return SolveStats { reason: StopReason::Breakdown, iterations: it, relative_residual: rel, history, restarts: 0 };
+            return Ok(SolveStats { reason: StopReason::Breakdown, iterations: it, relative_residual: rel, history, restarts: 0 });
         }
         axpy(alpha, &phat, x);
         axpy(omega, &shat, x);
@@ -120,17 +128,17 @@ pub fn bicgstab(
             history.push(rel);
         }
         if rel <= opts.tolerance {
-            return SolveStats { reason: StopReason::Converged, iterations: it, relative_residual: rel, history, restarts: 0 };
+            return Ok(SolveStats { reason: StopReason::Converged, iterations: it, relative_residual: rel, history, restarts: 0 });
         }
         rho_prev = rho;
     }
-    SolveStats {
+    Ok(SolveStats {
         reason: StopReason::MaxIterations,
         iterations: opts.max_iterations,
         relative_residual: rel,
         history,
         restarts: 0,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -139,6 +147,27 @@ mod tests {
     use crate::csr::{CsrMatrix, TripletBuilder};
     use crate::precond::{IdentityPrecond, Ilu0, JacobiPrecond};
     use rand::{Rng, SeedableRng};
+
+    // Shadow the Result-returning entry point: test shapes always agree.
+    fn bicgstab(
+        a: &dyn LinearOperator,
+        p: &dyn Preconditioner,
+        b: &[f64],
+        x: &mut [f64],
+        o: &SolverOptions,
+    ) -> SolveStats {
+        super::bicgstab(a, p, b, x, o).expect("test shapes agree")
+    }
+
+    #[test]
+    fn dimension_mismatch_is_typed() {
+        let a = laplace_1d(6);
+        let mut x = vec![0.0; 6];
+        assert!(matches!(
+            super::bicgstab(&a, &IdentityPrecond, &[1.0; 4], &mut x, &SolverOptions::default()),
+            Err(SparseError::DimensionMismatch { what: "rhs", expected: 6, got: 4 })
+        ));
+    }
 
     fn laplace_1d(n: usize) -> CsrMatrix {
         let mut b = TripletBuilder::new(n, n);

@@ -1,0 +1,328 @@
+//! Register-blocked 3×3 CSR (BSR) for the FEM hot loop.
+//!
+//! The reduced stiffness matrix couples mesh *nodes*, and the Dirichlet
+//! reduction constrains whole nodes, so `K_ff` has an exact 3×3 block
+//! structure: every non-zero lives inside a dense 3×3 node-pair block.
+//! Storing those blocks contiguously (block-CSR) lets the SpMV keep the
+//! three running sums of a block row in registers and read the column
+//! index once per nine values instead of once per value — the classic
+//! BSR win on memory-bound kernels.
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::solver::LinearOperator;
+use rayon::prelude::*;
+
+/// A square sparse matrix of dense 3×3 blocks (block compressed sparse
+/// row). Values are row-major within each block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockCsr {
+    /// Number of block rows (scalar dimension / 3).
+    nb: usize,
+    /// Block-row pointer: `indptr[i]..indptr[i+1]` indexes block row i.
+    indptr: Vec<usize>,
+    /// Block column indices, sorted within each block row.
+    indices: Vec<usize>,
+    /// Dense 3×3 blocks, 9 values each, row-major, parallel to `indices`.
+    values: Vec<f64>,
+}
+
+impl BlockCsr {
+    /// Convert a scalar CSR matrix to 3×3 block form. The matrix must be
+    /// square with a dimension divisible by 3; entries are grouped by
+    /// node pair and missing intra-block positions become explicit
+    /// zeros (FEM node-coupling blocks are dense, so fill is negligible).
+    pub fn from_csr(a: &CsrMatrix) -> Result<Self, SparseError> {
+        let n = a.nrows();
+        if a.ncols() != n {
+            return Err(SparseError::DimensionMismatch {
+                what: "block-csr source (columns)",
+                expected: n,
+                got: a.ncols(),
+            });
+        }
+        if !n.is_multiple_of(3) {
+            return Err(SparseError::DimensionMismatch {
+                what: "block-csr source (rows, must be divisible by 3)",
+                expected: (n / 3 + 1) * 3,
+                got: n,
+            });
+        }
+        let nb = n / 3;
+        let mut indptr = Vec::with_capacity(nb + 1);
+        let mut indices: Vec<usize> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        indptr.push(0);
+        // Scratch: block columns present in the current block row.
+        let mut bcols: Vec<usize> = Vec::new();
+        for br in 0..nb {
+            bcols.clear();
+            for c in 0..3 {
+                let (cols, _) = a.row(3 * br + c);
+                for &j in cols {
+                    bcols.push(j / 3);
+                }
+            }
+            bcols.sort_unstable();
+            bcols.dedup();
+            let base = indices.len();
+            indices.extend_from_slice(&bcols);
+            values.resize(values.len() + 9 * bcols.len(), 0.0);
+            for c in 0..3 {
+                let (cols, vals) = a.row(3 * br + c);
+                for (&j, &v) in cols.iter().zip(vals) {
+                    // bcols is sorted and deduped, so the search succeeds.
+                    let k = match bcols.binary_search(&(j / 3)) {
+                        Ok(k) => k,
+                        Err(_) => continue,
+                    };
+                    values[9 * (base + k) + 3 * c + (j % 3)] = v;
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Ok(BlockCsr { nb, indptr, indices, values })
+    }
+
+    /// Scalar dimension (`3 ×` block rows).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        3 * self.nb
+    }
+
+    /// Number of stored 3×3 blocks.
+    #[inline]
+    pub fn nblocks(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Stored scalar values including intra-block fill (9 per block).
+    #[inline]
+    pub fn nnz_stored(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Heap footprint of the stored arrays, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of_val(self.indptr.as_slice())
+            + std::mem::size_of_val(self.indices.as_slice())
+            + std::mem::size_of_val(self.values.as_slice())
+    }
+
+    #[inline]
+    fn block_row(&self, br: usize, x: &[f64]) -> [f64; 3] {
+        let mut y0 = 0.0;
+        let mut y1 = 0.0;
+        let mut y2 = 0.0;
+        let lo = self.indptr[br];
+        let hi = self.indptr[br + 1];
+        for (bc, blk) in self.indices[lo..hi].iter().zip(self.values[9 * lo..9 * hi].chunks_exact(9))
+        {
+            let xb = &x[3 * bc..3 * bc + 3];
+            y0 += blk[0] * xb[0] + blk[1] * xb[1] + blk[2] * xb[2];
+            y1 += blk[3] * xb[0] + blk[4] * xb[1] + blk[5] * xb[2];
+            y2 += blk[6] * xb[0] + blk[7] * xb[1] + blk[8] * xb[2];
+        }
+        [y0, y1, y2]
+    }
+
+    /// `y = A x` (serial).
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.dim());
+        debug_assert_eq!(y.len(), self.dim());
+        for br in 0..self.nb {
+            let acc = self.block_row(br, x);
+            y[3 * br..3 * br + 3].copy_from_slice(&acc);
+        }
+    }
+
+    /// `y = A x` with block rows processed in parallel.
+    pub fn spmv_parallel(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.dim());
+        debug_assert_eq!(y.len(), self.dim());
+        y.par_chunks_mut(3).enumerate().for_each(|(br, out)| {
+            out.copy_from_slice(&self.block_row(br, x));
+        });
+    }
+}
+
+impl LinearOperator for BlockCsr {
+    fn dim(&self) -> usize {
+        BlockCsr::dim(self)
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv_parallel(x, y);
+    }
+}
+
+impl brainshift_persist::Persist for BlockCsr {
+    fn encode(
+        &self,
+        enc: &mut brainshift_persist::Encoder,
+    ) -> Result<(), brainshift_persist::PersistError> {
+        enc.put_usize(self.nb);
+        self.indptr.encode(enc)?;
+        self.indices.encode(enc)?;
+        self.values.encode(enc)
+    }
+    fn decode(
+        dec: &mut brainshift_persist::Decoder<'_>,
+    ) -> Result<Self, brainshift_persist::PersistError> {
+        use brainshift_persist::PersistError;
+        let invalid =
+            |reason: String| -> PersistError { PersistError::InvalidData { reason } };
+        let nb = dec.get_usize()?;
+        let indptr = Vec::<usize>::decode(dec)?;
+        let indices = Vec::<usize>::decode(dec)?;
+        let values = Vec::<f64>::decode(dec)?;
+        if indptr.len() != nb + 1 || indptr.first() != Some(&0) {
+            return Err(invalid(format!("block-csr indptr has length {}", indptr.len())));
+        }
+        if indptr[nb] != indices.len() || values.len() != 9 * indices.len() {
+            return Err(invalid(format!(
+                "block-csr arrays disagree: {} blocks, {} values",
+                indices.len(),
+                values.len()
+            )));
+        }
+        for i in 0..nb {
+            if indptr[i] > indptr[i + 1] {
+                return Err(invalid(format!("block-csr indptr not monotone at block row {i}")));
+            }
+            let row = &indices[indptr[i]..indptr[i + 1]];
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(invalid(format!(
+                        "block-csr row {i}: block columns must be sorted and unique"
+                    )));
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last >= nb {
+                    return Err(invalid(format!(
+                        "block-csr row {i}: block column {last} out of range"
+                    )));
+                }
+            }
+        }
+        Ok(BlockCsr { nb, indptr, indices, values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::TripletBuilder;
+    use brainshift_persist::Persist as _;
+
+    /// A symmetric block-structured matrix shaped like a reduced FEM
+    /// stiffness: dense 3×3 blocks on a small node graph.
+    fn blocky(nodes: usize) -> CsrMatrix {
+        let n = 3 * nodes;
+        let mut b = TripletBuilder::new(n, n);
+        for u in 0..nodes {
+            for v in 0..nodes {
+                let coupled = u == v || u + 1 == v || v + 1 == u;
+                if !coupled {
+                    continue;
+                }
+                for r in 0..3 {
+                    for c in 0..3 {
+                        let base = if u == v { 12.0 } else { -1.0 };
+                        let val = base + 0.1 * (r as f64) - 0.05 * (c as f64)
+                            + 0.01 * ((u * 3 + v) as f64);
+                        b.add(3 * u + r, 3 * v + c, val);
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn spmv_matches_scalar_csr() {
+        let a = blocky(7);
+        let bs = BlockCsr::from_csr(&a).expect("block form");
+        assert_eq!(bs.dim(), a.nrows());
+        assert_eq!(bs.nblocks(), 7 + 2 * 6);
+        let x: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut ys = vec![0.0; a.nrows()];
+        let mut yb = vec![0.0; a.nrows()];
+        let mut yp = vec![0.0; a.nrows()];
+        a.spmv(&x, &mut ys);
+        bs.spmv(&x, &mut yb);
+        bs.spmv_parallel(&x, &mut yp);
+        for ((s, b), p) in ys.iter().zip(&yb).zip(&yp) {
+            assert!((s - b).abs() <= 1e-12 * s.abs().max(1.0), "{s} vs {b}");
+            assert!((b - p).abs() <= 1e-12 * b.abs().max(1.0), "{b} vs {p}");
+        }
+    }
+
+    #[test]
+    fn partial_blocks_are_zero_filled() {
+        // A matrix whose scalar pattern covers only part of each block.
+        let mut b = TripletBuilder::new(6, 6);
+        b.add(0, 0, 2.0);
+        b.add(1, 4, 3.0);
+        b.add(2, 2, 4.0);
+        b.add(3, 3, 5.0);
+        b.add(5, 0, -1.0);
+        let a = b.build();
+        let bs = BlockCsr::from_csr(&a).expect("block form");
+        assert_eq!(bs.nblocks(), 4); // (0,0) (0,1) (1,0) (1,1)
+        let x = vec![1.0; 6];
+        let mut ys = vec![0.0; 6];
+        let mut yb = vec![0.0; 6];
+        a.spmv(&x, &mut ys);
+        bs.spmv(&x, &mut yb);
+        assert_eq!(ys, yb);
+    }
+
+    #[test]
+    fn rejects_indivisible_or_rectangular() {
+        let a = CsrMatrix::identity(7);
+        assert!(matches!(
+            BlockCsr::from_csr(&a),
+            Err(SparseError::DimensionMismatch { .. })
+        ));
+        let mut b = TripletBuilder::new(3, 6);
+        b.add(0, 0, 1.0);
+        let r = b.build();
+        assert!(matches!(
+            BlockCsr::from_csr(&r),
+            Err(SparseError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn persist_round_trip_and_validation() {
+        let a = blocky(5);
+        let bs = BlockCsr::from_csr(&a).expect("block form");
+        let bytes = brainshift_persist::to_bytes(&bs).expect("encode");
+        let back: BlockCsr = brainshift_persist::from_bytes(&bytes).expect("decode");
+        assert_eq!(bs, back);
+        // Corrupting the block count breaks the length invariant.
+        let mut enc = brainshift_persist::Encoder::new();
+        enc.put_usize(2); // nb
+        vec![0usize, 1, 1].encode(&mut enc).expect("encode");
+        vec![0usize].encode(&mut enc).expect("encode");
+        vec![1.0f64; 8].encode(&mut enc).expect("encode"); // 8 ≠ 9 values
+        let res: Result<BlockCsr, _> = brainshift_persist::from_bytes(&enc.into_bytes());
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn is_a_linear_operator() {
+        let a = blocky(4);
+        let bs = BlockCsr::from_csr(&a).expect("block form");
+        assert_eq!(LinearOperator::dim(&bs), 12);
+        let x = vec![1.0; 12];
+        let mut y = vec![0.0; 12];
+        bs.apply(&x, &mut y);
+        let mut yref = vec![0.0; 12];
+        a.spmv(&x, &mut yref);
+        for (a, b) in y.iter().zip(&yref) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -19,7 +19,8 @@ use rayon::prelude::*;
 /// b.add(1, 0, 1.0);
 /// let a = b.build();
 /// let mut x = vec![0.0; 2];
-/// let stats = gmres(&a, &IdentityPrecond, &[5.0, 3.0], &mut x, &SolverOptions::default());
+/// let stats = gmres(&a, &IdentityPrecond, &[5.0, 3.0], &mut x, &SolverOptions::default())
+///     .expect("shapes agree");
 /// assert!(stats.converged());
 /// assert!((x[0] - 1.0).abs() < 1e-4 && (x[1] - 1.0).abs() < 1e-4);
 /// ```
@@ -158,8 +159,8 @@ impl CsrMatrix {
 
     /// Dense y = A x (serial).
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(x.len(), self.ncols);
-        assert_eq!(y.len(), self.nrows);
+        debug_assert_eq!(x.len(), self.ncols);
+        debug_assert_eq!(y.len(), self.nrows);
         for i in 0..self.nrows {
             let (cols, vals) = self.row(i);
             let mut acc = 0.0;
@@ -172,8 +173,8 @@ impl CsrMatrix {
 
     /// Dense y = A x with rows processed in parallel.
     pub fn spmv_parallel(&self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(x.len(), self.ncols);
-        assert_eq!(y.len(), self.nrows);
+        debug_assert_eq!(x.len(), self.ncols);
+        debug_assert_eq!(y.len(), self.nrows);
         y.par_iter_mut().enumerate().for_each(|(i, out)| {
             let (cols, vals) = self.row(i);
             let mut acc = 0.0;
@@ -236,7 +237,7 @@ impl CsrMatrix {
 
     /// Extract the square sub-matrix of rows & columns `lo..hi`.
     pub fn principal_submatrix(&self, lo: usize, hi: usize) -> CsrMatrix {
-        assert!(lo <= hi && hi <= self.nrows && hi <= self.ncols);
+        debug_assert!(lo <= hi && hi <= self.nrows && hi <= self.ncols);
         let n = hi - lo;
         let mut indptr = Vec::with_capacity(n + 1);
         let mut indices = Vec::new();
@@ -301,7 +302,7 @@ pub struct TripletBuilder {
 impl TripletBuilder {
     /// An empty builder for an `nrows × ncols` matrix.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        assert!(nrows < u32::MAX as usize && ncols < u32::MAX as usize);
+        debug_assert!(nrows < u32::MAX as usize && ncols < u32::MAX as usize);
         TripletBuilder { nrows, ncols, entries: Vec::new() }
     }
 
@@ -332,8 +333,8 @@ impl TripletBuilder {
     /// Merge another builder's triplets (used to combine per-thread
     /// builders after parallel assembly).
     pub fn merge(&mut self, other: TripletBuilder) {
-        assert_eq!(self.nrows, other.nrows);
-        assert_eq!(self.ncols, other.ncols);
+        debug_assert_eq!(self.nrows, other.nrows);
+        debug_assert_eq!(self.ncols, other.ncols);
         self.entries.extend(other.entries);
     }
 

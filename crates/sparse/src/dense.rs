@@ -11,7 +11,7 @@ const PAR_THRESHOLD: usize = 1 << 14;
 
 /// Dot product.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), b.len());
     if a.len() >= PAR_THRESHOLD {
         a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum()
     } else {
@@ -26,7 +26,7 @@ pub fn norm2(a: &[f64]) -> f64 {
 
 /// `y += alpha * x`.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    assert_eq!(x.len(), y.len());
+    debug_assert_eq!(x.len(), y.len());
     if x.len() >= PAR_THRESHOLD {
         y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| *yi += alpha * xi);
     } else {
@@ -54,7 +54,7 @@ pub fn copy(src: &[f64], dst: &mut [f64]) {
 
 /// `z = a - b`.
 pub fn sub_into(a: &[f64], b: &[f64], z: &mut [f64]) {
-    assert!(a.len() == b.len() && b.len() == z.len());
+    debug_assert!(a.len() == b.len() && b.len() == z.len());
     for ((zi, ai), bi) in z.iter_mut().zip(a).zip(b) {
         *zi = ai - bi;
     }
@@ -63,18 +63,18 @@ pub fn sub_into(a: &[f64], b: &[f64], z: &mut [f64]) {
 /// A dense LU factorization with partial pivoting (row-major storage).
 #[derive(Debug, Clone)]
 pub struct DenseLu {
-    n: usize,
+    pub(crate) n: usize,
     /// Combined L (unit lower) and U factors.
-    lu: Vec<f64>,
+    pub(crate) lu: Vec<f64>,
     /// Row permutation.
-    piv: Vec<usize>,
+    pub(crate) piv: Vec<usize>,
 }
 
 impl DenseLu {
     /// Factorize a row-major `n × n` matrix. Returns `None` if singular to
     /// working precision.
     pub fn factorize(a: &[f64], n: usize) -> Option<DenseLu> {
-        assert_eq!(a.len(), n * n);
+        debug_assert_eq!(a.len(), n * n);
         let mut lu = a.to_vec();
         let mut piv: Vec<usize> = (0..n).collect();
         for k in 0..n {
@@ -117,8 +117,8 @@ impl DenseLu {
     /// Solve `A x = b`, writing x into `out`.
     pub fn solve(&self, b: &[f64], out: &mut [f64]) {
         let n = self.n;
-        assert_eq!(b.len(), n);
-        assert_eq!(out.len(), n);
+        debug_assert_eq!(b.len(), n);
+        debug_assert_eq!(out.len(), n);
         // Apply permutation.
         for i in 0..n {
             out[i] = b[self.piv[i]];

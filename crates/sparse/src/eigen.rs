@@ -59,8 +59,10 @@ pub fn smallest_eigenvalue(a: &crate::csr::CsrMatrix, tol: f64, max_iters: usize
     let mut lambda = 0.0f64;
     for it in 1..=max_iters {
         let mut w = vec![0.0; n];
-        let stats = conjugate_gradient(a, &pre, &v, &mut w, &solve_opts);
-        if !stats.converged() {
+        let converged = conjugate_gradient(a, &pre, &v, &mut w, &solve_opts)
+            .map(|s| s.converged())
+            .unwrap_or(false);
+        if !converged {
             return EigenEstimate { value: lambda, iterations: it, residual: f64::NAN };
         }
         // Rayleigh quotient of the (normalized) inverse iterate.

@@ -32,6 +32,17 @@ pub enum SparseError {
         /// Number of rows available.
         nrows: usize,
     },
+    /// A vector handed to a solver entry point does not match the
+    /// operator dimension — previously this was an `assert_eq!` that
+    /// panicked the worker thread on a malformed RHS.
+    DimensionMismatch {
+        /// Which argument was the wrong shape (`"rhs"`, `"x0"`, …).
+        what: &'static str,
+        /// Length the operator requires.
+        expected: usize,
+        /// Length actually supplied.
+        got: usize,
+    },
     /// A diagonal block of a block-Jacobi preconditioner is singular and
     /// could not be factorized — previously this was silently replaced
     /// by an identity factor, masking the singular system.
@@ -54,6 +65,9 @@ impl fmt::Display for SparseError {
             }
             SparseError::InvalidRange { lo, hi, nrows } => {
                 write!(f, "row range {lo}..{hi} out of bounds for {nrows} rows")
+            }
+            SparseError::DimensionMismatch { what, expected, got } => {
+                write!(f, "{what} has length {got} but the operator requires {expected}")
             }
             SparseError::SingularBlock { block, rows, shifted } => {
                 if *shifted {
@@ -83,6 +97,13 @@ mod tests {
         assert!(s.contains("block 2") && s.contains("shift"), "{s}");
         let e = SparseError::SingularBlock { block: 0, rows: (0, 3), shifted: false };
         assert!(!e.to_string().contains("retry"));
+    }
+
+    #[test]
+    fn dimension_mismatch_names_the_argument() {
+        let e = SparseError::DimensionMismatch { what: "rhs", expected: 30, got: 7 };
+        let s = e.to_string();
+        assert!(s.contains("rhs") && s.contains("30") && s.contains('7'), "{s}");
     }
 
     #[test]

@@ -3,10 +3,14 @@
 //! ILU(0) quality and cache behaviour both depend on the row ordering.
 //! Our mesher emits nodes in discovery order (good but not optimal); RCM
 //! renumbers rows by breadth-first traversal from a peripheral vertex,
-//! concentrating non-zeros near the diagonal. The ordering ablation
-//! measures its effect on block-Jacobi/ILU(0) iteration counts.
+//! concentrating non-zeros near the diagonal. The production
+//! [`SolverContext`](../../brainshift_fem/struct.SolverContext.html)
+//! applies the node-block variant at build time; the ordering ablation
+//! and the solver-ladder bench measure its effect on bandwidth and
+//! block-Jacobi/ILU(0) iteration counts.
 
 use crate::csr::{CsrMatrix, TripletBuilder};
+use crate::error::SparseError;
 
 /// Bandwidth of a matrix: `max |i − j|` over stored entries.
 pub fn bandwidth(a: &CsrMatrix) -> usize {
@@ -20,48 +24,160 @@ pub fn bandwidth(a: &CsrMatrix) -> usize {
     bw
 }
 
+/// Mean over rows of the row bandwidth `max_j |i − j|` — a smoother
+/// locality figure than the worst-case [`bandwidth`], reported by the
+/// solver-ladder bench.
+pub fn mean_row_bandwidth(a: &CsrMatrix) -> f64 {
+    let n = a.nrows();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let (cols, _) = a.row(i);
+        let row_bw = cols.iter().fold(0usize, |m, &c| m.max(i.abs_diff(c)));
+        total += row_bw as f64;
+    }
+    total / n as f64
+}
+
 /// Reverse Cuthill–McKee permutation of a structurally symmetric matrix:
 /// returns `perm` with `perm[new] = old`. Disconnected components are
 /// handled by restarting from the unvisited vertex of minimum degree.
-pub fn reverse_cuthill_mckee(a: &CsrMatrix) -> Vec<usize> {
+///
+/// The whole traversal is O(n + nnz): degrees are computed once and the
+/// restart vertex comes from a degree-bucketed cursor instead of a fresh
+/// O(n) scan per component (which made graphs with many components —
+/// e.g. per-node 3×3 block graphs of meshes with isolated islands —
+/// quadratic).
+///
+/// Returns [`SparseError::DimensionMismatch`] for a non-square matrix.
+pub fn reverse_cuthill_mckee(a: &CsrMatrix) -> Result<Vec<usize>, SparseError> {
     let n = a.nrows();
-    assert_eq!(n, a.ncols());
-    let degree = |i: usize| a.row(i).0.len();
+    if a.ncols() != n {
+        return Err(SparseError::DimensionMismatch {
+            what: "matrix columns",
+            expected: n,
+            got: a.ncols(),
+        });
+    }
+    // Degrees once, O(n).
+    let deg: Vec<usize> = (0..n).map(|i| a.row(i).0.len()).collect();
+    // Vertices bucketed by degree, ids ascending inside each bucket —
+    // walking this list with a cursor yields exactly the
+    // minimum-degree / lowest-index unvisited vertex the old
+    // `min_by_key` scan produced, without re-scanning.
+    let max_deg = deg.iter().copied().max().unwrap_or(0);
+    let mut counts = vec![0usize; max_deg + 2];
+    for &d in &deg {
+        counts[d + 1] += 1;
+    }
+    for k in 1..counts.len() {
+        counts[k] += counts[k - 1];
+    }
+    let mut by_degree = vec![0usize; n];
+    {
+        let mut next = counts.clone();
+        for (i, &d) in deg.iter().enumerate() {
+            by_degree[next[d]] = i;
+            next[d] += 1;
+        }
+    }
+    let mut cursor = 0usize;
+
     let mut visited = vec![false; n];
     let mut order = Vec::with_capacity(n);
     let mut queue = std::collections::VecDeque::new();
+    let mut nbrs: Vec<usize> = Vec::new();
 
-    loop {
+    while order.len() < n {
         // Next start: unvisited vertex of minimum degree (a cheap
-        // peripheral-vertex heuristic).
-        let start = (0..n)
-            .filter(|&i| !visited[i])
-            .min_by_key(|&i| degree(i));
-        let Some(start) = start else { break };
+        // peripheral-vertex heuristic). The cursor only moves forward,
+        // so all restarts together cost O(n).
+        while visited[by_degree[cursor]] {
+            cursor += 1;
+        }
+        let start = by_degree[cursor];
         visited[start] = true;
         queue.push_back(start);
         while let Some(v) = queue.pop_front() {
             order.push(v);
             // Enqueue unvisited neighbors by increasing degree.
             let (cols, _) = a.row(v);
-            let mut nbrs: Vec<usize> = cols.iter().cloned().filter(|&c| c != v && !visited[c]).collect();
-            nbrs.sort_by_key(|&c| degree(c));
-            for c in nbrs {
-                if !visited[c] {
-                    visited[c] = true;
-                    queue.push_back(c);
-                }
+            nbrs.clear();
+            nbrs.extend(cols.iter().cloned().filter(|&c| c != v && !visited[c]));
+            nbrs.sort_by_key(|&c| deg[c]);
+            for &c in &nbrs {
+                visited[c] = true;
+                queue.push_back(c);
             }
         }
     }
     order.reverse();
-    order
+    Ok(order)
+}
+
+/// RCM at the granularity of `bs`-sized index blocks: rows
+/// `bs·k .. bs·(k+1)` are treated as one supernode, so the returned
+/// permutation keeps each block contiguous and in-order
+/// (`perm[bs·new + c] = bs·old + c`). This is what the elasticity solver
+/// needs — the reduced stiffness couples whole nodes (3 DOFs), and a
+/// scalar RCM would tear the 3×3 blocks apart and defeat blocked SpMV.
+///
+/// Returns [`SparseError::DimensionMismatch`] when the matrix is not
+/// square or its dimension is not a multiple of `bs`.
+pub fn reverse_cuthill_mckee_blocks(
+    a: &CsrMatrix,
+    bs: usize,
+) -> Result<Vec<usize>, SparseError> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(SparseError::DimensionMismatch {
+            what: "matrix columns",
+            expected: n,
+            got: a.ncols(),
+        });
+    }
+    if bs == 0 || !n.is_multiple_of(bs) {
+        return Err(SparseError::DimensionMismatch {
+            what: "block size",
+            expected: bs.max(1),
+            got: n % bs.max(1),
+        });
+    }
+    let nb = n / bs;
+    // Condense to the supernode adjacency graph (pattern only).
+    let mut b = TripletBuilder::new(nb, nb);
+    for i in 0..n {
+        let bi = i / bs;
+        let (cols, _) = a.row(i);
+        for &c in cols {
+            b.add(bi, c / bs, 1.0);
+        }
+    }
+    let block_perm = reverse_cuthill_mckee(&b.build())?;
+    let mut perm = Vec::with_capacity(n);
+    for &old_block in &block_perm {
+        for c in 0..bs {
+            perm.push(bs * old_block + c);
+        }
+    }
+    Ok(perm)
 }
 
 /// Apply a symmetric permutation: `B[new_i][new_j] = A[perm[new_i]][perm[new_j]]`.
-pub fn permute_symmetric(a: &CsrMatrix, perm: &[usize]) -> CsrMatrix {
+///
+/// Returns [`SparseError::DimensionMismatch`] when `perm` does not have
+/// one entry per row.
+pub fn permute_symmetric(a: &CsrMatrix, perm: &[usize]) -> Result<CsrMatrix, SparseError> {
     let n = a.nrows();
-    assert_eq!(perm.len(), n);
+    if perm.len() != n {
+        return Err(SparseError::DimensionMismatch {
+            what: "permutation",
+            expected: n,
+            got: perm.len(),
+        });
+    }
     let mut inv = vec![0usize; n];
     for (new, &old) in perm.iter().enumerate() {
         inv[old] = new;
@@ -73,12 +189,21 @@ pub fn permute_symmetric(a: &CsrMatrix, perm: &[usize]) -> CsrMatrix {
             b.add(new_i, inv[c], v);
         }
     }
-    b.build()
+    Ok(b.build())
 }
 
 /// Permute a vector into the new ordering: `out[new] = x[perm[new]]`.
 pub fn permute_vec(x: &[f64], perm: &[usize]) -> Vec<f64> {
     perm.iter().map(|&old| x[old]).collect()
+}
+
+/// In-place-free variant of [`permute_vec`] writing into `out`.
+pub fn permute_vec_into(x: &[f64], perm: &[usize], out: &mut [f64]) {
+    debug_assert_eq!(x.len(), perm.len());
+    debug_assert_eq!(out.len(), perm.len());
+    for (new, &old) in perm.iter().enumerate() {
+        out[new] = x[old];
+    }
 }
 
 /// Scatter a permuted vector back: `out[perm[new]] = x[new]`.
@@ -88,6 +213,15 @@ pub fn unpermute_vec(x: &[f64], perm: &[usize]) -> Vec<f64> {
         out[old] = x[new];
     }
     out
+}
+
+/// In-place-free variant of [`unpermute_vec`] writing into `out`.
+pub fn unpermute_vec_into(x: &[f64], perm: &[usize], out: &mut [f64]) {
+    debug_assert_eq!(x.len(), perm.len());
+    debug_assert_eq!(out.len(), perm.len());
+    for (new, &old) in perm.iter().enumerate() {
+        out[old] = x[new];
+    }
 }
 
 #[cfg(test)]
@@ -118,22 +252,126 @@ mod tests {
     #[test]
     fn rcm_is_a_permutation() {
         let (a, _) = shuffled_banded(50, 2, 1);
-        let perm = reverse_cuthill_mckee(&a);
+        let perm = reverse_cuthill_mckee(&a).expect("square matrix");
         let mut sorted = perm.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
     }
 
     #[test]
+    fn rcm_rejects_non_square() {
+        let mut b = TripletBuilder::new(3, 4);
+        b.add(0, 0, 1.0);
+        let a = b.build();
+        match reverse_cuthill_mckee(&a) {
+            Err(SparseError::DimensionMismatch { expected: 3, got: 4, .. }) => {}
+            other => panic!("expected DimensionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn rcm_reduces_bandwidth_of_shuffled_band() {
         let (a, _) = shuffled_banded(200, 2, 2);
         let before = bandwidth(&a);
-        let perm = reverse_cuthill_mckee(&a);
-        let b = permute_symmetric(&a, &perm);
+        let perm = reverse_cuthill_mckee(&a).expect("square matrix");
+        let b = permute_symmetric(&a, &perm).expect("valid permutation");
         let after = bandwidth(&b);
         assert!(after < before / 4, "bandwidth {before} → {after}");
         // Ideal band is 2; RCM should get close.
         assert!(after <= 8, "after = {after}");
+    }
+
+    #[test]
+    fn many_component_graph_is_ordered_without_rescans() {
+        // The old restart picked each component's seed with a fresh O(n)
+        // scan — O(n²) on a graph that is mostly isolated vertices. The
+        // bucketed cursor keeps this linear; at this size the quadratic
+        // version does ~2.5e9 scan steps and visibly hangs a debug test.
+        let n = 50_000;
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, 2.0);
+        }
+        // A few real chains mixed in, so not every component is trivial.
+        for i in 0..200usize {
+            let (u, v) = (5 * i, 5 * i + 3);
+            b.add(u, v, -1.0);
+            b.add(v, u, -1.0);
+        }
+        let a = b.build();
+        let perm = reverse_cuthill_mckee(&a).expect("square matrix");
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn restart_order_matches_min_degree_lowest_index_rule() {
+        // Three components with distinct degrees; the (reversed) order
+        // must still restart at the minimum-degree, lowest-index vertex,
+        // exactly as the old linear scan did.
+        let mut b = TripletBuilder::new(7, 7);
+        // Component A: triangle 0-1-2 (degree 3 each with diagonal).
+        for &(i, j) in &[(0, 1), (1, 2), (0, 2)] {
+            b.add(i, j, -1.0);
+            b.add(j, i, -1.0);
+        }
+        for i in 0..7 {
+            b.add(i, i, 4.0);
+        }
+        // Component B: edge 3-4. Component C: isolated 5, 6.
+        b.add(3, 4, -1.0);
+        b.add(4, 3, -1.0);
+        let a = b.build();
+        let perm = reverse_cuthill_mckee(&a).expect("square matrix");
+        // Pre-reversal the traversal is: 5, 6 (isolated, lowest degree),
+        // then 3, 4, then the triangle from vertex 0.
+        let forward: Vec<usize> = perm.iter().rev().cloned().collect();
+        assert_eq!(&forward[..4], &[5, 6, 3, 4]);
+        assert_eq!(forward[4], 0);
+    }
+
+    #[test]
+    fn block_rcm_keeps_triples_contiguous() {
+        // Build a 3×3-block matrix from a shuffled banded node graph.
+        let (g, _) = shuffled_banded(40, 2, 7);
+        let n = 40 * 3;
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..40 {
+            let (cols, vals) = g.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                for c in 0..3 {
+                    b.add(3 * i + c, 3 * j + c, if i == j { 4.0 } else { v });
+                }
+            }
+        }
+        let a = b.build();
+        let perm = reverse_cuthill_mckee_blocks(&a, 3).expect("square, divisible by 3");
+        assert_eq!(perm.len(), n);
+        for k in 0..40 {
+            let base = perm[3 * k];
+            assert_eq!(base % 3, 0, "block start must be node-aligned");
+            assert_eq!(perm[3 * k + 1], base + 1);
+            assert_eq!(perm[3 * k + 2], base + 2);
+        }
+        // And it still reduces bandwidth (node graph has band 2 →
+        // dof band ≤ 3·(small)+2).
+        let before = bandwidth(&a);
+        let after = bandwidth(&permute_symmetric(&a, &perm).expect("valid permutation"));
+        assert!(after < before / 2, "bandwidth {before} → {after}");
+    }
+
+    #[test]
+    fn block_rcm_rejects_indivisible_dimension() {
+        let mut b = TripletBuilder::new(7, 7);
+        for i in 0..7 {
+            b.add(i, i, 1.0);
+        }
+        let a = b.build();
+        assert!(matches!(
+            reverse_cuthill_mckee_blocks(&a, 3),
+            Err(SparseError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
@@ -145,12 +383,12 @@ mod tests {
         let x_true: Vec<f64> = (0..80).map(|i| (i as f64 * 0.21).sin()).collect();
         let mut rhs = vec![0.0; 80];
         a.spmv(&x_true, &mut rhs);
-        let perm = reverse_cuthill_mckee(&a);
-        let ap = permute_symmetric(&a, &perm);
+        let perm = reverse_cuthill_mckee(&a).expect("square matrix");
+        let ap = permute_symmetric(&a, &perm).expect("valid permutation");
         let rhs_p = permute_vec(&rhs, &perm);
         let opts = SolverOptions { tolerance: 1e-11, max_iterations: 5000, ..Default::default() };
         let mut xp = vec![0.0; 80];
-        let s = gmres(&ap, &Ilu0::new(&ap), &rhs_p, &mut xp, &opts);
+        let s = gmres(&ap, &Ilu0::new(&ap), &rhs_p, &mut xp, &opts).expect("dims agree");
         assert!(s.converged());
         let x = unpermute_vec(&xp, &perm);
         for (a1, b1) in x.iter().zip(&x_true) {
@@ -165,6 +403,12 @@ mod tests {
         let p = permute_vec(&x, &perm);
         let back = unpermute_vec(&p, &perm);
         assert_eq!(x, back);
+        let mut p2 = vec![0.0; 10];
+        permute_vec_into(&x, &perm, &mut p2);
+        assert_eq!(p, p2);
+        let mut back2 = vec![0.0; 10];
+        unpermute_vec_into(&p2, &perm, &mut back2);
+        assert_eq!(x, back2);
     }
 
     #[test]
@@ -186,7 +430,7 @@ mod tests {
             }
         }
         let a = b.build();
-        let perm = reverse_cuthill_mckee(&a);
+        let perm = reverse_cuthill_mckee(&a).expect("square matrix");
         let mut sorted = perm.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..10).collect::<Vec<_>>());

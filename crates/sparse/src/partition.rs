@@ -79,7 +79,7 @@ pub fn weighted_offsets(weights: &[f64], p: usize) -> Vec<usize> {
 /// Imbalance factor of a partition under per-row weights: max part weight
 /// divided by mean part weight (1.0 = perfectly balanced).
 pub fn imbalance(weights: &[f64], offsets: &[usize]) -> f64 {
-    assert!(offsets.len() >= 2);
+    debug_assert!(offsets.len() >= 2);
     let p = offsets.len() - 1;
     let sums: Vec<f64> = offsets
         .windows(2)

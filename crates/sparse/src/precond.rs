@@ -30,6 +30,12 @@ pub trait Preconditioner: Send + Sync {
     fn persist_into(&self, _enc: &mut Encoder) -> Result<bool, PersistError> {
         Ok(false)
     }
+    /// Build the f32 companion of this operator (plus an f32 copy of
+    /// `a`) for the mixed-precision refinement rung. `None` when the
+    /// operator has no f32 form; callers then run pure f64.
+    fn mixed_mirror(&self, _a: &CsrMatrix) -> Option<crate::refine::MixedPrecision> {
+        None
+    }
 }
 
 /// Persistence tags, one per supported `Preconditioner` implementation.
@@ -91,12 +97,18 @@ impl Preconditioner for IdentityPrecond {
         enc.put_u8(TAG_IDENTITY);
         Ok(true)
     }
+    fn mixed_mirror(&self, a: &CsrMatrix) -> Option<crate::refine::MixedPrecision> {
+        // A Jacobi inner preconditioner is strictly better than identity
+        // and costs one vector; refinement corrects against the true f64
+        // residual either way.
+        crate::refine::MixedPrecision::jacobi(a).ok()
+    }
 }
 
 /// Point-Jacobi (diagonal) preconditioning.
 #[derive(Debug, Clone)]
 pub struct JacobiPrecond {
-    inv_diag: Vec<f64>,
+    pub(crate) inv_diag: Vec<f64>,
 }
 
 impl JacobiPrecond {
@@ -114,7 +126,7 @@ impl JacobiPrecond {
 
 impl Preconditioner for JacobiPrecond {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
-        assert_eq!(r.len(), self.inv_diag.len());
+        debug_assert_eq!(r.len(), self.inv_diag.len());
         for ((zi, ri), di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
             *zi = ri * di;
         }
@@ -129,6 +141,9 @@ impl Preconditioner for JacobiPrecond {
         enc.put_u8(TAG_JACOBI);
         Persist::encode(self, enc)?;
         Ok(true)
+    }
+    fn mixed_mirror(&self, a: &CsrMatrix) -> Option<crate::refine::MixedPrecision> {
+        crate::refine::MixedPrecision::jacobi(a).ok()
     }
 }
 
@@ -150,11 +165,11 @@ impl Persist for JacobiPrecond {
 pub struct Ilu0 {
     /// Factored matrix: strictly-lower part stores L (unit diagonal
     /// implied), diagonal+upper stores U.
-    lu: CsrMatrix,
+    pub(crate) lu: CsrMatrix,
     /// Position of the diagonal entry in each row of `lu`.
-    diag_pos: Vec<usize>,
+    pub(crate) diag_pos: Vec<usize>,
     /// Symmetric scaling `S` applied before factorization.
-    scale: Vec<f64>,
+    pub(crate) scale: Vec<f64>,
 }
 
 impl Ilu0 {
@@ -178,7 +193,7 @@ impl Ilu0 {
     /// One factorization attempt of `S A S + αI`; returns the factor and
     /// the smallest pivot magnitude encountered.
     fn factor_with_shift(a: &CsrMatrix, alpha: f64) -> (Self, f64) {
-        assert_eq!(a.nrows(), a.ncols(), "ILU(0) needs a square matrix");
+        debug_assert_eq!(a.nrows(), a.ncols(), "ILU(0) needs a square matrix");
         let n = a.nrows();
         let mut lu = a.clone();
         // Symmetric diagonal scaling: B = S A S with S = 1/sqrt(|a_ii|).
@@ -271,7 +286,7 @@ impl Ilu0 {
     /// the scaled matrix, unscaled back): `z = S · LU⁻¹ · (S r)`.
     pub fn solve(&self, r: &[f64], z: &mut [f64]) {
         let n = self.lu.nrows();
-        assert!(r.len() == n && z.len() == n);
+        debug_assert!(r.len() == n && z.len() == n);
         // Forward: L y = S r (unit diagonal).
         for i in 0..n {
             let mut acc = r[i] * self.scale[i];
@@ -321,6 +336,9 @@ impl Preconditioner for Ilu0 {
         enc.put_u8(TAG_ILU0);
         Persist::encode(self, enc)?;
         Ok(true)
+    }
+    fn mixed_mirror(&self, a: &CsrMatrix) -> Option<crate::refine::MixedPrecision> {
+        crate::refine::MixedPrecision::from_ilu0(a, self).ok()
     }
 }
 
@@ -401,7 +419,7 @@ impl Persist for BlockSolve {
     }
 }
 
-enum BlockFactor {
+pub(crate) enum BlockFactor {
     Dense(DenseLu),
     Ilu(Ilu0),
 }
@@ -443,8 +461,8 @@ impl Persist for BlockFactor {
 /// parallel and also why its iteration count grows with block count.
 pub struct BlockJacobiPrecond {
     /// Block row ranges `(lo, hi)`.
-    ranges: Vec<(usize, usize)>,
-    factors: Vec<BlockFactor>,
+    pub(crate) ranges: Vec<(usize, usize)>,
+    pub(crate) factors: Vec<BlockFactor>,
     /// How many blocks needed a diagonal-shift retry to factorize.
     shifted_blocks: usize,
 }
@@ -623,6 +641,9 @@ impl Preconditioner for BlockJacobiPrecond {
         enc.put_u8(TAG_BLOCK_JACOBI);
         Persist::encode(self, enc)?;
         Ok(true)
+    }
+    fn mixed_mirror(&self, a: &CsrMatrix) -> Option<crate::refine::MixedPrecision> {
+        crate::refine::MixedPrecision::from_block_jacobi(a, self).ok()
     }
 }
 

@@ -1,0 +1,705 @@
+//! Mixed-precision GMRES: f32 storage inside an f64 refinement loop.
+//!
+//! The Krylov solve is memory-bound, so halving the bytes per non-zero
+//! nearly halves the SpMV (and triangular-solve) wall time. Raw f32
+//! arithmetic cannot reach the pipeline's 1e-10 residuals, so the classic
+//! remedy applies: iterative refinement. The outer loop computes the true
+//! residual `r = b − A x` in f64, the inner GMRES solves the *correction*
+//! system `A d ≈ r` entirely in f32 (matrix, preconditioner, Krylov
+//! basis), and the f64 iterate absorbs the correction. Each cycle
+//! recovers roughly the f32 backward error (~1e-6 · κ), so a handful of
+//! cycles reach f64 accuracy — unless the system is so ill-conditioned
+//! that the f32 correction stops helping, which the loop detects and
+//! reports as [`StopReason::Stalled`] for the escalation ladder to catch.
+
+use crate::csr::CsrMatrix;
+use crate::dense::{norm2, DenseLu};
+use crate::error::SparseError;
+use crate::precond::{BlockFactor, BlockJacobiPrecond, Ilu0, JacobiPrecond};
+use crate::solver::{Deadline, SolveStats, SolverOptions, StopReason};
+use rayon::prelude::*;
+
+/// CSR with f32 values and u32 column indices: 8 bytes per non-zero
+/// instead of 16, which is the whole point.
+#[derive(Debug, Clone)]
+pub struct CsrF32 {
+    nrows: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrF32 {
+    /// Demote a square f64 CSR matrix to f32 storage.
+    pub fn from_csr(a: &CsrMatrix) -> Result<Self, SparseError> {
+        let n = a.nrows();
+        if a.ncols() != n {
+            return Err(SparseError::DimensionMismatch {
+                what: "f32 mirror source (columns)",
+                expected: n,
+                got: a.ncols(),
+            });
+        }
+        Ok(CsrF32 {
+            nrows: n,
+            indptr: a.indptr().to_vec(),
+            indices: a.indices().iter().map(|&c| c as u32).collect(),
+            values: a.values().iter().map(|&v| v as f32).collect(),
+        })
+    }
+
+    /// Dimension of the (square) operator.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> (&[u32], &[f32]) {
+        let r = self.indptr[i]..self.indptr[i + 1];
+        (&self.indices[r.clone()], &self.values[r])
+    }
+
+    /// `y = A x`, rows in parallel. Row sums accumulate in f64 so the
+    /// kernel keeps f32 *bandwidth* without f32 summation noise.
+    pub fn spmv_parallel(&self, x: &[f32], y: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.nrows);
+        debug_assert_eq!(y.len(), self.nrows);
+        y.par_iter_mut().enumerate().for_each(|(i, out)| {
+            let (cols, vals) = self.row(i);
+            let mut acc = 0.0f64;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += (v as f64) * (x[c as usize] as f64);
+            }
+            *out = acc as f32;
+        });
+    }
+
+    /// Heap footprint of the stored arrays, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of_val(self.indptr.as_slice())
+            + std::mem::size_of_val(self.indices.as_slice())
+            + std::mem::size_of_val(self.values.as_slice())
+    }
+}
+
+/// `z = M⁻¹ r` in f32 — the inner loop's preconditioner interface.
+pub trait PrecondF32: Send + Sync {
+    /// Apply `z = M⁻¹ r`.
+    fn apply32(&self, r: &[f32], z: &mut [f32]);
+}
+
+/// f32 point-Jacobi, demoted from the f64 operator.
+#[derive(Debug, Clone)]
+pub struct JacobiF32 {
+    inv_diag: Vec<f32>,
+}
+
+impl JacobiF32 {
+    /// Demote an existing f64 Jacobi preconditioner.
+    pub fn from_jacobi(p: &JacobiPrecond) -> Self {
+        JacobiF32 { inv_diag: p.inv_diag.iter().map(|&d| d as f32).collect() }
+    }
+}
+
+impl PrecondF32 for JacobiF32 {
+    fn apply32(&self, r: &[f32], z: &mut [f32]) {
+        debug_assert_eq!(r.len(), self.inv_diag.len());
+        for ((zi, ri), di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
+            *zi = ri * di;
+        }
+    }
+}
+
+/// f32 ILU(0), demoted from an already-factored f64 [`Ilu0`] — the
+/// factorization itself stays in f64 (it runs once per surgery), only
+/// the per-iteration triangular solves move to f32 storage.
+#[derive(Debug, Clone)]
+pub struct Ilu0F32 {
+    lu: CsrF32,
+    scale: Vec<f32>,
+}
+
+impl Ilu0F32 {
+    /// Demote an existing f64 factor.
+    pub fn from_ilu0(p: &Ilu0) -> Self {
+        let lu = CsrF32 {
+            nrows: p.lu.nrows(),
+            indptr: p.lu.indptr().to_vec(),
+            indices: p.lu.indices().iter().map(|&c| c as u32).collect(),
+            values: p.lu.values().iter().map(|&v| v as f32).collect(),
+        };
+        Ilu0F32 { lu, scale: p.scale.iter().map(|&s| s as f32).collect() }
+    }
+
+    fn solve(&self, r: &[f32], z: &mut [f32]) {
+        let n = self.lu.nrows;
+        debug_assert!(r.len() == n && z.len() == n);
+        for i in 0..n {
+            let mut acc = (r[i] * self.scale[i]) as f64;
+            let (cols, vals) = self.lu.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let c = c as usize;
+                if c >= i {
+                    break;
+                }
+                acc -= (v as f64) * (z[c] as f64);
+            }
+            z[i] = acc as f32;
+        }
+        for i in (0..n).rev() {
+            let mut acc = z[i] as f64;
+            let (cols, vals) = self.lu.row(i);
+            let mut diag = 1.0f64;
+            for (&c, &v) in cols.iter().zip(vals) {
+                let c = c as usize;
+                if c > i {
+                    acc -= (v as f64) * (z[c] as f64);
+                } else if c == i {
+                    diag = v as f64;
+                }
+            }
+            z[i] = (acc / diag) as f32;
+        }
+        for i in 0..n {
+            z[i] *= self.scale[i];
+        }
+    }
+}
+
+impl PrecondF32 for Ilu0F32 {
+    fn apply32(&self, r: &[f32], z: &mut [f32]) {
+        self.solve(r, z);
+    }
+}
+
+/// f32 dense LU, demoted from a factored f64 [`DenseLu`].
+#[derive(Debug, Clone)]
+struct DenseLuF32 {
+    n: usize,
+    lu: Vec<f32>,
+    piv: Vec<usize>,
+}
+
+impl DenseLuF32 {
+    fn from_dense(p: &DenseLu) -> Self {
+        DenseLuF32 {
+            n: p.n,
+            lu: p.lu.iter().map(|&v| v as f32).collect(),
+            piv: p.piv.clone(),
+        }
+    }
+
+    fn solve(&self, b: &[f32], out: &mut [f32]) {
+        let n = self.n;
+        debug_assert!(b.len() == n && out.len() == n);
+        for i in 0..n {
+            out[i] = b[self.piv[i]];
+        }
+        for i in 1..n {
+            let mut acc = out[i] as f64;
+            for j in 0..i {
+                acc -= (self.lu[i * n + j] as f64) * (out[j] as f64);
+            }
+            out[i] = acc as f32;
+        }
+        for i in (0..n).rev() {
+            let mut acc = out[i] as f64;
+            for j in (i + 1)..n {
+                acc -= (self.lu[i * n + j] as f64) * (out[j] as f64);
+            }
+            out[i] = (acc / (self.lu[i * n + i] as f64)) as f32;
+        }
+    }
+}
+
+enum BlockFactorF32 {
+    Dense(DenseLuF32),
+    Ilu(Ilu0F32),
+}
+
+/// f32 block-Jacobi, demoted block-by-block from a factored f64
+/// [`BlockJacobiPrecond`].
+pub struct BlockJacobiF32 {
+    ranges: Vec<(usize, usize)>,
+    factors: Vec<BlockFactorF32>,
+}
+
+impl BlockJacobiF32 {
+    /// Demote an existing f64 block-Jacobi operator.
+    pub fn from_block_jacobi(p: &BlockJacobiPrecond) -> Self {
+        let factors = p
+            .factors
+            .iter()
+            .map(|f| match f {
+                BlockFactor::Dense(lu) => BlockFactorF32::Dense(DenseLuF32::from_dense(lu)),
+                BlockFactor::Ilu(ilu) => BlockFactorF32::Ilu(Ilu0F32::from_ilu0(ilu)),
+            })
+            .collect();
+        BlockJacobiF32 { ranges: p.ranges.clone(), factors }
+    }
+}
+
+impl PrecondF32 for BlockJacobiF32 {
+    fn apply32(&self, r: &[f32], z: &mut [f32]) {
+        let chunks: Vec<(usize, Vec<f32>)> = self
+            .ranges
+            .par_iter()
+            .zip(self.factors.par_iter())
+            .map(|(&(lo, hi), factor)| {
+                let mut out = vec![0.0f32; hi - lo];
+                match factor {
+                    BlockFactorF32::Dense(lu) => lu.solve(&r[lo..hi], &mut out),
+                    BlockFactorF32::Ilu(ilu) => ilu.solve(&r[lo..hi], &mut out),
+                }
+                (lo, out)
+            })
+            .collect();
+        for (lo, out) in chunks {
+            z[lo..lo + out.len()].copy_from_slice(&out);
+        }
+    }
+}
+
+/// The f32 half of a mixed-precision solve: demoted matrix plus demoted
+/// preconditioner. Rebuilt (not persisted) when a context is restored —
+/// it is derived state, cheap to recreate from the f64 originals.
+pub struct MixedPrecision {
+    a32: CsrF32,
+    pc32: Box<dyn PrecondF32>,
+}
+
+impl std::fmt::Debug for MixedPrecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MixedPrecision").field("dim", &self.a32.dim()).finish_non_exhaustive()
+    }
+}
+
+impl MixedPrecision {
+    /// Mirror with a point-Jacobi inner preconditioner.
+    pub fn jacobi(a: &CsrMatrix) -> Result<Self, SparseError> {
+        let a32 = CsrF32::from_csr(a)?;
+        let pc32 = Box::new(JacobiF32::from_jacobi(&JacobiPrecond::new(a)));
+        Ok(MixedPrecision { a32, pc32 })
+    }
+
+    /// Mirror of an already-factored ILU(0) operator.
+    pub fn from_ilu0(a: &CsrMatrix, pc: &Ilu0) -> Result<Self, SparseError> {
+        Ok(MixedPrecision { a32: CsrF32::from_csr(a)?, pc32: Box::new(Ilu0F32::from_ilu0(pc)) })
+    }
+
+    /// Mirror of an already-factored block-Jacobi operator.
+    pub fn from_block_jacobi(
+        a: &CsrMatrix,
+        pc: &BlockJacobiPrecond,
+    ) -> Result<Self, SparseError> {
+        Ok(MixedPrecision {
+            a32: CsrF32::from_csr(a)?,
+            pc32: Box::new(BlockJacobiF32::from_block_jacobi(pc)),
+        })
+    }
+
+    /// Dimension of the mirrored operator.
+    pub fn dim(&self) -> usize {
+        self.a32.dim()
+    }
+
+    /// Heap footprint of the f32 mirror (matrix only; preconditioner
+    /// mirrors are bounded by the matrix size).
+    pub fn memory_bytes(&self) -> usize {
+        self.a32.memory_bytes()
+    }
+}
+
+/// Knobs of the refinement outer loop. The defaults suit the pipeline's
+/// FEM systems; tests tighten or loosen them to force specific exits.
+#[derive(Debug, Clone)]
+pub struct RefineOptions {
+    /// Relative tolerance of each inner f32 correction solve. There is no
+    /// point going below ~1e-6 (f32 epsilon); well above it each cycle
+    /// does less work and refinement takes more cycles.
+    pub inner_tolerance: f64,
+    /// Iteration cap of each inner correction solve.
+    pub inner_max_iterations: usize,
+    /// Maximum refinement cycles before giving up.
+    pub max_cycles: usize,
+    /// A cycle must shrink the f64 residual below `stall_factor ×` the
+    /// previous cycle's residual, or the loop exits with
+    /// [`StopReason::Stalled`].
+    pub stall_factor: f64,
+}
+
+impl Default for RefineOptions {
+    fn default() -> Self {
+        RefineOptions {
+            inner_tolerance: 1e-5,
+            inner_max_iterations: 400,
+            max_cycles: 40,
+            stall_factor: 0.5,
+        }
+    }
+}
+
+/// Restarted GMRES in f32 for the inner correction solve. Returns the
+/// iteration count. Dot products and the Hessenberg solve run in f64
+/// (they are O(n·restart), not bandwidth-bound); vectors stay f32.
+fn gmres32(
+    a: &CsrF32,
+    pc: &dyn PrecondF32,
+    b: &[f32],
+    x: &mut [f32],
+    tol: f64,
+    max_iters: usize,
+    restart: usize,
+) -> usize {
+    let n = a.dim();
+    let m = restart.max(1).min(n.max(1));
+    let dot64 = |u: &[f32], v: &[f32]| -> f64 {
+        u.iter().zip(v).map(|(&a, &b)| (a as f64) * (b as f64)).sum()
+    };
+    let mut r = vec![0.0f32; n];
+    let mut z = vec![0.0f32; n];
+    let mut w = vec![0.0f32; n];
+    let mut v: Vec<Vec<f32>> = vec![vec![0.0f32; n]; m + 1];
+    let mut h = vec![0.0f64; (m + 1) * m];
+    let mut cs = vec![0.0f64; m];
+    let mut sn = vec![0.0f64; m];
+    let mut g = vec![0.0f64; m + 1];
+    let mut total = 0usize;
+    let mut beta0 = -1.0f64;
+    while total < max_iters {
+        // r = M⁻¹ (b − A x)
+        a.spmv_parallel(x, &mut w);
+        for i in 0..n {
+            z[i] = b[i] - w[i];
+        }
+        pc.apply32(&z, &mut r);
+        let beta = dot64(&r, &r).sqrt();
+        if beta0 < 0.0 {
+            beta0 = beta.max(1e-300);
+        }
+        if beta <= tol * beta0 {
+            return total;
+        }
+        let inv = (1.0 / beta) as f32;
+        for i in 0..n {
+            v[0][i] = r[i] * inv;
+        }
+        g.iter_mut().for_each(|gi| *gi = 0.0);
+        g[0] = beta;
+        let mut k = 0usize;
+        for j in 0..m {
+            a.spmv_parallel(&v[j], &mut z);
+            pc.apply32(&z, &mut w);
+            // Modified Gram–Schmidt.
+            for i in 0..=j {
+                let hij = dot64(&w, &v[i]);
+                h[i * m + j] = hij;
+                let hij32 = hij as f32;
+                for (wv, vv) in w.iter_mut().zip(&v[i]) {
+                    *wv -= hij32 * vv;
+                }
+            }
+            let hnext = dot64(&w, &w).sqrt();
+            h[(j + 1) * m + j] = hnext;
+            if hnext > 1e-30 {
+                let inv = (1.0 / hnext) as f32;
+                let (head, tail) = v.split_at_mut(j + 1);
+                let _ = head;
+                for (t, wv) in tail[0].iter_mut().zip(&w) {
+                    *t = wv * inv;
+                }
+            }
+            // Givens updates.
+            for i in 0..j {
+                let t = cs[i] * h[i * m + j] + sn[i] * h[(i + 1) * m + j];
+                h[(i + 1) * m + j] = -sn[i] * h[i * m + j] + cs[i] * h[(i + 1) * m + j];
+                h[i * m + j] = t;
+            }
+            let denom = (h[j * m + j] * h[j * m + j] + h[(j + 1) * m + j] * h[(j + 1) * m + j])
+                .sqrt()
+                .max(1e-300);
+            cs[j] = h[j * m + j] / denom;
+            sn[j] = h[(j + 1) * m + j] / denom;
+            h[j * m + j] = denom;
+            h[(j + 1) * m + j] = 0.0;
+            g[j + 1] = -sn[j] * g[j];
+            g[j] *= cs[j];
+            total += 1;
+            k = j + 1;
+            if g[j + 1].abs() <= tol * beta0 || total >= max_iters || hnext <= 1e-30 {
+                break;
+            }
+        }
+        // Back-substitute y and update x.
+        let mut y = vec![0.0f64; k];
+        for i in (0..k).rev() {
+            let mut acc = g[i];
+            for j in (i + 1)..k {
+                acc -= h[i * m + j] * y[j];
+            }
+            // The Givens rotation left a non-negative diagonal.
+            y[i] = acc / h[i * m + i].max(1e-300);
+        }
+        for (i, &yi) in y.iter().enumerate() {
+            let yi32 = yi as f32;
+            for (xv, vv) in x.iter_mut().zip(&v[i]) {
+                *xv += yi32 * vv;
+            }
+        }
+        if g[k].abs() <= tol * beta0 {
+            return total;
+        }
+    }
+    total
+}
+
+/// Mixed-precision iterative refinement: solve `A x = b` to f64 accuracy
+/// using f32 inner GMRES correction solves. `opts.tolerance` and
+/// `opts.max_iterations` (total inner iterations) bound the outer loop;
+/// `opts.restart` sets the inner restart length; `opts.time_budget` is
+/// honoured between cycles.
+///
+/// History contract matches the f64 solvers: entries are *true* f64
+/// relative residuals, one per refinement cycle, first entry the initial
+/// residual.
+pub fn refine(
+    a: &CsrMatrix,
+    mixed: &MixedPrecision,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &SolverOptions,
+    ropts: &RefineOptions,
+) -> Result<SolveStats, SparseError> {
+    let n = a.nrows();
+    if b.len() != n {
+        return Err(SparseError::DimensionMismatch { what: "rhs", expected: n, got: b.len() });
+    }
+    if x.len() != n {
+        return Err(SparseError::DimensionMismatch { what: "x0", expected: n, got: x.len() });
+    }
+    if mixed.dim() != n {
+        return Err(SparseError::DimensionMismatch {
+            what: "f32 mirror",
+            expected: n,
+            got: mixed.dim(),
+        });
+    }
+    let deadline = Deadline::from_budget(opts.time_budget);
+    let mut history = Vec::new();
+    let bnorm = norm2(b);
+    if bnorm <= 1e-300 {
+        x.iter_mut().for_each(|v| *v = 0.0);
+        if opts.record_history {
+            history.push(0.0);
+        }
+        return Ok(SolveStats {
+            reason: StopReason::Converged,
+            iterations: 0,
+            relative_residual: 0.0,
+            history,
+            restarts: 0,
+        });
+    }
+    let mut r = vec![0.0f64; n];
+    let mut ax = vec![0.0f64; n];
+    let mut r32 = vec![0.0f32; n];
+    let mut d32 = vec![0.0f32; n];
+    let mut iterations = 0usize;
+    let mut cycles = 0usize;
+    let mut prev_rel = f64::INFINITY;
+    loop {
+        // True f64 residual.
+        a.spmv_parallel(x, &mut ax);
+        for i in 0..n {
+            r[i] = b[i] - ax[i];
+        }
+        let rnorm = norm2(&r);
+        let rel = rnorm / bnorm;
+        if opts.record_history {
+            history.push(rel);
+        }
+        let done = |reason: StopReason| {
+            Ok(SolveStats {
+                reason,
+                iterations,
+                relative_residual: rel,
+                history: history.clone(),
+                restarts: cycles.saturating_sub(1),
+            })
+        };
+        if rel <= opts.tolerance {
+            return done(StopReason::Converged);
+        }
+        if rel >= prev_rel * ropts.stall_factor {
+            return done(StopReason::Stalled);
+        }
+        if cycles >= ropts.max_cycles || iterations >= opts.max_iterations {
+            return done(StopReason::MaxIterations);
+        }
+        if deadline.expired() {
+            return done(StopReason::TimeBudget);
+        }
+        prev_rel = rel;
+        // Inner correction solve in f32 on the normalized residual.
+        let inv = 1.0 / rnorm;
+        for i in 0..n {
+            r32[i] = (r[i] * inv) as f32;
+            d32[i] = 0.0;
+        }
+        let budget = ropts
+            .inner_max_iterations
+            .min(opts.max_iterations.saturating_sub(iterations).max(1));
+        iterations += gmres32(
+            &mixed.a32,
+            mixed.pc32.as_ref(),
+            &r32,
+            &mut d32,
+            ropts.inner_tolerance,
+            budget,
+            opts.restart.max(1),
+        );
+        cycles += 1;
+        for i in 0..n {
+            x[i] += rnorm * (d32[i] as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::TripletBuilder;
+    use crate::precond::BlockSolve;
+
+    fn laplace_1d(n: usize) -> CsrMatrix {
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, 2.0);
+            if i > 0 {
+                b.add(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.add(i, i + 1, -1.0);
+            }
+        }
+        b.build()
+    }
+
+    fn true_rel_residual(a: &CsrMatrix, b: &[f64], x: &[f64]) -> f64 {
+        let mut ax = vec![0.0; b.len()];
+        a.spmv(x, &mut ax);
+        let num: f64 = ax.iter().zip(b).map(|(p, q)| (p - q).powi(2)).sum::<f64>().sqrt();
+        num / norm2(b)
+    }
+
+    #[test]
+    fn refinement_reaches_f64_accuracy_with_ilu_inner() {
+        let n = 150;
+        let a = laplace_1d(n);
+        let ilu = Ilu0::new(&a);
+        let mixed = MixedPrecision::from_ilu0(&a, &ilu).expect("mirror");
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let opts = SolverOptions {
+            tolerance: 1e-10,
+            max_iterations: 10_000,
+            record_history: true,
+            ..Default::default()
+        };
+        let stats = refine(&a, &mixed, &b, &mut x, &opts, &RefineOptions::default())
+            .expect("shapes agree");
+        assert_eq!(stats.reason, StopReason::Converged, "{stats:?}");
+        assert!(true_rel_residual(&a, &b, &x) < 1e-9);
+        // The point of refinement: f64 accuracy beyond what raw f32 can
+        // represent, and the history shows monotone progress.
+        assert!(stats.history.windows(2).all(|w| w[1] < w[0]));
+    }
+
+    #[test]
+    fn refinement_works_with_block_jacobi_inner() {
+        let n = 120;
+        let a = laplace_1d(n);
+        let pc = BlockJacobiPrecond::new(&a, 4, BlockSolve::Ilu0).expect("pc");
+        let mixed = MixedPrecision::from_block_jacobi(&a, &pc).expect("mirror");
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.31).cos()).collect();
+        let mut x = vec![0.0; n];
+        let opts = SolverOptions { tolerance: 1e-10, max_iterations: 20_000, ..Default::default() };
+        let stats = refine(&a, &mixed, &b, &mut x, &opts, &RefineOptions::default())
+            .expect("shapes agree");
+        assert!(stats.converged(), "{stats:?}");
+        assert!(true_rel_residual(&a, &b, &x) < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_tolerance_stalls_instead_of_spinning() {
+        // 1e-30 is below the f64 floor: once the residual bottoms out the
+        // reduction factor collapses and the loop must report Stalled long
+        // before the cycle cap.
+        let n = 60;
+        let a = laplace_1d(n);
+        let mixed = MixedPrecision::jacobi(&a).expect("mirror");
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let opts = SolverOptions { tolerance: 1e-30, max_iterations: 100_000, ..Default::default() };
+        let stats = refine(&a, &mixed, &b, &mut x, &opts, &RefineOptions::default())
+            .expect("shapes agree");
+        assert_eq!(stats.reason, StopReason::Stalled, "{stats:?}");
+        // The iterate is still good to near f64 accuracy.
+        assert!(true_rel_residual(&a, &b, &x) < 1e-12);
+    }
+
+    #[test]
+    fn zero_rhs_is_the_zero_solution() {
+        let a = laplace_1d(10);
+        let mixed = MixedPrecision::jacobi(&a).expect("mirror");
+        let mut x = vec![3.0; 10];
+        let stats = refine(
+            &a,
+            &mixed,
+            &[0.0; 10],
+            &mut x,
+            &SolverOptions::default(),
+            &RefineOptions::default(),
+        )
+        .expect("shapes agree");
+        assert!(stats.converged());
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_typed() {
+        let a = laplace_1d(8);
+        let mixed = MixedPrecision::jacobi(&a).expect("mirror");
+        let res = refine(
+            &a,
+            &mixed,
+            &[1.0; 8],
+            &mut vec![0.0; 3],
+            &SolverOptions::default(),
+            &RefineOptions::default(),
+        );
+        assert!(matches!(
+            res,
+            Err(SparseError::DimensionMismatch { what: "x0", expected: 8, got: 3 })
+        ));
+        let wrong = MixedPrecision::jacobi(&laplace_1d(5)).expect("mirror");
+        let res = refine(
+            &a,
+            &wrong,
+            &[1.0; 8],
+            &mut vec![0.0; 8],
+            &SolverOptions::default(),
+            &RefineOptions::default(),
+        );
+        assert!(matches!(res, Err(SparseError::DimensionMismatch { what: "f32 mirror", .. })));
+    }
+
+    #[test]
+    fn f32_mirror_halves_matrix_bytes() {
+        let a = laplace_1d(500);
+        let m = CsrF32::from_csr(&a).expect("mirror");
+        // values: 4 vs 8 bytes; indices: 4 vs 8. indptr stays usize.
+        assert!(m.memory_bytes() < a.memory_bytes() * 3 / 4);
+    }
+}

@@ -18,11 +18,11 @@ fn main() {
     let opts = SolverOptions { tolerance: 1e-6, max_iterations: 1500, record_history: true, ..Default::default() };
     let p = BlockJacobiPrecond::new(&red.matrix, 4, BlockSolve::Ilu0).expect("singular diagonal block");
     let mut x = vec![0.0; red.matrix.nrows()];
-    let s = gmres(&red.matrix, &p, &red.rhs, &mut x, &opts);
+    let s = gmres(&red.matrix, &p, &red.rhs, &mut x, &opts).expect("dims agree");
     println!("gmres bj-ilu0: {:?} iters {} rel {:.2e}", s.reason, s.iterations, s.relative_residual);
     let h = &s.history;
     for i in (0..h.len()).step_by(h.len().max(1)/10+1) { println!("  hist[{i}] = {:.3e}", h[i]); }
     let mut x2 = vec![0.0; red.matrix.nrows()];
-    let s2 = conjugate_gradient(&red.matrix, &JacobiPrecond::new(&red.matrix), &red.rhs, &mut x2, &SolverOptions { tolerance: 1e-6, max_iterations: 3000, ..Default::default() });
+    let s2 = conjugate_gradient(&red.matrix, &JacobiPrecond::new(&red.matrix), &red.rhs, &mut x2, &SolverOptions { tolerance: 1e-6, max_iterations: 3000, ..Default::default() }).expect("dims agree");
     println!("cg jacobi: {:?} iters {} rel {:.2e}", s2.reason, s2.iterations, s2.relative_residual);
 }

@@ -87,7 +87,8 @@ fn main() {
         &red.rhs,
         &mut x,
         &SolverOptions { tolerance: 1e-8, max_iterations: 5000, ..Default::default() },
-    );
+    )
+    .expect("dims agree");
     println!("solve: {} iterations, converged: {}", stats.iterations, stats.converged());
     let full = red.expand_solution(&x);
     let disp: Vec<Vec3> = (0..mesh.num_nodes())

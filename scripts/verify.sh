@@ -81,6 +81,21 @@ RAYON_NUM_THREADS=1 cargo test -q --test persist_props --test persist_recovery
 RAYON_NUM_THREADS=4 cargo test -q --test persist_props --test persist_recovery
 cargo run -q --release -p brainshift-bench --bin persist_report
 
+# Solver stage: the speed ladder (DESIGN.md §16). The conformance
+# differential harness (now including the RCM, mixed-precision, blocked
+# and matrix-free paths, pairwise ≤1e-6), the sparse refinement suite,
+# and the ladder property tests at two thread counts, then the ladder
+# report bin — which asserts RCM bandwidth reduction ≥2× vs an arbitrary
+# admission order and a cold-solve win from at least one rung — writing
+# bench_out/solver_ladder.json.
+RAYON_NUM_THREADS=1 cargo test -q -p brainshift-conformance differential
+RAYON_NUM_THREADS=4 cargo test -q -p brainshift-conformance differential
+RAYON_NUM_THREADS=1 cargo test -q -p brainshift-sparse refine
+RAYON_NUM_THREADS=4 cargo test -q -p brainshift-sparse refine
+RAYON_NUM_THREADS=1 cargo test -q --test solver_ladder_props
+RAYON_NUM_THREADS=4 cargo test -q --test solver_ladder_props
+cargo run -q --release -p brainshift-bench --bin solver_ladder_json
+
 cargo clippy --all-targets -- -D warnings
 
 # The numeric kernels must not panic on bad input — constructors return
@@ -89,3 +104,16 @@ cargo clippy --all-targets -- -D warnings
 # non-test code (see the cfg_attr in each crate's lib.rs); lint the libs
 # to enforce it.
 cargo clippy -p brainshift-persist -p brainshift-obs -p brainshift-sparse -p brainshift-fem -p brainshift-core -p brainshift-service -p brainshift-segment -p brainshift-surface -p brainshift-scenario --lib -- -D warnings
+
+# Sparse assert audit: non-test sparse kernels must return typed
+# SparseError values (or use debug_assert!) instead of panicking
+# assert!s — a malformed RHS must never take down a worker thread.
+# Doc-comment mentions are fine; anything before a file's test module
+# is not.
+for f in crates/sparse/src/*.rs; do
+  if awk '/^(mod tests|#\[cfg\(test\)\])/{exit} !/^[[:space:]]*\/\//' "$f" \
+      | grep -nE '(^|[^_a-zA-Z0-9])assert(_eq|_ne)?!'; then
+    echo "panicking assert in non-test sparse code: $f" >&2
+    exit 1
+  fi
+done

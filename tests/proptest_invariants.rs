@@ -49,10 +49,10 @@ proptest! {
         a.spmv(&x_true, &mut rhs);
         let opts = SolverOptions { tolerance: 1e-10, max_iterations: 10_000, ..Default::default() };
         let mut xg = vec![0.0; n];
-        let sg = gmres(&a, &IdentityPrecond, &rhs, &mut xg, &opts);
+        let sg = gmres(&a, &IdentityPrecond, &rhs, &mut xg, &opts).expect("dims agree");
         prop_assert!(sg.converged());
         let mut xc = vec![0.0; n];
-        let sc = conjugate_gradient(&a, &JacobiPrecond::new(&a), &rhs, &mut xc, &opts);
+        let sc = conjugate_gradient(&a, &JacobiPrecond::new(&a), &rhs, &mut xc, &opts).expect("dims agree");
         prop_assert!(sc.converged());
         let scale = x_true.iter().fold(1.0f64, |m, v| m.max(v.abs()));
         for i in 0..n {
@@ -85,11 +85,11 @@ proptest! {
         let ladder = EscalationPolicy {
             larger_restarts: vec![3, 5],
             bicgstab_fallback: true,
-            time_budget: None,
+            ..Default::default()
         };
         let mut x = vec![0.0; n];
         let mut ws = KrylovWorkspace::new(n, opts.restart);
-        let out = solve_escalated(&a, &IdentityPrecond, &b, &mut x, &opts, &ladder, &mut ws);
+        let out = solve_escalated(&a, &IdentityPrecond, &b, &mut x, &opts, &ladder, &mut ws).expect("dims agree");
 
         // (1) The reported residual is the residual of the returned x.
         let mut ax = vec![0.0; n];
@@ -108,7 +108,8 @@ proptest! {
         let mut ws1 = KrylovWorkspace::new(n, opts.restart);
         let first = solve_escalated(
             &a, &IdentityPrecond, &b, &mut x1, &opts, &EscalationPolicy::none(), &mut ws1,
-        );
+        )
+        .expect("dims agree");
         prop_assert!(
             out.stats.relative_residual <= first.stats.relative_residual * (1.0 + 1e-12),
             "ladder ({:.3e}) regressed below its own primary stage ({:.3e})",

@@ -49,10 +49,10 @@ fn gmres_cg_and_dense_lu_agree_on_fem_system() {
 
     let opts = SolverOptions { tolerance: 1e-12, max_iterations: 20_000, ..Default::default() };
     let mut x_g = vec![0.0; n];
-    let sg = gmres(&a, &Ilu0::new(&a), &rhs, &mut x_g, &opts);
+    let sg = gmres(&a, &Ilu0::new(&a), &rhs, &mut x_g, &opts).expect("dims agree");
     assert!(sg.converged());
     let mut x_c = vec![0.0; n];
-    let sc = conjugate_gradient(&a, &JacobiPrecond::new(&a), &rhs, &mut x_c, &opts);
+    let sc = conjugate_gradient(&a, &JacobiPrecond::new(&a), &rhs, &mut x_c, &opts).expect("dims agree");
     assert!(sc.converged());
 
     let scale = x_lu.iter().fold(1e-12f64, |m, v| m.max(v.abs()));
@@ -70,7 +70,7 @@ fn block_jacobi_block_count_does_not_change_solution() {
     for blocks in [1usize, 2, 5] {
         let pc = BlockJacobiPrecond::new(&a, blocks, BlockSolve::Ilu0).expect("singular diagonal block");
         let mut x = vec![0.0; a.nrows()];
-        let s = gmres(&a, &pc, &rhs, &mut x, &opts);
+        let s = gmres(&a, &pc, &rhs, &mut x, &opts).expect("dims agree");
         assert!(s.converged(), "blocks={blocks}");
         match &reference {
             None => reference = Some(x),
@@ -193,7 +193,7 @@ fn distributed_gmres_solves_fem_system() {
     let opts = SolverOptions { tolerance: 1e-9, max_iterations: 5000, ..Default::default() };
     // Serial reference.
     let mut x_ref = vec![0.0; n];
-    let s_ref = gmres(&a, &Ilu0::new(&a), &rhs, &mut x_ref, &opts);
+    let s_ref = gmres(&a, &Ilu0::new(&a), &rhs, &mut x_ref, &opts).expect("dims agree");
     assert!(s_ref.converged());
     let p = 4;
     let offsets = brainshift_sparse::partition::even_offsets(n, p);
